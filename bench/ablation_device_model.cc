@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: are the paper-shaped conclusions robust to the analytical
+ * device model's parameters?
+ *
+ * The two load-bearing substitutions in this reproduction (DESIGN.md)
+ * are the thread-amortization grain and the GPU launch overhead. This
+ * bench sweeps both across an order of magnitude in each direction and
+ * re-derives the two headline shape results:
+ *
+ *   (1) Fig. 6: memnet does not scale with threads while deepq does;
+ *   (2) Fig. 5: the GPU wins big on conv nets and only modestly on
+ *       small-op recurrent/memory models.
+ *
+ * If either conclusion flipped within the sweep, the reproduction
+ * would be an artifact of the calibration rather than of the workload
+ * structure.
+ */
+#include <iostream>
+
+#include "analysis/scaling.h"
+#include "core/suite.h"
+#include "core/table.h"
+
+int
+main()
+{
+    using namespace fathom;
+    using core::ConsoleTable;
+    using core::FormatDouble;
+
+    std::cout << "=== Ablation: device-model parameter sensitivity ===\n\n";
+
+    core::SuiteRunOptions options;
+    options.warmup_steps = 1;
+    options.train_steps = 3;
+    options.infer_steps = 0;
+
+    const auto deepq = core::RunAndTrace("deepq", options);
+    const auto memnet = core::RunAndTrace("memnet", options);
+    const auto alexnet = core::RunAndTrace("alexnet", options);
+    const auto seq2seq = core::RunAndTrace("seq2seq", options);
+
+    // ---- (1) grain sweep: thread scaling at T=8 ------------------------
+    std::cout << "--- thread-amortization grain sweep (speedup at T=8) "
+                 "---\n";
+    ConsoleTable grain_table;
+    grain_table.SetHeader({"min work/thread", "deepq", "memnet",
+                           "conclusion holds"});
+    for (const double grain : {2048.0, 8192.0, 16384.0, 65536.0, 262144.0}) {
+        auto speedup_at = [&](const core::WorkloadTraces& traces) {
+            auto cpu1 = runtime::DeviceSpec::Cpu(1);
+            auto cpu8 = runtime::DeviceSpec::Cpu(8);
+            cpu1.min_work_per_thread = grain;
+            cpu8.min_work_per_thread = grain;
+            const double t1 = analysis::SimulatedTotalSeconds(
+                traces.training, traces.warmup_steps, cpu1);
+            const double t8 = analysis::SimulatedTotalSeconds(
+                traces.training, traces.warmup_steps, cpu8);
+            return t1 / t8;
+        };
+        const double dq = speedup_at(deepq);
+        const double mn = speedup_at(memnet);
+        grain_table.AddRow({FormatDouble(grain, 0), FormatDouble(dq, 2) + "x",
+                            FormatDouble(mn, 2) + "x",
+                            dq > 1.5 && mn < 1.3 ? "yes" : "NO"});
+    }
+    std::cout << grain_table.Render() << "\n";
+
+    // ---- (2) GPU overhead sweep: train-time GPU speedup ------------------
+    std::cout << "--- GPU launch-overhead sweep (train-time speedup vs "
+                 "CPU(1)) ---\n";
+    ConsoleTable gpu_table;
+    gpu_table.SetHeader({"launch overhead", "alexnet", "seq2seq",
+                         "conclusion holds"});
+    for (const double overhead : {1e-6, 2e-6, 4e-6, 8e-6, 16e-6}) {
+        auto gpu = runtime::DeviceSpec::Gpu();
+        gpu.op_overhead = overhead;
+        const auto cpu = runtime::DeviceSpec::Cpu(1);
+        auto speedup_of = [&](const core::WorkloadTraces& traces) {
+            return analysis::SimulatedTotalSeconds(traces.training,
+                                                   traces.warmup_steps, cpu) /
+                   analysis::SimulatedTotalSeconds(traces.training,
+                                                   traces.warmup_steps, gpu);
+        };
+        const double conv_net = speedup_of(alexnet);
+        const double rnn = speedup_of(seq2seq);
+        gpu_table.AddRow({FormatDouble(overhead * 1e6, 0) + " us",
+                          FormatDouble(conv_net, 1) + "x",
+                          FormatDouble(rnn, 1) + "x",
+                          conv_net > 4.0 * rnn ? "yes" : "NO"});
+    }
+    std::cout << gpu_table.Render() << "\n";
+
+    std::cout << "Both headline shapes must hold across the sweeps: deepq "
+                 "scales while memnet does not,\nand the GPU advantage on "
+                 "conv nets exceeds the advantage on small-op models by "
+                 ">4x.\n";
+    return 0;
+}

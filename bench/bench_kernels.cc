@@ -1,0 +1,174 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the primitive kernels — the
+ * supporting data behind every figure: these are the "heavy
+ * operations" whose costs dominate the workload profiles.
+ */
+#include <benchmark/benchmark.h>
+
+#include "kernels/conv2d.h"
+#include "kernels/ctc.h"
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
+#include "kernels/pooling.h"
+#include "kernels/reduction.h"
+#include "parallel/thread_pool.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace fathom;
+
+Tensor
+MakeTensor(const Shape& shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(DType::kFloat32, shape);
+    rng.FillNormal(&t, 0.0f, 1.0f);
+    return t;
+}
+
+void
+BM_MatMul(benchmark::State& state)
+{
+    const std::int64_t n = state.range(0);
+    parallel::ThreadPool pool(1);
+    const Tensor a = MakeTensor(Shape{n, n}, 1);
+    const Tensor b = MakeTensor(Shape{n, n}, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernels::MatMul(a, b, false, false, pool));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_Conv2D(benchmark::State& state)
+{
+    const std::int64_t hw = state.range(0);
+    const std::int64_t c = state.range(1);
+    parallel::ThreadPool pool(1);
+    const Tensor input = MakeTensor(Shape{1, hw, hw, c}, 3);
+    const Tensor filter = MakeTensor(Shape{3, 3, c, c}, 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernels::Conv2D(
+            input, filter, 1, kernels::Padding::kSame, pool));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * hw * hw * 9 * c * c);
+}
+BENCHMARK(BM_Conv2D)->Args({16, 8})->Args({32, 8})->Args({32, 16})->Args({64, 16});
+
+void
+BM_Conv2DBackpropFilter(benchmark::State& state)
+{
+    const std::int64_t hw = state.range(0);
+    parallel::ThreadPool pool(1);
+    const Tensor input = MakeTensor(Shape{1, hw, hw, 8}, 5);
+    const Shape filter_shape{3, 3, 8, 8};
+    const Tensor grad = MakeTensor(Shape{1, hw, hw, 8}, 6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernels::Conv2DBackpropFilter(
+            input, filter_shape, grad, 1, kernels::Padding::kSame, pool));
+    }
+}
+BENCHMARK(BM_Conv2DBackpropFilter)->Arg(16)->Arg(32);
+
+void
+BM_MaxPool(benchmark::State& state)
+{
+    parallel::ThreadPool pool(1);
+    const Tensor input = MakeTensor(Shape{4, 64, 64, 16}, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernels::MaxPool(input, 2, 2, kernels::Padding::kValid, pool));
+    }
+}
+BENCHMARK(BM_MaxPool);
+
+void
+BM_Softmax(benchmark::State& state)
+{
+    const std::int64_t rows = state.range(0);
+    const std::int64_t cols = state.range(1);
+    parallel::ThreadPool pool(1);
+    const Tensor logits = MakeTensor(Shape{rows, cols}, 8);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernels::Softmax(logits, pool));
+    }
+}
+BENCHMARK(BM_Softmax)->Args({64, 128})->Args({1024, 128})->Args({64, 10000});
+
+void
+BM_ElementwiseMulSameShape(benchmark::State& state)
+{
+    const std::int64_t n = state.range(0);
+    parallel::ThreadPool pool(1);
+    const Tensor a = MakeTensor(Shape{n}, 9);
+    const Tensor b = MakeTensor(Shape{n}, 10);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernels::BinaryMap(
+            a, b, [](float x, float y) { return x * y; }, pool));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseMulSameShape)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_ElementwiseMulBroadcast(benchmark::State& state)
+{
+    const std::int64_t n = state.range(0);
+    parallel::ThreadPool pool(1);
+    const Tensor a = MakeTensor(Shape{n, 64}, 11);
+    const Tensor b = MakeTensor(Shape{64}, 12);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernels::BinaryMap(
+            a, b, [](float x, float y) { return x * y; }, pool));
+    }
+}
+BENCHMARK(BM_ElementwiseMulBroadcast)->Arg(64)->Arg(1024);
+
+void
+BM_ReduceSumLastAxis(benchmark::State& state)
+{
+    parallel::ThreadPool pool(1);
+    const Tensor t = MakeTensor(Shape{256, 256}, 13);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernels::Reduce(t, kernels::ReduceOp::kSum, {1}, false, pool));
+    }
+}
+BENCHMARK(BM_ReduceSumLastAxis);
+
+void
+BM_CtcLoss(benchmark::State& state)
+{
+    const std::int64_t time = state.range(0);
+    const Tensor logits = MakeTensor(Shape{time, 28}, 14);
+    std::vector<std::int32_t> labels;
+    for (std::int64_t i = 0; i < time / 3; ++i) {
+        labels.push_back(static_cast<std::int32_t>(1 + (i % 27)));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernels::CtcLoss(logits, labels, 0));
+    }
+}
+BENCHMARK(BM_CtcLoss)->Arg(30)->Arg(60)->Arg(120);
+
+void
+BM_MatMulThreadSweep(benchmark::State& state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    parallel::ThreadPool pool(threads);
+    const Tensor a = MakeTensor(Shape{256, 256}, 15);
+    const Tensor b = MakeTensor(Shape{256, 256}, 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernels::MatMul(a, b, false, false, pool));
+    }
+}
+BENCHMARK(BM_MatMulThreadSweep)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces Figure 3: breakdown of execution time by operation class
+ * for each Fathom workload (the heatmap), plus the per-op-type detail
+ * behind it.
+ *
+ * Expected shapes from the paper:
+ *  - conv nets (alexnet/vgg/residual/deepq) dominated by Convolution;
+ *  - the FC share *shrinks* across alexnet -> vgg -> residual
+ *    (the ILSVRC longitudinal comparison of Sec. V-B);
+ *  - speech almost entirely MatMul plus the CTC loss;
+ *  - seq2seq shows LSTM elementwise arithmetic and attention
+ *    data movement;
+ *  - autoenc shows a visible RandomSampling component.
+ */
+#include <iostream>
+
+#include "analysis/op_profile.h"
+#include "core/suite.h"
+#include "core/table.h"
+
+int
+main()
+{
+    using namespace fathom;
+    using core::ConsoleTable;
+    using core::FormatPercent;
+    using graph::AllOpClasses;
+    using graph::OpClass;
+    using graph::OpClassName;
+
+    std::cout << "=== Figure 3: execution-time breakdown by op class ===\n"
+              << "clock: wall (single CPU core); training profiles; rows "
+                 "sum to ~100% (Control excluded)\n\n";
+
+    core::SuiteRunOptions options;
+    options.warmup_steps = 1;
+    options.train_steps = 4;
+    options.infer_steps = 0;
+
+    ConsoleTable table;
+    {
+        std::vector<std::string> header = {"workload"};
+        for (OpClass c : AllOpClasses()) {
+            if (c == OpClass::kControl) {
+                continue;
+            }
+            header.push_back(OpClassName(c));
+        }
+        table.SetHeader(header);
+    }
+
+    std::vector<std::pair<std::string, analysis::OpProfile>> profiles;
+    for (const auto& name : core::SuiteNames()) {
+        const auto traces = core::RunAndTrace(name, options);
+        profiles.emplace_back(
+            name, analysis::WallProfile(traces.training,
+                                        traces.warmup_steps));
+    }
+
+    for (const auto& [name, profile] : profiles) {
+        std::vector<std::string> row = {name};
+        for (OpClass c : AllOpClasses()) {
+            if (c == OpClass::kControl) {
+                continue;
+            }
+            const double f = profile.ClassFraction(c);
+            row.push_back(f >= 0.005 ? FormatPercent(f) : ".");
+        }
+        table.AddRow(row);
+    }
+    std::cout << table.Render() << "\n";
+
+    // Per-op-type detail (>= 1% of time, as the paper's heatmap).
+    std::cout << "--- per-op-type detail (>= 1% of workload time) ---\n";
+    for (const auto& [name, profile] : profiles) {
+        std::cout << name << ": ";
+        bool first = true;
+        for (const auto& [type, fraction] : profile.SortedFractions()) {
+            if (fraction < 0.01) {
+                break;
+            }
+            std::cout << (first ? "" : ", ") << type << " "
+                      << FormatPercent(fraction);
+            first = false;
+        }
+        std::cout << "\n";
+    }
+
+    // The Sec. V-B longitudinal claim: FC time share falls across the
+    // ILSVRC winners alexnet -> vgg -> residual.
+    std::cout << "\n--- Sec. V-B longitudinal comparison (ILSVRC winners) "
+                 "---\n";
+    for (const auto& [name, profile] : profiles) {
+        if (name == "alexnet" || name == "vgg" || name == "residual") {
+            std::cout << name << ": MatrixOps (FC) share = "
+                      << FormatPercent(
+                             profile.ClassFraction(OpClass::kMatrixOps))
+                      << ", Convolution share = "
+                      << FormatPercent(
+                             profile.ClassFraction(OpClass::kConvolution))
+                      << "\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Figure 4: hierarchical similarity of the Fathom
+ * workloads — cosine distance between op-type profiles, agglomerative
+ * clustering with centroidal linkage.
+ *
+ * Expected shape from the paper: the three ImageNet networks
+ * (alexnet, vgg, residual) cluster tightly with deepq nearby, while
+ * the two recurrent networks (speech, seq2seq) are *far apart*
+ * because Deep Speech is a stack of fully-connected layers with CTC
+ * loss whereas seq2seq is LSTM + attention.
+ */
+#include <iostream>
+
+#include "analysis/op_profile.h"
+#include "analysis/similarity.h"
+#include "core/suite.h"
+#include "core/table.h"
+
+int
+main()
+{
+    using namespace fathom;
+    using core::ConsoleTable;
+    using core::FormatDouble;
+
+    std::cout << "=== Figure 4: hierarchical similarity (cosine distance, "
+                 "centroid linkage) ===\n"
+              << "clock: wall (single CPU core); training profiles\n\n";
+
+    core::SuiteRunOptions options;
+    options.warmup_steps = 1;
+    options.train_steps = 4;
+    options.infer_steps = 0;
+
+    std::vector<std::string> names;
+    std::vector<analysis::OpProfile> profiles;
+    for (const auto& name : core::SuiteNames()) {
+        const auto traces = core::RunAndTrace(name, options);
+        names.push_back(name);
+        profiles.push_back(
+            analysis::WallProfile(traces.training, traces.warmup_steps));
+    }
+
+    const auto matrix = analysis::ProfileMatrix(profiles);
+
+    // Pairwise distance matrix.
+    ConsoleTable table;
+    {
+        std::vector<std::string> header = {""};
+        for (const auto& n : names) {
+            header.push_back(n);
+        }
+        table.SetHeader(header);
+    }
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        std::vector<std::string> row = {names[i]};
+        for (std::size_t j = 0; j < names.size(); ++j) {
+            row.push_back(FormatDouble(
+                analysis::CosineDistance(matrix[i], matrix[j]), 3));
+        }
+        table.AddRow(row);
+    }
+    std::cout << table.Render() << "\n";
+
+    const auto merges = analysis::AgglomerativeCluster(matrix);
+    std::cout << analysis::RenderDendrogram(names, merges) << "\n";
+
+    // Machine-checkable shape assertions.
+    auto index_of = [&names](const std::string& n) {
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i] == n) {
+                return i;
+            }
+        }
+        return names.size();
+    };
+    const double d_vgg_res = analysis::CosineDistance(
+        matrix[index_of("vgg")], matrix[index_of("residual")]);
+    const double d_speech_s2s = analysis::CosineDistance(
+        matrix[index_of("speech")], matrix[index_of("seq2seq")]);
+    std::cout << "shape check: dist(vgg, residual) = "
+              << FormatDouble(d_vgg_res, 3)
+              << "  <<  dist(speech, seq2seq) = "
+              << FormatDouble(d_speech_s2s, 3)
+              << (d_vgg_res < d_speech_s2s ? "   [OK]" : "   [MISMATCH]")
+              << "\n"
+              << "(paper: conv nets cluster; the two recurrent nets are "
+                 "dissimilar despite both being 'recurrent')\n";
+    return 0;
+}

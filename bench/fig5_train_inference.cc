@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Reproduces Figure 5: training and inference performance on CPU and
+ * GPU, normalized per-workload to CPU training time.
+ *
+ * The host machine has one CPU core and no GPU, so the CPU-vs-GPU
+ * comparison replays the recorded per-op costs through the analytical
+ * device model (see DESIGN.md, "Substitutions"). Wall-clock CPU times
+ * are also printed for reference.
+ *
+ * Expected shapes from the paper:
+ *  - training is slower than inference everywhere, by a variable
+ *    factor; conv nets pay extra in training because the convolution
+ *    backward pass has two reduction sweeps vs. one in forward;
+ *  - GPU beats CPU across the board, with the largest gains on
+ *    workloads with skewed, large-op profiles;
+ *  - a large CPU train/infer gap implies a similar GPU gap.
+ */
+#include <cmath>
+#include <iostream>
+
+#include "analysis/op_profile.h"
+#include "analysis/scaling.h"
+#include "core/suite.h"
+#include "core/table.h"
+
+int
+main()
+{
+    using namespace fathom;
+    using core::ConsoleTable;
+    using core::FormatDouble;
+
+    std::cout << "=== Figure 5: training vs. inference, CPU vs. GPU ===\n"
+              << "clock: simulated device model (host has 1 core); "
+                 "normalized to CPU training = 1.0\n\n";
+
+    core::SuiteRunOptions options;
+    options.warmup_steps = 1;
+    options.train_steps = 4;
+    options.infer_steps = 4;
+
+    const auto cpu = runtime::DeviceSpec::Cpu(1);
+    const auto gpu = runtime::DeviceSpec::Gpu();
+
+    ConsoleTable table;
+    table.SetHeader({"workload", "train cpu", "infer cpu", "train gpu",
+                     "infer gpu", "cpu train/infer", "gpu speedup (train)",
+                     "wall train s", "wall infer s"});
+
+    double correlation_num = 0.0;
+    std::vector<double> cpu_ratios;
+    std::vector<double> gpu_ratios;
+
+    for (const auto& name : core::SuiteNames()) {
+        const auto traces = core::RunAndTrace(name, options);
+        const int skip = traces.warmup_steps;
+
+        const double train_cpu =
+            analysis::SimulatedTotalSeconds(traces.training, skip, cpu);
+        const double infer_cpu =
+            analysis::SimulatedTotalSeconds(traces.inference, skip, cpu);
+        const double train_gpu =
+            analysis::SimulatedTotalSeconds(traces.training, skip, gpu);
+        const double infer_gpu =
+            analysis::SimulatedTotalSeconds(traces.inference, skip, gpu);
+
+        const auto wall_train =
+            analysis::WallProfile(traces.training, skip).total_seconds();
+        const auto wall_infer =
+            analysis::WallProfile(traces.inference, skip).total_seconds();
+
+        table.AddRow({name, "1.000", FormatDouble(infer_cpu / train_cpu),
+                      FormatDouble(train_gpu / train_cpu),
+                      FormatDouble(infer_gpu / train_cpu),
+                      FormatDouble(train_cpu / infer_cpu, 2),
+                      FormatDouble(train_cpu / train_gpu, 1) + "x",
+                      FormatDouble(wall_train), FormatDouble(wall_infer)});
+
+        cpu_ratios.push_back(train_cpu / infer_cpu);
+        gpu_ratios.push_back(train_gpu / infer_gpu);
+    }
+    std::cout << table.Render() << "\n";
+
+    // The paper's correlation claim: CPU train/infer gaps track GPU
+    // gaps. Report the Pearson correlation across workloads.
+    double mean_c = 0.0;
+    double mean_g = 0.0;
+    for (std::size_t i = 0; i < cpu_ratios.size(); ++i) {
+        mean_c += cpu_ratios[i];
+        mean_g += gpu_ratios[i];
+    }
+    mean_c /= static_cast<double>(cpu_ratios.size());
+    mean_g /= static_cast<double>(gpu_ratios.size());
+    double num = 0.0;
+    double dc = 0.0;
+    double dg = 0.0;
+    for (std::size_t i = 0; i < cpu_ratios.size(); ++i) {
+        num += (cpu_ratios[i] - mean_c) * (gpu_ratios[i] - mean_g);
+        dc += (cpu_ratios[i] - mean_c) * (cpu_ratios[i] - mean_c);
+        dg += (gpu_ratios[i] - mean_g) * (gpu_ratios[i] - mean_g);
+    }
+    correlation_num = num / (std::sqrt(dc) * std::sqrt(dg) + 1e-12);
+    std::cout << "correlation of train/infer ratio, CPU vs GPU, across "
+                 "workloads: "
+              << FormatDouble(correlation_num, 3)
+              << "  (paper: strongly correlated)\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Image classification with a small convolutional network — the
+ * workload family that motivated most of the architecture papers
+ * surveyed in Table I.
+ *
+ * Builds a conv-pool-conv-pool-dense classifier on the synthetic
+ * ImageNet substitute, trains it, and reports accuracy before/after
+ * plus the op-class breakdown of one training step.
+ *
+ *   $ ./image_classification
+ */
+#include <cstdio>
+
+#include "analysis/op_profile.h"
+#include "data/synthetic_image.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "ops/register.h"
+#include "runtime/session.h"
+
+using namespace fathom;
+
+namespace {
+
+/** Fraction of rows of @p predictions matching @p labels. */
+float
+Accuracy(const Tensor& predictions, const Tensor& labels)
+{
+    int correct = 0;
+    for (std::int64_t i = 0; i < labels.num_elements(); ++i) {
+        correct += predictions.data<std::int32_t>()[i] ==
+                   labels.data<std::int32_t>()[i];
+    }
+    return static_cast<float>(correct) /
+           static_cast<float>(labels.num_elements());
+}
+
+}  // namespace
+
+int
+main()
+{
+    ops::RegisterStandardOps();
+
+    constexpr std::int64_t kSize = 32;
+    constexpr std::int64_t kClasses = 8;
+    constexpr std::int64_t kBatch = 16;
+    data::SyntheticImageDataset dataset(kSize, 3, kClasses, /*seed=*/11);
+
+    runtime::Session session(/*seed=*/1);
+    auto b = session.MakeBuilder();
+    nn::Trainables params;
+    Rng init_rng(5);
+
+    const graph::Output images = b.Placeholder("images");
+    const graph::Output labels = b.Placeholder("labels");
+
+    graph::Output x = nn::Conv2DLayer(b, &params, init_rng, "conv1", images,
+                                      3, 3, 8, 1, "SAME");
+    x = b.MaxPool(x, 2, 2, "SAME");  // 32 -> 16
+    x = nn::Conv2DLayer(b, &params, init_rng, "conv2", x, 3, 8, 16, 1,
+                        "SAME");
+    x = b.MaxPool(x, 2, 2, "SAME");  // 16 -> 8
+    x = b.Reshape(x, {-1, 8 * 8 * 16});
+    const graph::Output logits =
+        nn::Dense(b, &params, init_rng, "classifier", x, 8 * 8 * 16,
+                  kClasses);
+    const graph::Output predictions = b.ArgMax(logits);
+    const graph::Output loss = b.SoftmaxCrossEntropy(logits, labels)[0];
+    const graph::NodeId train_op =
+        nn::Minimize(b, loss, params, nn::OptimizerConfig::Momentum(0.02f));
+
+    auto evaluate = [&](int batches) {
+        float total = 0.0f;
+        for (int i = 0; i < batches; ++i) {
+            const auto batch = dataset.NextBatch(kBatch);
+            runtime::FeedMap feeds;
+            feeds[images.node] = batch.images;
+            const auto out = session.Run(feeds, {predictions});
+            total += Accuracy(out[0], batch.labels);
+        }
+        return total / static_cast<float>(batches);
+    };
+
+    std::printf("accuracy before training: %.1f%% (chance = %.1f%%)\n",
+                100.0f * evaluate(4), 100.0f / kClasses);
+
+    for (int step = 0; step < 150; ++step) {
+        const auto batch = dataset.NextBatch(kBatch);
+        runtime::FeedMap feeds;
+        feeds[images.node] = batch.images;
+        feeds[labels.node] = batch.labels;
+        const auto out = session.Run(feeds, {loss}, {train_op});
+        if (step % 30 == 0) {
+            std::printf("step %3d  loss %.4f\n", step,
+                        out[0].scalar_value());
+        }
+    }
+
+    std::printf("accuracy after training:  %.1f%%\n", 100.0f * evaluate(4));
+
+    // Where did the training time go? (the Fig. 3 methodology)
+    const auto profile = analysis::WallProfile(session.tracer(),
+                                               /*skip_steps=*/5);
+    std::printf("\ntime by op class over the whole run:\n");
+    for (graph::OpClass c : graph::AllOpClasses()) {
+        const double f = profile.ClassFraction(c);
+        if (f >= 0.005) {
+            std::printf("  %-22s %5.1f%%\n", graph::OpClassName(c).c_str(),
+                        100.0 * f);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Deep reinforcement learning on the MiniAtari environment — a compact
+ * DQN built entirely from the public API (the deepq workload is the
+ * full-size version of this example).
+ *
+ * Demonstrates the pieces the 2013 DeepMind agent introduced:
+ * pixel-frame state, epsilon-greedy exploration, experience replay,
+ * and Q-learning regression targets. Prints the mean episode reward of
+ * the greedy policy before and after training — it should climb from
+ * roughly chance (about -1, the ball is usually missed) toward +1.
+ *
+ *   $ ./rl_atari
+ */
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+#include "data/mini_atari.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "ops/register.h"
+#include "runtime/session.h"
+
+using namespace fathom;
+
+namespace {
+
+constexpr std::int64_t kGrid = 12;
+constexpr std::int64_t kScale = 1;
+constexpr std::int64_t kSize = kGrid * kScale;
+constexpr float kGamma = 0.9f;
+constexpr std::int64_t kBatch = 32;
+
+struct Transition {
+    Tensor state;
+    std::int32_t action;
+    float reward;
+    Tensor next_state;
+    bool done;
+};
+
+}  // namespace
+
+int
+main()
+{
+    ops::RegisterStandardOps();
+
+    data::MiniAtari env(kGrid, kScale, /*seed=*/17);
+    Rng policy_rng(23);
+
+    runtime::Session session(/*seed=*/3);
+    // Long acting/update loops would accumulate an enormous trace;
+    // profiling of deepq is done by the bench binaries instead.
+    session.tracer().set_enabled(false);
+    auto b = session.MakeBuilder();
+    nn::Trainables params;
+    Rng init_rng(13);
+
+    const graph::Output states = b.Placeholder("states");  // [n, s, s, 1]
+    const graph::Output actions = b.Placeholder("actions");
+    const graph::Output targets = b.Placeholder("targets");
+
+    graph::Output x = nn::Conv2DLayer(b, &params, init_rng, "conv1", states,
+                                      3, 2, 8, 2, "SAME");  // 12 -> 6
+    x = b.Reshape(x, {-1, 6 * 6 * 8});
+    x = nn::Dense(b, &params, init_rng, "fc", x, 6 * 6 * 8, 64,
+                  nn::Activation::kRelu);
+    const graph::Output q =
+        nn::Dense(b, &params, init_rng, "q", x, 64,
+                  data::MiniAtari::kNumActions);
+    const graph::Output greedy = b.ArgMax(q);
+
+    const graph::Output mask = b.OneHot(actions, data::MiniAtari::kNumActions);
+    const graph::Output q_taken = b.ReduceSum(b.Mul(q, mask), {1}, false);
+    const graph::Output loss =
+        b.ReduceMean(b.Square(b.Sub(q_taken, targets)), {}, false);
+    const graph::NodeId train_op = nn::Minimize(
+        b, loss, params, nn::OptimizerConfig::Adam(1e-3f));
+
+    // Two stacked frames (previous + current) make the state Markov:
+    // the ball's drift direction is only visible across frames.
+    Tensor frame = env.Reset();
+    Tensor prev_frame = frame;
+    auto state_of = [&]() {
+        Tensor state(DType::kFloat32, Shape{1, kSize, kSize, 2});
+        float* p = state.data<float>();
+        const float* a = prev_frame.data<float>();
+        const float* b2 = frame.data<float>();
+        for (std::int64_t i = 0; i < kSize * kSize; ++i) {
+            p[i * 2 + 0] = a[i];
+            p[i * 2 + 1] = b2[i];
+        }
+        return state;
+    };
+
+    auto greedy_action = [&](const Tensor& state) {
+        runtime::FeedMap feeds;
+        feeds[states.node] = state;
+        return session.Run(feeds, {greedy})[0].data<std::int32_t>()[0];
+    };
+
+    auto evaluate = [&](int episodes) {
+        float total = 0.0f;
+        int done = 0;
+        frame = env.Reset();
+        prev_frame = frame;
+        while (done < episodes) {
+            const auto result = env.Step(static_cast<data::MiniAtari::Action>(
+                greedy_action(state_of())));
+            if (result.episode_done) {
+                total += result.reward;
+                // The env auto-reset; observe the fresh episode.
+                frame = env.CurrentFrame();
+                prev_frame = frame;
+                ++done;
+            } else {
+                prev_frame = frame;
+                frame = result.frame;
+            }
+        }
+        return total / static_cast<float>(episodes);
+    };
+
+    std::printf("mean reward (greedy) before training: %+.2f\n",
+                evaluate(30));
+
+    std::deque<Transition> replay;
+    frame = env.Reset();
+    prev_frame = frame;
+    int updates = 0;
+    for (int step = 0; step < 8000; ++step) {
+        // Epsilon-greedy acting.
+        const float epsilon =
+            std::max(0.1f, 1.0f - static_cast<float>(updates) / 4800.0f);
+        const Tensor state = state_of();
+        const std::int32_t action =
+            policy_rng.Uniform() < epsilon
+                ? static_cast<std::int32_t>(policy_rng.UniformInt(
+                      data::MiniAtari::kNumActions))
+                : greedy_action(state);
+        const auto result =
+            env.Step(static_cast<data::MiniAtari::Action>(action));
+        if (result.episode_done) {
+            // The env auto-reset; restart the frame stack on the new
+            // episode's first frame.
+            frame = env.CurrentFrame();
+            prev_frame = frame;
+        } else {
+            prev_frame = frame;
+            frame = result.frame;
+        }
+
+        replay.push_back({state, action, result.reward, state_of(),
+                          result.episode_done});
+        if (replay.size() > 4000) {
+            replay.pop_front();
+        }
+        if (static_cast<std::int64_t>(replay.size()) < kBatch * 2) {
+            continue;
+        }
+
+        // Sample a minibatch and build Q-learning targets.
+        Tensor batch_states =
+            Tensor::Zeros(Shape{kBatch, kSize, kSize, 2});
+        Tensor batch_next = Tensor::Zeros(Shape{kBatch, kSize, kSize, 2});
+        Tensor batch_actions = Tensor::Zeros(Shape{kBatch}, DType::kInt32);
+        std::vector<float> rewards(kBatch);
+        std::vector<bool> terminal(kBatch);
+        const std::int64_t elems = kSize * kSize * 2;
+        for (std::int64_t i = 0; i < kBatch; ++i) {
+            const auto& t = replay[static_cast<std::size_t>(
+                policy_rng.UniformInt(
+                    static_cast<std::int64_t>(replay.size())))];
+            std::copy(t.state.data<float>(), t.state.data<float>() + elems,
+                      batch_states.data<float>() + i * elems);
+            std::copy(t.next_state.data<float>(),
+                      t.next_state.data<float>() + elems,
+                      batch_next.data<float>() + i * elems);
+            batch_actions.data<std::int32_t>()[i] = t.action;
+            rewards[static_cast<std::size_t>(i)] = t.reward;
+            terminal[static_cast<std::size_t>(i)] = t.done;
+        }
+        runtime::FeedMap next_feeds;
+        next_feeds[states.node] = batch_next;
+        const Tensor q_next = session.Run(next_feeds, {q})[0];
+        Tensor batch_targets = Tensor::Zeros(Shape{kBatch});
+        for (std::int64_t i = 0; i < kBatch; ++i) {
+            float best =
+                q_next.data<float>()[i * data::MiniAtari::kNumActions];
+            for (int a = 1; a < data::MiniAtari::kNumActions; ++a) {
+                best = std::max(best,
+                                q_next.data<float>()
+                                    [i * data::MiniAtari::kNumActions + a]);
+            }
+            batch_targets.data<float>()[i] =
+                rewards[static_cast<std::size_t>(i)] +
+                (terminal[static_cast<std::size_t>(i)] ? 0.0f
+                                                       : kGamma * best);
+        }
+
+        runtime::FeedMap feeds;
+        feeds[states.node] = batch_states;
+        feeds[actions.node] = batch_actions;
+        feeds[targets.node] = batch_targets;
+        const auto out = session.Run(feeds, {loss}, {train_op});
+        ++updates;
+        if (updates % 2000 == 0) {
+            std::printf("update %4d  epsilon %.2f  td-loss %.4f  episodes "
+                        "%lld\n",
+                        updates, epsilon, out[0].scalar_value(),
+                        static_cast<long long>(env.episodes()));
+        }
+    }
+
+    std::printf("mean reward (greedy) after training:  %+.2f\n",
+                evaluate(30));
+    return 0;
+}

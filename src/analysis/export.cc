@@ -1,0 +1,139 @@
+#include "analysis/export.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/op_class.h"
+#include "graph/op_registry.h"
+
+namespace fathom::analysis {
+
+namespace {
+
+/** Fill color per op class (pastel Graphviz palette). */
+const char*
+ClassColor(graph::OpClass c)
+{
+    switch (c) {
+      case graph::OpClass::kMatrixOps:
+        return "#a6cee3";
+      case graph::OpClass::kConvolution:
+        return "#1f78b4";
+      case graph::OpClass::kElementwise:
+        return "#b2df8a";
+      case graph::OpClass::kReductionExpansion:
+        return "#33a02c";
+      case graph::OpClass::kRandomSampling:
+        return "#fb9a99";
+      case graph::OpClass::kOptimization:
+        return "#e31a1c";
+      case graph::OpClass::kDataMovement:
+        return "#fdbf6f";
+      case graph::OpClass::kControl:
+        return "#cccccc";
+    }
+    return "#ffffff";
+}
+
+std::string
+Escape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+GraphToDot(const graph::Graph& g, int max_nodes)
+{
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    std::ostringstream out;
+    out << "digraph fathom {\n"
+        << "  rankdir=TB;\n"
+        << "  node [shape=box, style=filled, fontname=\"Helvetica\"];\n";
+    const int limit =
+        max_nodes > 0 ? std::min(max_nodes, g.num_nodes()) : g.num_nodes();
+    for (graph::NodeId id = 0; id < limit; ++id) {
+        const graph::Node& node = g.node(id);
+        graph::OpClass op_class = graph::OpClass::kControl;
+        if (registry.Contains(node.op_type)) {
+            op_class = registry.Lookup(node.op_type).op_class;
+        }
+        out << "  n" << id << " [label=\"" << Escape(node.name) << "\\n"
+            << Escape(node.op_type) << "\", fillcolor=\""
+            << ClassColor(op_class) << "\"];\n";
+        for (const graph::Output& in : node.inputs) {
+            if (in.node < limit) {
+                out << "  n" << in.node << " -> n" << id << ";\n";
+            }
+        }
+        for (graph::NodeId c : node.control_inputs) {
+            if (c < limit) {
+                out << "  n" << c << " -> n" << id
+                    << " [style=dashed];\n";
+            }
+        }
+    }
+    if (limit < g.num_nodes()) {
+        out << "  truncated [label=\"... " << (g.num_nodes() - limit)
+            << " more nodes\", fillcolor=\"#ffffff\"];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+TraceToChromeJson(const runtime::Tracer& tracer)
+{
+    std::ostringstream out;
+    out << "[";
+    bool first = true;
+    double step_base_us = 0.0;
+    int step_index = 0;
+    for (const auto& step : tracer.steps()) {
+        double cursor_us = step_base_us;
+        for (const auto& r : step.records) {
+            if (!first) {
+                out << ",";
+            }
+            first = false;
+            const double dur_us = r.wall_seconds * 1e6;
+            out << "\n  {\"name\": \"" << r.op_type
+                << "\", \"cat\": \"" << graph::OpClassName(r.op_class)
+                << "\", \"ph\": \"X\", \"ts\": " << cursor_us
+                << ", \"dur\": " << dur_us
+                << ", \"pid\": 1, \"tid\": " << (step_index + 1)
+                << ", \"args\": {\"node\": " << r.node
+                << ", \"flops\": " << r.cost.flops
+                << ", \"parallel_work\": " << r.cost.parallel_work << "}}";
+            cursor_us += dur_us;
+        }
+        step_base_us += step.wall_seconds * 1e6;
+        ++step_index;
+    }
+    out << "\n]\n";
+    return out.str();
+}
+
+void
+WriteFile(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("cannot open '" + path + "' for writing");
+    }
+    out << content;
+    if (!out) {
+        throw std::runtime_error("write to '" + path + "' failed");
+    }
+}
+
+}  // namespace fathom::analysis

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace and graph exporters.
+ *
+ * The paper's Sec. VI discusses the two tools Google built around
+ * TensorFlow: TensorBoard (graph visualization) and EEG (a distributed
+ * tracing tool reconstructing the dynamic execution timeline, never
+ * released). These exporters provide both capabilities for this
+ * runtime: Graphviz DOT for the dataflow graph, and the Chrome
+ * tracing JSON format (chrome://tracing, Perfetto) for execution
+ * timelines.
+ */
+#ifndef FATHOM_ANALYSIS_EXPORT_H
+#define FATHOM_ANALYSIS_EXPORT_H
+
+#include <string>
+
+#include "graph/graph.h"
+#include "runtime/tracer.h"
+
+namespace fathom::analysis {
+
+/**
+ * Renders the graph in Graphviz DOT, one box per node, colored by
+ * operation class (the TensorBoard analogue).
+ *
+ * @param max_nodes truncate very large graphs (0 = no limit).
+ */
+std::string GraphToDot(const graph::Graph& g, int max_nodes = 0);
+
+/**
+ * Serializes a trace to the Chrome tracing JSON array format (the EEG
+ * analogue). Each op execution becomes a complete ("X") event on a
+ * per-step track; durations are wall-clock microseconds. Load the
+ * output in chrome://tracing or https://ui.perfetto.dev.
+ */
+std::string TraceToChromeJson(const runtime::Tracer& tracer);
+
+/** Writes @p content to @p path. @throws std::runtime_error on I/O. */
+void WriteFile(const std::string& path, const std::string& content);
+
+}  // namespace fathom::analysis
+
+#endif  // FATHOM_ANALYSIS_EXPORT_H

@@ -1,0 +1,95 @@
+#include "analysis/op_profile.h"
+
+#include <algorithm>
+
+namespace fathom::analysis {
+
+void
+OpProfile::Add(const std::string& op_type, graph::OpClass op_class,
+               double seconds)
+{
+    by_type_[op_type] += seconds;
+    by_class_[op_class] += seconds;
+    class_of_[op_type] = op_class;
+    total_ += seconds;
+}
+
+double
+OpProfile::ClassFraction(graph::OpClass op_class) const
+{
+    if (total_ <= 0.0) {
+        return 0.0;
+    }
+    auto it = by_class_.find(op_class);
+    return it == by_class_.end() ? 0.0 : it->second / total_;
+}
+
+std::vector<std::pair<std::string, double>>
+OpProfile::SortedFractions() const
+{
+    std::vector<std::pair<std::string, double>> sorted;
+    sorted.reserve(by_type_.size());
+    for (const auto& [type, seconds] : by_type_) {
+        sorted.emplace_back(type, total_ > 0.0 ? seconds / total_ : 0.0);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return sorted;
+}
+
+std::vector<double>
+OpProfile::SkewCurve() const
+{
+    std::vector<double> curve;
+    double cumulative = 0.0;
+    for (const auto& [type, fraction] : SortedFractions()) {
+        cumulative += fraction;
+        curve.push_back(cumulative);
+    }
+    return curve;
+}
+
+int
+OpProfile::TypesToCover(double fraction) const
+{
+    const auto curve = SkewCurve();
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        if (curve[i] >= fraction) {
+            return static_cast<int>(i) + 1;
+        }
+    }
+    return static_cast<int>(curve.size());
+}
+
+OpProfile
+ProfileFromTrace(const runtime::Tracer& tracer, int skip_steps,
+                 TimeSource source, const runtime::DeviceSpec& device,
+                 bool include_control)
+{
+    OpProfile profile;
+    const auto& steps = tracer.steps();
+    for (std::size_t s = static_cast<std::size_t>(skip_steps);
+         s < steps.size(); ++s) {
+        for (const auto& r : steps[s].records) {
+            if (!include_control &&
+                r.op_class == graph::OpClass::kControl) {
+                continue;
+            }
+            const double seconds =
+                source == TimeSource::kWall
+                    ? r.wall_seconds
+                    : runtime::EstimateSeconds(r.cost, device);
+            profile.Add(r.op_type, r.op_class, seconds);
+        }
+    }
+    return profile;
+}
+
+OpProfile
+WallProfile(const runtime::Tracer& tracer, int skip_steps)
+{
+    return ProfileFromTrace(tracer, skip_steps, TimeSource::kWall,
+                            runtime::DeviceSpec::Cpu(1));
+}
+
+}  // namespace fathom::analysis

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Operation-type profiles: the core abstraction of the paper's
+ * characterization methodology (Sec. V-A/V-B).
+ *
+ * A profile attributes a run's execution time to operation types and
+ * operation classes. Profiles can be built from wall-clock time or
+ * from simulated device time (see runtime/device_model.h), and feed
+ * the skew curves (Fig. 2), class breakdowns (Fig. 3), similarity
+ * clustering (Fig. 4), and scaling studies (Fig. 6).
+ */
+#ifndef FATHOM_ANALYSIS_OP_PROFILE_H
+#define FATHOM_ANALYSIS_OP_PROFILE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/op_class.h"
+#include "runtime/device_model.h"
+#include "runtime/tracer.h"
+
+namespace fathom::analysis {
+
+/** Execution time attributed to operation types and classes. */
+class OpProfile {
+  public:
+    /** Adds @p seconds to op type @p op_type of class @p op_class. */
+    void Add(const std::string& op_type, graph::OpClass op_class,
+             double seconds);
+
+    /** @return total attributed seconds. */
+    double total_seconds() const { return total_; }
+
+    /** @return seconds per op type. */
+    const std::map<std::string, double>& by_type() const { return by_type_; }
+
+    /** @return seconds per op class. */
+    const std::map<graph::OpClass, double>& by_class() const
+    {
+        return by_class_;
+    }
+
+    /** @return the class each op type was attributed to. */
+    const std::map<std::string, graph::OpClass>& type_classes() const
+    {
+        return class_of_;
+    }
+
+    /** @return fraction of time in @p op_class (0 if none). */
+    double ClassFraction(graph::OpClass op_class) const;
+
+    /**
+     * @return (type, fraction) pairs sorted by descending fraction —
+     * one row of the paper's Fig. 2 analysis.
+     */
+    std::vector<std::pair<std::string, double>> SortedFractions() const;
+
+    /**
+     * Cumulative-time skew curve: entry k is the fraction of total time
+     * covered by the k+1 heaviest op types (Fig. 2).
+     */
+    std::vector<double> SkewCurve() const;
+
+    /**
+     * @return the number of op types needed to cover @p fraction of
+     * total time (the paper: "5 to 15 types cover upwards of 90%").
+     */
+    int TypesToCover(double fraction) const;
+
+  private:
+    std::map<std::string, double> by_type_;
+    std::map<graph::OpClass, double> by_class_;
+    std::map<std::string, graph::OpClass> class_of_;
+    double total_ = 0.0;
+};
+
+/** Which clock a profile is built from. */
+enum class TimeSource {
+    kWall,       ///< measured wall-clock op time.
+    kSimulated,  ///< device-model time from recorded OpCosts.
+};
+
+/**
+ * Builds a profile from recorded steps.
+ *
+ * @param tracer     the session trace.
+ * @param skip_steps warmup steps to drop from the front.
+ * @param source     wall or simulated time.
+ * @param device     device for simulated time (ignored for kWall).
+ * @param include_control whether Control-class ops are attributed.
+ */
+OpProfile ProfileFromTrace(const runtime::Tracer& tracer, int skip_steps,
+                           TimeSource source,
+                           const runtime::DeviceSpec& device,
+                           bool include_control = false);
+
+/** Convenience: wall-time profile. */
+OpProfile WallProfile(const runtime::Tracer& tracer, int skip_steps = 0);
+
+}  // namespace fathom::analysis
+
+#endif  // FATHOM_ANALYSIS_OP_PROFILE_H

@@ -1,0 +1,79 @@
+#include "analysis/scaling.h"
+
+#include <algorithm>
+
+namespace fathom::analysis {
+
+double
+ScalingSweep::TotalAt(std::size_t i) const
+{
+    double total = 0.0;
+    for (const auto& [type, seconds] : seconds_by_type) {
+        total += seconds[i];
+    }
+    return total;
+}
+
+ScalingSweep
+SweepThreads(const runtime::Tracer& tracer, int skip_steps,
+             const std::vector<int>& thread_counts)
+{
+    ScalingSweep sweep;
+    sweep.thread_counts = thread_counts;
+
+    const auto& steps = tracer.steps();
+    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+        const auto device = runtime::DeviceSpec::Cpu(
+            thread_counts[t]);
+        for (std::size_t s = static_cast<std::size_t>(skip_steps);
+             s < steps.size(); ++s) {
+            for (const auto& r : steps[s].records) {
+                if (r.op_class == graph::OpClass::kControl) {
+                    continue;
+                }
+                auto& series = sweep.seconds_by_type[r.op_type];
+                if (series.size() != thread_counts.size()) {
+                    series.assign(thread_counts.size(), 0.0);
+                }
+                series[t] += runtime::EstimateSeconds(r.cost, device);
+            }
+        }
+    }
+    return sweep;
+}
+
+std::vector<std::string>
+TopTypes(const ScalingSweep& sweep, int count)
+{
+    std::vector<std::pair<std::string, double>> totals;
+    for (const auto& [type, seconds] : sweep.seconds_by_type) {
+        totals.emplace_back(type, seconds.empty() ? 0.0 : seconds[0]);
+    }
+    std::sort(totals.begin(), totals.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    std::vector<std::string> top;
+    for (int i = 0; i < count && i < static_cast<int>(totals.size()); ++i) {
+        top.push_back(totals[static_cast<std::size_t>(i)].first);
+    }
+    return top;
+}
+
+double
+SimulatedTotalSeconds(const runtime::Tracer& tracer, int skip_steps,
+                      const runtime::DeviceSpec& device)
+{
+    double total = 0.0;
+    const auto& steps = tracer.steps();
+    for (std::size_t s = static_cast<std::size_t>(skip_steps);
+         s < steps.size(); ++s) {
+        for (const auto& r : steps[s].records) {
+            if (r.op_class == graph::OpClass::kControl) {
+                continue;
+            }
+            total += runtime::EstimateSeconds(r.cost, device);
+        }
+    }
+    return total;
+}
+
+}  // namespace fathom::analysis

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Parallel-scaling analysis (paper Sec. V-E, Fig. 6) and the
+ * train-vs-inference device comparison (Sec. V-D, Fig. 5).
+ *
+ * Both analyses replay a recorded trace through the analytical device
+ * model: every executed op carries its measured OpCost, so the same
+ * trace yields per-op-type times for any thread count or device
+ * without re-running the model (the host machine has a single core;
+ * see DESIGN.md for the substitution rationale).
+ */
+#ifndef FATHOM_ANALYSIS_SCALING_H
+#define FATHOM_ANALYSIS_SCALING_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/device_model.h"
+#include "runtime/tracer.h"
+
+namespace fathom::analysis {
+
+/** Per-op-type simulated seconds at each swept thread count. */
+struct ScalingSweep {
+    std::vector<int> thread_counts;
+    /** op type -> seconds per thread-count (same order as above). */
+    std::map<std::string, std::vector<double>> seconds_by_type;
+
+    /** @return total seconds at sweep point @p i. */
+    double TotalAt(std::size_t i) const;
+};
+
+/**
+ * Replays the trace on CPU models with each thread count in
+ * @p thread_counts (Fig. 6's x-axis).
+ */
+ScalingSweep SweepThreads(const runtime::Tracer& tracer, int skip_steps,
+                          const std::vector<int>& thread_counts);
+
+/**
+ * @return the op types with the largest single-thread time, descending
+ * (Fig. 6 plots the top handful of op types).
+ */
+std::vector<std::string> TopTypes(const ScalingSweep& sweep, int count);
+
+/** Simulated total seconds of a trace on an arbitrary device. */
+double SimulatedTotalSeconds(const runtime::Tracer& tracer, int skip_steps,
+                             const runtime::DeviceSpec& device);
+
+}  // namespace fathom::analysis
+
+#endif  // FATHOM_ANALYSIS_SCALING_H

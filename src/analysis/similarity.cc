@@ -1,0 +1,173 @@
+#include "analysis/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace fathom::analysis {
+
+std::vector<std::vector<double>>
+ProfileMatrix(const std::vector<OpProfile>& profiles)
+{
+    std::set<std::string> all_types;
+    for (const auto& p : profiles) {
+        for (const auto& [type, seconds] : p.by_type()) {
+            all_types.insert(type);
+        }
+    }
+    std::vector<std::vector<double>> matrix;
+    matrix.reserve(profiles.size());
+    for (const auto& p : profiles) {
+        std::vector<double> row;
+        row.reserve(all_types.size());
+        for (const auto& type : all_types) {
+            auto it = p.by_type().find(type);
+            const double seconds = it == p.by_type().end() ? 0.0 : it->second;
+            row.push_back(p.total_seconds() > 0.0
+                              ? seconds / p.total_seconds()
+                              : 0.0);
+        }
+        matrix.push_back(std::move(row));
+    }
+    return matrix;
+}
+
+double
+CosineDistance(const std::vector<double>& a, const std::vector<double>& b)
+{
+    if (a.size() != b.size()) {
+        throw std::invalid_argument("CosineDistance: dimension mismatch");
+    }
+    double dot = 0.0;
+    double na = 0.0;
+    double nb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    if (na <= 0.0 || nb <= 0.0) {
+        return 1.0;
+    }
+    return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<Merge>
+AgglomerativeCluster(const std::vector<std::vector<double>>& vectors)
+{
+    const int n = static_cast<int>(vectors.size());
+    if (n == 0) {
+        return {};
+    }
+
+    struct Cluster {
+        std::vector<double> centroid;
+        int size = 1;
+        bool alive = true;
+        int index = -1;
+    };
+    std::vector<Cluster> clusters;
+    for (int i = 0; i < n; ++i) {
+        clusters.push_back({vectors[static_cast<std::size_t>(i)], 1, true, i});
+    }
+
+    std::vector<Merge> merges;
+    int next_index = n;
+    for (int round = 0; round < n - 1; ++round) {
+        // Find the closest pair of live clusters (greedy, O(k^2) per
+        // round — fine for eight workloads).
+        double best = std::numeric_limits<double>::infinity();
+        int bi = -1;
+        int bj = -1;
+        for (std::size_t i = 0; i < clusters.size(); ++i) {
+            if (!clusters[i].alive) {
+                continue;
+            }
+            for (std::size_t j = i + 1; j < clusters.size(); ++j) {
+                if (!clusters[j].alive) {
+                    continue;
+                }
+                const double d = CosineDistance(clusters[i].centroid,
+                                                clusters[j].centroid);
+                if (d < best) {
+                    best = d;
+                    bi = static_cast<int>(i);
+                    bj = static_cast<int>(j);
+                }
+            }
+        }
+
+        // Weighted centroid of the merged cluster.
+        Cluster merged;
+        const auto& a = clusters[static_cast<std::size_t>(bi)];
+        const auto& b = clusters[static_cast<std::size_t>(bj)];
+        merged.centroid.resize(a.centroid.size());
+        for (std::size_t d = 0; d < merged.centroid.size(); ++d) {
+            merged.centroid[d] =
+                (a.centroid[d] * a.size + b.centroid[d] * b.size) /
+                static_cast<double>(a.size + b.size);
+        }
+        merged.size = a.size + b.size;
+        merged.index = next_index++;
+
+        merges.push_back({a.index, b.index, best});
+        clusters[static_cast<std::size_t>(bi)].alive = false;
+        clusters[static_cast<std::size_t>(bj)].alive = false;
+        clusters.push_back(std::move(merged));
+    }
+    return merges;
+}
+
+namespace {
+
+/** Recursively lists the leaves of cluster @p index. */
+void
+CollectLeaves(int index, int n, const std::vector<Merge>& merges,
+              std::vector<int>* leaves)
+{
+    if (index < n) {
+        leaves->push_back(index);
+        return;
+    }
+    const Merge& m = merges[static_cast<std::size_t>(index - n)];
+    CollectLeaves(m.left, n, merges, leaves);
+    CollectLeaves(m.right, n, merges, leaves);
+}
+
+}  // namespace
+
+std::string
+RenderDendrogram(const std::vector<std::string>& names,
+                 const std::vector<Merge>& merges)
+{
+    const int n = static_cast<int>(names.size());
+    std::ostringstream out;
+    out << "Agglomerative clustering (centroid linkage, cosine distance)\n";
+    out << "merge  distance  members\n";
+    for (std::size_t k = 0; k < merges.size(); ++k) {
+        const Merge& m = merges[k];
+        std::vector<int> left_leaves;
+        std::vector<int> right_leaves;
+        CollectLeaves(m.left, n, merges, &left_leaves);
+        CollectLeaves(m.right, n, merges, &right_leaves);
+        out << std::setw(5) << (n + static_cast<int>(k)) << "  "
+            << std::fixed << std::setprecision(4) << m.distance << "    {";
+        for (std::size_t i = 0; i < left_leaves.size(); ++i) {
+            out << (i ? ", " : "")
+                << names[static_cast<std::size_t>(left_leaves[i])];
+        }
+        out << "} + {";
+        for (std::size_t i = 0; i < right_leaves.size(); ++i) {
+            out << (i ? ", " : "")
+                << names[static_cast<std::size_t>(right_leaves[i])];
+        }
+        out << "}\n";
+    }
+    return out.str();
+}
+
+}  // namespace fathom::analysis

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Inter-workload similarity (paper Sec. V-C, Fig. 4).
+ *
+ * Each workload's op-type profile is a vector in the space of all op
+ * types; pairwise similarity is cosine similarity, distance is
+ * 1 - cos, and relationships are summarized by agglomerative
+ * clustering with centroidal linkage — exactly the paper's method.
+ */
+#ifndef FATHOM_ANALYSIS_SIMILARITY_H
+#define FATHOM_ANALYSIS_SIMILARITY_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/op_profile.h"
+
+namespace fathom::analysis {
+
+/**
+ * Converts profiles into dense vectors over the union of op types.
+ * Row i corresponds to profiles[i]; columns are sorted op-type names.
+ */
+std::vector<std::vector<double>> ProfileMatrix(
+    const std::vector<OpProfile>& profiles);
+
+/** Cosine distance 1 - (a.b)/(|a||b|); 1.0 when either norm is 0. */
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b);
+
+/** One merge step of the agglomerative clustering. */
+struct Merge {
+    int left;         ///< cluster index (leaf: 0..n-1; merged: n, n+1, ...).
+    int right;        ///< cluster index.
+    double distance;  ///< centroid cosine distance at merge time.
+};
+
+/**
+ * Agglomerative clustering with centroidal linkage: repeatedly merges
+ * the two nearest clusters and replaces them by their (weighted)
+ * centroid.
+ *
+ * @param vectors one vector per leaf.
+ * @return n-1 merges; merge k creates cluster index n+k.
+ */
+std::vector<Merge> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& vectors);
+
+/**
+ * Renders an ASCII dendrogram of the clustering, the analogue of the
+ * paper's Fig. 4.
+ *
+ * @param names leaf names (workloads).
+ */
+std::string RenderDendrogram(const std::vector<std::string>& names,
+                             const std::vector<Merge>& merges);
+
+}  // namespace fathom::analysis
+
+#endif  // FATHOM_ANALYSIS_SIMILARITY_H

@@ -1,0 +1,103 @@
+#include "analysis/stationarity.h"
+
+#include <cmath>
+#include <set>
+
+namespace fathom::analysis {
+
+double
+StationarityStats::drift() const
+{
+    if (mean <= 0.0) {
+        return 0.0;
+    }
+    return std::fabs(second_half_mean - first_half_mean) / mean;
+}
+
+std::vector<double>
+PerStepSeries(const runtime::Tracer& tracer, const std::string& op_type,
+              int skip_steps)
+{
+    std::vector<double> series;
+    const auto& steps = tracer.steps();
+    for (std::size_t s = static_cast<std::size_t>(skip_steps);
+         s < steps.size(); ++s) {
+        double step_total = 0.0;
+        for (const auto& r : steps[s].records) {
+            if (r.op_type == op_type) {
+                step_total += r.wall_seconds;
+            }
+        }
+        series.push_back(step_total);
+    }
+    return series;
+}
+
+std::vector<StationarityStats>
+ComputeStationarity(const runtime::Tracer& tracer, int skip_steps)
+{
+    std::set<std::string> types;
+    const auto& steps = tracer.steps();
+    for (std::size_t s = static_cast<std::size_t>(skip_steps);
+         s < steps.size(); ++s) {
+        for (const auto& r : steps[s].records) {
+            types.insert(r.op_type);
+        }
+    }
+
+    std::vector<StationarityStats> all;
+    for (const auto& type : types) {
+        const auto series = PerStepSeries(tracer, type, skip_steps);
+        if (series.empty()) {
+            continue;
+        }
+        StationarityStats stats;
+        stats.op_type = type;
+        stats.samples = static_cast<int>(series.size());
+        double sum = 0.0;
+        for (double v : series) {
+            sum += v;
+        }
+        stats.mean = sum / static_cast<double>(series.size());
+        double sq = 0.0;
+        for (double v : series) {
+            sq += (v - stats.mean) * (v - stats.mean);
+        }
+        stats.stddev = std::sqrt(sq / static_cast<double>(series.size()));
+        stats.cv = stats.mean > 0.0 ? stats.stddev / stats.mean : 0.0;
+
+        const std::size_t half = series.size() / 2;
+        double first = 0.0;
+        double second = 0.0;
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            (i < half ? first : second) += series[i];
+        }
+        stats.first_half_mean =
+            half > 0 ? first / static_cast<double>(half) : 0.0;
+        stats.second_half_mean =
+            series.size() > half
+                ? second / static_cast<double>(series.size() - half)
+                : 0.0;
+        all.push_back(stats);
+    }
+    return all;
+}
+
+double
+FrameworkOverheadFraction(const runtime::Tracer& tracer, int skip_steps)
+{
+    double total = 0.0;
+    double ops = 0.0;
+    const auto& steps = tracer.steps();
+    for (std::size_t s = static_cast<std::size_t>(skip_steps);
+         s < steps.size(); ++s) {
+        total += steps[s].wall_seconds;
+        ops += steps[s].OpSeconds();
+    }
+    if (total <= 0.0) {
+        return 0.0;
+    }
+    return (total - ops) / total;
+}
+
+}  // namespace fathom::analysis

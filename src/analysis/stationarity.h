@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Op-time stationarity statistics (paper Fig. 1) and framework
+ * overhead measurement (paper Sec. V-A: "typically less than 1-2% of
+ * the total runtime is spent outside of operations").
+ */
+#ifndef FATHOM_ANALYSIS_STATIONARITY_H
+#define FATHOM_ANALYSIS_STATIONARITY_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/tracer.h"
+
+namespace fathom::analysis {
+
+/** Distribution of one op type's per-step execution time. */
+struct StationarityStats {
+    std::string op_type;
+    int samples = 0;       ///< number of steps sampled.
+    double mean = 0.0;     ///< mean per-step seconds.
+    double stddev = 0.0;   ///< standard deviation across steps.
+    double cv = 0.0;       ///< coefficient of variation (stddev/mean).
+    double first_half_mean = 0.0;   ///< mean over the first half of steps.
+    double second_half_mean = 0.0;  ///< mean over the second half.
+
+    /**
+     * Drift between the halves relative to the mean; small values
+     * indicate the distribution is stationary across the run.
+     */
+    double drift() const;
+};
+
+/**
+ * Per-step op-type time samples: sample k is the summed time of
+ * @p op_type in step k (after @p skip_steps warmup).
+ */
+std::vector<double> PerStepSeries(const runtime::Tracer& tracer,
+                                  const std::string& op_type,
+                                  int skip_steps);
+
+/** Stationarity statistics for every op type present in the trace. */
+std::vector<StationarityStats> ComputeStationarity(
+    const runtime::Tracer& tracer, int skip_steps);
+
+/**
+ * Fraction of total step wall time spent outside op kernels — the
+ * framework overhead the paper reports as < 1-2%.
+ */
+double FrameworkOverheadFraction(const runtime::Tracer& tracer,
+                                 int skip_steps);
+
+}  // namespace fathom::analysis
+
+#endif  // FATHOM_ANALYSIS_STATIONARITY_H

@@ -1,0 +1,134 @@
+#include "autodiff/gradients.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fathom::autodiff {
+
+using graph::GraphBuilder;
+using graph::Node;
+using graph::NodeId;
+using graph::Output;
+
+GradientRegistry&
+GradientRegistry::Global()
+{
+    static GradientRegistry registry;
+    return registry;
+}
+
+void
+GradientRegistry::Register(const std::string& op_type, GradFn fn)
+{
+    if (fns_.count(op_type)) {
+        throw std::logic_error("GradientRegistry: duplicate gradient for '" +
+                               op_type + "'");
+    }
+    fns_[op_type] = std::move(fn);
+}
+
+const GradFn*
+GradientRegistry::Lookup(const std::string& op_type) const
+{
+    auto it = fns_.find(op_type);
+    return it == fns_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/** Key for one (node, output-index) edge. */
+struct EdgeKey {
+    NodeId node;
+    int index;
+    bool operator==(const EdgeKey& o) const
+    {
+        return node == o.node && index == o.index;
+    }
+};
+
+struct EdgeKeyHash {
+    std::size_t
+    operator()(const EdgeKey& k) const
+    {
+        return std::hash<std::int64_t>()(
+            (static_cast<std::int64_t>(k.node) << 8) ^ k.index);
+    }
+};
+
+}  // namespace
+
+std::vector<Output>
+BuildGradients(GraphBuilder& builder, Output loss,
+               const std::vector<Output>& wrt)
+{
+    graph::Graph& g = builder.graph();
+    const auto topo = g.TopologicalOrder({loss.node});
+
+    std::unordered_map<EdgeKey, std::vector<Output>, EdgeKeyHash> accum;
+
+    graph::ScopeGuard scope(builder, "gradients");
+    accum[{loss.node, loss.index}].push_back(
+        builder.ScalarConst(1.0f, "grad_seed"));
+
+    const GradientRegistry& registry = GradientRegistry::Global();
+
+    // Sweep the forward subgraph in reverse topological order,
+    // propagating accumulated output gradients through each op's
+    // registered gradient function.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const Node& node = g.node(*it);
+
+        bool any_grad = false;
+        std::vector<Output> grad_outputs(
+            static_cast<std::size_t>(node.num_outputs), Output{-1, 0});
+        for (int out = 0; out < node.num_outputs; ++out) {
+            auto found = accum.find({node.id, out});
+            if (found != accum.end() && !found->second.empty()) {
+                grad_outputs[static_cast<std::size_t>(out)] =
+                    builder.AddN(found->second);
+                any_grad = true;
+            }
+        }
+        if (!any_grad || node.inputs.empty()) {
+            continue;
+        }
+
+        const GradFn* fn = registry.Lookup(node.op_type);
+        if (fn == nullptr) {
+            throw std::logic_error(
+                "BuildGradients: gradient flows into op '" + node.op_type +
+                "' (node '" + node.name + "') which has no gradient function");
+        }
+        const auto input_grads = (*fn)(builder, node, grad_outputs);
+        if (input_grads.size() != node.inputs.size()) {
+            throw std::logic_error("BuildGradients: gradient for '" +
+                                   node.op_type + "' returned " +
+                                   std::to_string(input_grads.size()) +
+                                   " grads for " +
+                                   std::to_string(node.inputs.size()) +
+                                   " inputs");
+        }
+        for (std::size_t i = 0; i < input_grads.size(); ++i) {
+            if (input_grads[i].has_value()) {
+                const Output& in = node.inputs[i];
+                accum[{in.node, in.index}].push_back(*input_grads[i]);
+            }
+        }
+    }
+
+    std::vector<Output> result;
+    result.reserve(wrt.size());
+    for (const Output& target : wrt) {
+        auto found = accum.find({target.node, target.index});
+        if (found != accum.end() && !found->second.empty()) {
+            result.push_back(builder.AddN(found->second));
+        } else {
+            // Disconnected target: gradient is identically zero.
+            result.push_back(
+                builder.AddOp("zeros_like", "ZerosLike", {target}));
+        }
+    }
+    return result;
+}
+
+}  // namespace fathom::autodiff

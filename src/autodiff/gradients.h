@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reverse-mode automatic differentiation over the dataflow graph.
+ *
+ * Mirrors TensorFlow's symbolic auto-differentiation (paper Sec. V-A):
+ * each differentiable op registers a gradient function that, given the
+ * gradients flowing into the op's outputs, emits new graph nodes
+ * computing the gradients for its inputs. Training graphs are thus
+ * ordinary op graphs, and backward-phase operations show up in profiles
+ * exactly as the paper describes (e.g. Conv2DBackpropFilter).
+ */
+#ifndef FATHOM_AUTODIFF_GRADIENTS_H
+#define FATHOM_AUTODIFF_GRADIENTS_H
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace fathom::autodiff {
+
+/**
+ * Emits gradient subgraphs for one op type.
+ *
+ * @param builder      builder over the graph being extended.
+ * @param node         the forward node being differentiated.
+ * @param grad_outputs one edge per forward output; an Output with
+ *                     node == -1 means "no gradient flows into this
+ *                     output" (treat as zero).
+ * @return one entry per forward *input*: the gradient edge, or
+ *         std::nullopt for non-differentiable inputs (e.g. indices).
+ */
+using GradFn = std::function<std::vector<std::optional<graph::Output>>(
+    graph::GraphBuilder&, const graph::Node&,
+    const std::vector<graph::Output>&)>;
+
+/** Registry of gradient functions, keyed by op type name. */
+class GradientRegistry {
+  public:
+    static GradientRegistry& Global();
+
+    /** Registers a gradient fn; throws std::logic_error on duplicates. */
+    void Register(const std::string& op_type, GradFn fn);
+
+    /** @return the gradient fn or nullptr if the op is non-differentiable. */
+    const GradFn* Lookup(const std::string& op_type) const;
+
+  private:
+    std::map<std::string, GradFn> fns_;
+};
+
+/**
+ * Builds the gradient of scalar @p loss with respect to each edge in
+ * @p wrt, appending backward nodes to the builder's graph.
+ *
+ * @return one gradient edge per @p wrt entry. Entries not connected to
+ *         the loss get a zero-filled constant of unknown shape resolved
+ *         at run time (emitted as "ZerosLike" of the wrt edge).
+ * @throws std::logic_error if a needed op has no registered gradient.
+ */
+std::vector<graph::Output> BuildGradients(graph::GraphBuilder& builder,
+                                          graph::Output loss,
+                                          const std::vector<graph::Output>& wrt);
+
+}  // namespace fathom::autodiff
+
+#endif  // FATHOM_AUTODIFF_GRADIENTS_H

@@ -1,0 +1,87 @@
+#include "data/mini_atari.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fathom::data {
+
+MiniAtari::MiniAtari(std::int64_t grid_size, std::int64_t scale,
+                     std::uint64_t seed)
+    : grid_size_(grid_size), scale_(scale), rng_(seed)
+{
+    if (grid_size < 4 || scale < 1) {
+        throw std::invalid_argument("MiniAtari: grid >= 4, scale >= 1");
+    }
+    Reset();
+}
+
+Tensor
+MiniAtari::Reset()
+{
+    ball_x_ = rng_.UniformInt(grid_size_);
+    ball_y_ = 0;
+    drift_ = rng_.UniformInt(3) - 1;  // -1, 0, +1.
+    paddle_x_ = grid_size_ / 2;
+    steps_ = 0;
+    return Render();
+}
+
+EnvStep
+MiniAtari::Step(Action action)
+{
+    switch (action) {
+      case Action::kLeft:
+        paddle_x_ = std::max<std::int64_t>(paddle_x_ - 1, 0);
+        break;
+      case Action::kRight:
+        paddle_x_ = std::min(paddle_x_ + 1, grid_size_ - 1);
+        break;
+      case Action::kStay:
+        break;
+    }
+
+    ++steps_;
+    ball_y_ += 1;
+    if (steps_ % 2 == 0) {
+        ball_x_ = std::clamp<std::int64_t>(ball_x_ + drift_, 0,
+                                           grid_size_ - 1);
+    }
+
+    EnvStep result;
+    if (ball_y_ >= grid_size_ - 1) {
+        // Paddle is 3 cells wide (center +/- 1).
+        const bool caught = std::llabs(ball_x_ - paddle_x_) <= 1;
+        result.reward = caught ? 1.0f : -1.0f;
+        result.episode_done = true;
+        ++episodes_;
+        result.frame = Render();
+        Reset();
+        return result;
+    }
+    result.frame = Render();
+    return result;
+}
+
+Tensor
+MiniAtari::Render() const
+{
+    const std::int64_t size = frame_size();
+    Tensor frame = Tensor::Zeros(Shape{size, size});
+    float* p = frame.data<float>();
+    auto paint = [&](std::int64_t gx, std::int64_t gy, float value) {
+        for (std::int64_t dy = 0; dy < scale_; ++dy) {
+            for (std::int64_t dx = 0; dx < scale_; ++dx) {
+                p[(gy * scale_ + dy) * size + gx * scale_ + dx] = value;
+            }
+        }
+    };
+    paint(ball_x_, ball_y_, 1.0f);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t px =
+            std::clamp<std::int64_t>(paddle_x_ + dx, 0, grid_size_ - 1);
+        paint(px, grid_size_ - 1, 0.8f);
+    }
+    return frame;
+}
+
+}  // namespace fathom::data

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * MiniAtari: a deterministic Arcade-Learning-Environment substitute.
+ *
+ * deepq's training loop needs an emulator producing pixel frames and
+ * scalar rewards under agent control. The ALE itself (and its ROMs)
+ * are unavailable offline, so we implement a Catch-style game — a ball
+ * falls with horizontal drift, a paddle at the bottom moves
+ * left/stay/right — rendered to a square grayscale frame. It exercises
+ * deepq's full loop: frame stacking, epsilon-greedy control, experience
+ * replay, and reward-driven Q updates, and is easy enough that the
+ * agent's score visibly improves within a short training run.
+ */
+#ifndef FATHOM_DATA_MINI_ATARI_H
+#define FATHOM_DATA_MINI_ATARI_H
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fathom::data {
+
+/** Result of one environment step. */
+struct EnvStep {
+    Tensor frame;       ///< float32 [size, size] in [0, 1].
+    float reward = 0.0f;
+    bool episode_done = false;
+};
+
+/** The Catch-style environment. */
+class MiniAtari {
+  public:
+    /** Agent actions. */
+    enum class Action { kLeft = 0, kStay = 1, kRight = 2 };
+    static constexpr int kNumActions = 3;
+
+    /**
+     * @param grid_size playfield side length in cells.
+     * @param scale     rendering scale (frame side = grid_size * scale).
+     */
+    MiniAtari(std::int64_t grid_size, std::int64_t scale,
+              std::uint64_t seed);
+
+    /** Resets the episode and returns the initial frame. */
+    Tensor Reset();
+
+    /**
+     * Advances one time step under @p action.
+     * Reward is +1 when the ball reaches the bottom row on the paddle,
+     * -1 when it misses, 0 otherwise; the episode ends either way.
+     */
+    EnvStep Step(Action action);
+
+    /**
+     * @return a render of the environment's *current* state. After a
+     * terminal Step() (whose result carries the final frame of the
+     * finished episode) the environment has already reset; use this to
+     * observe the new episode's first frame.
+     */
+    Tensor CurrentFrame() const { return Render(); }
+
+    /** Frame side length in pixels. */
+    std::int64_t frame_size() const { return grid_size_ * scale_; }
+
+    /** @return the episode count completed so far. */
+    std::int64_t episodes() const { return episodes_; }
+
+  private:
+    Tensor Render() const;
+
+    std::int64_t grid_size_;
+    std::int64_t scale_;
+    Rng rng_;
+    std::int64_t ball_x_ = 0;
+    std::int64_t ball_y_ = 0;
+    std::int64_t drift_ = 0;    ///< per-2-steps horizontal ball motion.
+    std::int64_t paddle_x_ = 0;
+    std::int64_t steps_ = 0;
+    std::int64_t episodes_ = 0;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_MINI_ATARI_H

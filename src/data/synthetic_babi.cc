@@ -1,0 +1,193 @@
+#include "data/synthetic_babi.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fathom::data {
+
+namespace {
+
+// Token layout: 0 pad, 1 "moved", 2 "took", 3 "where",
+// then actors, objects, locations.
+constexpr std::int32_t kPad = 0;
+constexpr std::int32_t kMoved = 1;
+constexpr std::int32_t kTook = 2;
+constexpr std::int32_t kWhere = 3;
+constexpr std::int32_t kFirstEntity = 4;
+
+}  // namespace
+
+SyntheticBabiDataset::SyntheticBabiDataset(std::int64_t num_sentences,
+                                           std::int64_t sentence_len,
+                                           bool two_hop, std::uint64_t seed)
+    : num_sentences_(num_sentences), sentence_len_(sentence_len),
+      two_hop_(two_hop), rng_(seed)
+{
+    if (sentence_len < 3) {
+        throw std::invalid_argument("bAbI sentences need >= 3 token slots");
+    }
+    if (num_sentences < 2) {
+        throw std::invalid_argument("bAbI stories need >= 2 sentences");
+    }
+}
+
+std::int32_t
+SyntheticBabiDataset::ActorToken(std::int64_t i) const
+{
+    return static_cast<std::int32_t>(kFirstEntity + i);
+}
+
+std::int32_t
+SyntheticBabiDataset::ObjectToken(std::int64_t i) const
+{
+    return static_cast<std::int32_t>(kFirstEntity + kNumActors + i);
+}
+
+std::int32_t
+SyntheticBabiDataset::LocationToken(std::int64_t i) const
+{
+    return static_cast<std::int32_t>(kFirstEntity + kNumActors + kNumObjects +
+                                     i);
+}
+
+std::int64_t
+SyntheticBabiDataset::vocab() const
+{
+    return kFirstEntity + kNumActors + kNumObjects + kNumLocations;
+}
+
+std::int32_t
+SyntheticBabiDataset::AnswerClass(std::int32_t answer_token) const
+{
+    const std::int32_t base = LocationToken(0);
+    if (answer_token < base || answer_token >= base + kNumLocations) {
+        throw std::invalid_argument("not a location token");
+    }
+    return answer_token - base;
+}
+
+std::string
+SyntheticBabiDataset::TokenName(std::int32_t token) const
+{
+    if (token == kPad) {
+        return "<pad>";
+    }
+    if (token == kMoved) {
+        return "moved-to";
+    }
+    if (token == kTook) {
+        return "took";
+    }
+    if (token == kWhere) {
+        return "where-is";
+    }
+    static const char* kActors[] = {"mary", "john", "sandra",
+                                    "daniel", "emma", "liam"};
+    static const char* kObjects[] = {"apple",  "ball",     "book",
+                                     "key",    "bottle",   "coin"};
+    static const char* kLocations[] = {"kitchen", "garden",  "office",
+                                       "hallway", "bathroom", "bedroom",
+                                       "garage",  "cellar"};
+    std::int64_t i = token - kFirstEntity;
+    if (i < kNumActors) {
+        return kActors[i];
+    }
+    i -= kNumActors;
+    if (i < kNumObjects) {
+        return kObjects[i];
+    }
+    i -= kNumObjects;
+    if (i < kNumLocations) {
+        return kLocations[i];
+    }
+    return "<unk>";
+}
+
+BabiSample
+SyntheticBabiDataset::NextSample()
+{
+    BabiSample sample;
+    sample.story =
+        Tensor::Zeros(Shape{num_sentences_, sentence_len_}, DType::kInt32);
+    sample.question = Tensor::Zeros(Shape{sentence_len_}, DType::kInt32);
+    std::int32_t* story = sample.story.data<std::int32_t>();
+
+    // World state.
+    std::vector<std::int64_t> actor_loc(kNumActors, -1);
+    std::vector<std::int64_t> object_holder(kNumObjects, -1);
+
+    for (std::int64_t s = 0; s < num_sentences_; ++s) {
+        std::int32_t* sentence = story + s * sentence_len_;
+        const bool take =
+            two_hop_ && s > 0 && rng_.Uniform() < 0.4;
+        if (take) {
+            const std::int64_t actor = rng_.UniformInt(kNumActors);
+            const std::int64_t object = rng_.UniformInt(kNumObjects);
+            sentence[0] = ActorToken(actor);
+            sentence[1] = kTook;
+            sentence[2] = ObjectToken(object);
+            object_holder[static_cast<std::size_t>(object)] = actor;
+        } else {
+            const std::int64_t actor = rng_.UniformInt(kNumActors);
+            const std::int64_t loc = rng_.UniformInt(kNumLocations);
+            sentence[0] = ActorToken(actor);
+            sentence[1] = kMoved;
+            sentence[2] = LocationToken(loc);
+            actor_loc[static_cast<std::size_t>(actor)] = loc;
+        }
+    }
+
+    std::int32_t* question = sample.question.data<std::int32_t>();
+    question[0] = kWhere;
+
+    if (two_hop_) {
+        // Pick a held object whose holder has a known location.
+        for (std::int64_t attempt = 0; attempt < 64; ++attempt) {
+            const std::int64_t object = rng_.UniformInt(kNumObjects);
+            const std::int64_t holder =
+                object_holder[static_cast<std::size_t>(object)];
+            if (holder >= 0 &&
+                actor_loc[static_cast<std::size_t>(holder)] >= 0) {
+                question[1] = ObjectToken(object);
+                sample.answer = LocationToken(
+                    actor_loc[static_cast<std::size_t>(holder)]);
+                return sample;
+            }
+        }
+        // Fall through to a one-hop question when no object qualifies.
+    }
+
+    for (;;) {
+        const std::int64_t actor = rng_.UniformInt(kNumActors);
+        if (actor_loc[static_cast<std::size_t>(actor)] >= 0) {
+            question[1] = ActorToken(actor);
+            sample.answer =
+                LocationToken(actor_loc[static_cast<std::size_t>(actor)]);
+            return sample;
+        }
+    }
+}
+
+BabiBatch
+SyntheticBabiDataset::NextBatch(std::int64_t n)
+{
+    BabiBatch batch;
+    batch.stories =
+        Tensor(DType::kInt32, Shape{n, num_sentences_, sentence_len_});
+    batch.questions = Tensor(DType::kInt32, Shape{n, sentence_len_});
+    batch.answers = Tensor(DType::kInt32, Shape{n});
+    const std::int64_t story_stride = num_sentences_ * sentence_len_;
+    for (std::int64_t i = 0; i < n; ++i) {
+        const BabiSample sample = NextSample();
+        std::memcpy(batch.stories.data<std::int32_t>() + i * story_stride,
+                    sample.story.data<std::int32_t>(),
+                    static_cast<std::size_t>(story_stride) * sizeof(int));
+        std::memcpy(batch.questions.data<std::int32_t>() + i * sentence_len_,
+                    sample.question.data<std::int32_t>(),
+                    static_cast<std::size_t>(sentence_len_) * sizeof(int));
+        batch.answers.data<std::int32_t>()[i] = AnswerClass(sample.answer);
+    }
+    return batch;
+}
+
+}  // namespace fathom::data

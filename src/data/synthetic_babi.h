@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Synthetic bAbI substitute for memnet.
+ *
+ * Generates the structure of bAbI task 1 (single supporting fact) and
+ * task 2 (two supporting facts): actors move between locations and
+ * carry objects; a question asks where an actor or object is, and the
+ * answer requires reading one or two of the story's sentences. This is
+ * a genuine deduction task a memory network can learn, with the same
+ * bag-of-words sentence encoding as the original model.
+ */
+#ifndef FATHOM_DATA_SYNTHETIC_BABI_H
+#define FATHOM_DATA_SYNTHETIC_BABI_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fathom::data {
+
+/** One question-answering sample. */
+struct BabiSample {
+    Tensor story;     ///< int32 [sentences, sentence_len] token ids (0 pad).
+    Tensor question;  ///< int32 [sentence_len].
+    std::int32_t answer = 0;  ///< location token id.
+};
+
+/** One padded batch of samples. */
+struct BabiBatch {
+    Tensor stories;    ///< int32 [n, sentences, sentence_len].
+    Tensor questions;  ///< int32 [n, sentence_len].
+    Tensor answers;    ///< int32 [n] (class = location index).
+};
+
+/** Story generator for memnet. */
+class SyntheticBabiDataset {
+  public:
+    /**
+     * @param num_sentences story length (memory slots).
+     * @param sentence_len  tokens per sentence (padded).
+     * @param two_hop       if true, questions require chaining two
+     *                      facts (object -> carrier -> location).
+     */
+    SyntheticBabiDataset(std::int64_t num_sentences,
+                         std::int64_t sentence_len, bool two_hop,
+                         std::uint64_t seed);
+
+    BabiBatch NextBatch(std::int64_t n);
+    BabiSample NextSample();
+
+    /** Vocabulary size (pad + verbs + actors + objects + locations). */
+    std::int64_t vocab() const;
+
+    /** Number of distinct answers (locations). */
+    std::int64_t num_answers() const { return kNumLocations; }
+
+    /** @return answer class index in [0, num_answers) for a sample. */
+    std::int32_t AnswerClass(std::int32_t answer_token) const;
+
+    std::int64_t num_sentences() const { return num_sentences_; }
+    std::int64_t sentence_len() const { return sentence_len_; }
+
+    /** @return a readable rendering of a token (for examples/demos). */
+    std::string TokenName(std::int32_t token) const;
+
+    static constexpr std::int64_t kNumActors = 6;
+    static constexpr std::int64_t kNumObjects = 6;
+    static constexpr std::int64_t kNumLocations = 8;
+
+  private:
+    std::int32_t ActorToken(std::int64_t i) const;
+    std::int32_t ObjectToken(std::int64_t i) const;
+    std::int32_t LocationToken(std::int64_t i) const;
+
+    std::int64_t num_sentences_;
+    std::int64_t sentence_len_;
+    bool two_hop_;
+    Rng rng_;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_SYNTHETIC_BABI_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Synthetic ImageNet substitute.
+ *
+ * The paper's image workloads (alexnet, vgg, residual) train on
+ * ImageNet; the characterization depends only on tensor shapes and op
+ * mixes, never on photographic content, so we substitute a
+ * class-conditional generator: each class is a reproducible mixture of
+ * Gaussian blobs and oriented sinusoidal texture, plus per-sample
+ * noise. The classes are genuinely separable, so "loss goes down"
+ * remains a meaningful integration test.
+ */
+#ifndef FATHOM_DATA_SYNTHETIC_IMAGE_H
+#define FATHOM_DATA_SYNTHETIC_IMAGE_H
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fathom::data {
+
+/** One minibatch of images and labels. */
+struct ImageBatch {
+    Tensor images;  ///< float32 [n, size, size, channels], roughly [-1, 1].
+    Tensor labels;  ///< int32 [n] in [0, num_classes).
+};
+
+/** Class-conditional synthetic image stream. */
+class SyntheticImageDataset {
+  public:
+    /**
+     * @param size        square image side.
+     * @param channels    color channels.
+     * @param num_classes label count.
+     * @param seed        stream seed (same seed, same stream).
+     */
+    SyntheticImageDataset(std::int64_t size, std::int64_t channels,
+                          std::int64_t num_classes, std::uint64_t seed);
+
+    /** @return the next batch of @p n samples. */
+    ImageBatch NextBatch(std::int64_t n);
+
+    std::int64_t size() const { return size_; }
+    std::int64_t channels() const { return channels_; }
+    std::int64_t num_classes() const { return num_classes_; }
+
+  private:
+    void RenderSample(float* pixels, std::int64_t label);
+
+    std::int64_t size_;
+    std::int64_t channels_;
+    std::int64_t num_classes_;
+    Rng rng_;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_SYNTHETIC_IMAGE_H

@@ -1,0 +1,79 @@
+#include "data/synthetic_mnist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fathom::data {
+
+SyntheticMnistDataset::SyntheticMnistDataset(std::uint64_t seed) : rng_(seed)
+{
+}
+
+namespace {
+
+/** Draws a soft line segment into a kSize x kSize canvas. */
+void
+DrawStroke(float* pixels, float x0, float y0, float x1, float y1,
+           float thickness)
+{
+    constexpr std::int64_t kSize = SyntheticMnistDataset::kSize;
+    const int steps = 40;
+    for (int s = 0; s <= steps; ++s) {
+        const float t = static_cast<float>(s) / static_cast<float>(steps);
+        const float px = x0 + t * (x1 - x0);
+        const float py = y0 + t * (y1 - y0);
+        const int lo_y = std::max(0, static_cast<int>(py - 3));
+        const int hi_y = std::min<int>(kSize - 1, static_cast<int>(py + 3));
+        const int lo_x = std::max(0, static_cast<int>(px - 3));
+        const int hi_x = std::min<int>(kSize - 1, static_cast<int>(px + 3));
+        for (int y = lo_y; y <= hi_y; ++y) {
+            for (int x = lo_x; x <= hi_x; ++x) {
+                const float dx = static_cast<float>(x) - px;
+                const float dy = static_cast<float>(y) - py;
+                const float v = std::exp(-(dx * dx + dy * dy) /
+                                         (2.0f * thickness * thickness));
+                float& p = pixels[y * kSize + x];
+                p = std::min(1.0f, p + v);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void
+SyntheticMnistDataset::RenderDigit(float* pixels, std::int64_t label)
+{
+    std::fill(pixels, pixels + kFeatures, 0.0f);
+    // Class-conditioned stroke endpoints with per-sample jitter.
+    Rng class_rng(0xD16173ull + static_cast<std::uint64_t>(label) * 104729ull);
+    const int strokes = 2 + static_cast<int>(label % 2);
+    for (int s = 0; s < strokes; ++s) {
+        const float x0 = class_rng.UniformFloat(4.0f, 24.0f) +
+                         rng_.Normal(0.0f, 1.0f);
+        const float y0 = class_rng.UniformFloat(4.0f, 24.0f) +
+                         rng_.Normal(0.0f, 1.0f);
+        const float x1 = class_rng.UniformFloat(4.0f, 24.0f) +
+                         rng_.Normal(0.0f, 1.0f);
+        const float y1 = class_rng.UniformFloat(4.0f, 24.0f) +
+                         rng_.Normal(0.0f, 1.0f);
+        DrawStroke(pixels, x0, y0, x1, y1, 1.2f);
+    }
+}
+
+MnistBatch
+SyntheticMnistDataset::NextBatch(std::int64_t n)
+{
+    MnistBatch batch;
+    batch.images = Tensor(DType::kFloat32, Shape{n, kFeatures});
+    batch.labels = Tensor(DType::kInt32, Shape{n});
+    for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t label = rng_.UniformInt(10);
+        batch.labels.data<std::int32_t>()[i] =
+            static_cast<std::int32_t>(label);
+        RenderDigit(batch.images.data<float>() + i * kFeatures, label);
+    }
+    return batch;
+}
+
+}  // namespace fathom::data

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic MNIST substitute for the variational autoencoder.
+ *
+ * autoenc is unsupervised: all it needs is a dataset with a compact
+ * latent structure that a VAE can learn to reconstruct. We generate
+ * 28x28 "digit-like" images as 2-3 strokes (line segments with
+ * Gaussian cross-sections) whose endpoints are class-conditioned, which
+ * gives the data exactly the low-dimensional manifold structure the
+ * model assumes.
+ */
+#ifndef FATHOM_DATA_SYNTHETIC_MNIST_H
+#define FATHOM_DATA_SYNTHETIC_MNIST_H
+
+#include <cstdint>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fathom::data {
+
+/** One minibatch of flattened images. */
+struct MnistBatch {
+    Tensor images;  ///< float32 [n, 784] in [0, 1].
+    Tensor labels;  ///< int32 [n] in [0, 10).
+};
+
+/** Stroke-based synthetic digit stream. */
+class SyntheticMnistDataset {
+  public:
+    explicit SyntheticMnistDataset(std::uint64_t seed);
+
+    MnistBatch NextBatch(std::int64_t n);
+
+    /** Image side length (28, matching MNIST). */
+    static constexpr std::int64_t kSize = 28;
+
+    /** Flattened feature size (784). */
+    static constexpr std::int64_t kFeatures = kSize * kSize;
+
+  private:
+    void RenderDigit(float* pixels, std::int64_t label);
+
+    Rng rng_;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_SYNTHETIC_MNIST_H

@@ -1,0 +1,69 @@
+#include "data/synthetic_timit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fathom::data {
+
+SyntheticTimitDataset::SyntheticTimitDataset(std::int64_t freq_bins,
+                                             std::int64_t num_phonemes,
+                                             std::int64_t max_time,
+                                             std::uint64_t seed)
+    : freq_bins_(freq_bins), num_phonemes_(num_phonemes),
+      max_time_(max_time), rng_(seed)
+{
+}
+
+Utterance
+SyntheticTimitDataset::Next()
+{
+    Utterance utt;
+    utt.frames = Tensor::Zeros(Shape{max_time_, freq_bins_});
+    float* frames = utt.frames.data<float>();
+
+    // Choose a phoneme sequence, then dwell 2-5 frames per phoneme.
+    std::int64_t t = 0;
+    while (t < max_time_) {
+        const std::int32_t phoneme =
+            static_cast<std::int32_t>(1 + rng_.UniformInt(num_phonemes_));
+        const std::int64_t dwell = 2 + rng_.UniformInt(4);
+        // Phoneme-deterministic formant peaks.
+        Rng ph_rng(0xF02337ull + static_cast<std::uint64_t>(phoneme) * 31ull);
+        const float f1 = ph_rng.UniformFloat(0.1f, 0.45f) *
+                         static_cast<float>(freq_bins_);
+        const float f2 = ph_rng.UniformFloat(0.5f, 0.9f) *
+                         static_cast<float>(freq_bins_);
+        const float width = ph_rng.UniformFloat(1.0f, 2.5f);
+
+        bool emitted_frames = false;
+        for (std::int64_t d = 0; d < dwell && t < max_time_; ++d, ++t) {
+            for (std::int64_t f = 0; f < freq_bins_; ++f) {
+                const float d1 = (static_cast<float>(f) - f1) / width;
+                const float d2 = (static_cast<float>(f) - f2) / width;
+                frames[t * freq_bins_ + f] =
+                    std::exp(-0.5f * d1 * d1) +
+                    0.7f * std::exp(-0.5f * d2 * d2) +
+                    rng_.Normal(0.0f, 0.05f);
+            }
+            emitted_frames = true;
+        }
+        if (emitted_frames) {
+            // Collapse-repeat convention: the label list carries one
+            // entry per phoneme segment.
+            if (!utt.labels.empty() && utt.labels.back() == phoneme) {
+                continue;  // merged with previous identical segment.
+            }
+            utt.labels.push_back(phoneme);
+        }
+    }
+    // CTC feasibility: a label sequence with repeated adjacent phonemes
+    // needs separator frames; dwell >= 2 guarantees plenty of slack,
+    // but trim defensively anyway.
+    const std::int64_t max_labels = max_time_ / 2;
+    if (static_cast<std::int64_t>(utt.labels.size()) > max_labels) {
+        utt.labels.resize(static_cast<std::size_t>(max_labels));
+    }
+    return utt;
+}
+
+}  // namespace fathom::data

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic TIMIT substitute for the speech workload.
+ *
+ * The paper substitutes TIMIT for Baidu's proprietary corpus; we go one
+ * step further and synthesize TIMIT-like data: each phoneme class has a
+ * characteristic formant profile (peaks in the frequency axis), and an
+ * utterance is a sequence of phonemes each held for a random number of
+ * frames. This drives the identical code path — spectrogram frames in,
+ * CTC-aligned phoneme labels out — with realistic length variation.
+ */
+#ifndef FATHOM_DATA_SYNTHETIC_TIMIT_H
+#define FATHOM_DATA_SYNTHETIC_TIMIT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fathom::data {
+
+/** One utterance: frames plus its unaligned phoneme transcription. */
+struct Utterance {
+    Tensor frames;                     ///< float32 [time, freq_bins].
+    std::vector<std::int32_t> labels;  ///< phoneme ids in [1, phonemes].
+};
+
+/** Formant-profile synthetic speech stream. */
+class SyntheticTimitDataset {
+  public:
+    /**
+     * @param freq_bins    spectrogram height.
+     * @param num_phonemes phoneme inventory size (excluding CTC blank,
+     *                     which is id 0).
+     * @param max_time     fixed frame count per utterance.
+     */
+    SyntheticTimitDataset(std::int64_t freq_bins, std::int64_t num_phonemes,
+                          std::int64_t max_time, std::uint64_t seed);
+
+    /** @return the next utterance. */
+    Utterance Next();
+
+    std::int64_t freq_bins() const { return freq_bins_; }
+    std::int64_t num_phonemes() const { return num_phonemes_; }
+    std::int64_t max_time() const { return max_time_; }
+
+  private:
+    std::int64_t freq_bins_;
+    std::int64_t num_phonemes_;
+    std::int64_t max_time_;
+    Rng rng_;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_SYNTHETIC_TIMIT_H

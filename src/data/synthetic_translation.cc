@@ -1,0 +1,74 @@
+#include "data/synthetic_translation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fathom::data {
+
+SyntheticTranslationDataset::SyntheticTranslationDataset(std::int64_t vocab,
+                                                         std::int64_t src_len,
+                                                         std::uint64_t seed)
+    : vocab_(vocab), src_len_(src_len), rng_(seed)
+{
+    if (vocab < kFirstWordToken + 1) {
+        throw std::invalid_argument("translation vocab too small");
+    }
+    // A fixed random permutation of the word tokens defines the
+    // "other language"; special tokens map to themselves.
+    permutation_.resize(static_cast<std::size_t>(vocab));
+    std::iota(permutation_.begin(), permutation_.end(), 0);
+    Rng perm_rng(seed ^ 0xBABB1Eull);
+    for (std::int64_t i = vocab - 1; i > kFirstWordToken; --i) {
+        const std::int64_t j =
+            kFirstWordToken + perm_rng.UniformInt(i - kFirstWordToken + 1);
+        std::swap(permutation_[static_cast<std::size_t>(i)],
+                  permutation_[static_cast<std::size_t>(j)]);
+    }
+}
+
+std::int32_t
+SyntheticTranslationDataset::Translate(std::int32_t token) const
+{
+    return permutation_[static_cast<std::size_t>(token)];
+}
+
+TranslationBatch
+SyntheticTranslationDataset::NextBatch(std::int64_t n)
+{
+    TranslationBatch batch;
+    batch.source = Tensor(DType::kInt32, Shape{n, src_len_});
+    batch.target = Tensor(DType::kInt32, Shape{n, tgt_len()});
+    std::int32_t* src = batch.source.data<std::int32_t>();
+    std::int32_t* tgt = batch.target.data<std::int32_t>();
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        // Sentence length in [src_len/2, src_len]; the tail is padding.
+        const std::int64_t words =
+            src_len_ / 2 + rng_.UniformInt(src_len_ - src_len_ / 2 + 1);
+        std::vector<std::int32_t> sentence;
+        for (std::int64_t w = 0; w < src_len_; ++w) {
+            std::int32_t token = kPadToken;
+            if (w < words) {
+                token = static_cast<std::int32_t>(
+                    kFirstWordToken + rng_.UniformInt(vocab_ -
+                                                      kFirstWordToken));
+                sentence.push_back(token);
+            }
+            src[i * src_len_ + w] = token;
+        }
+        // Target = GO + permutation(reverse(sentence)) + EOS + padding.
+        std::int64_t pos = 0;
+        tgt[i * tgt_len() + pos++] = kGoToken;
+        for (auto it = sentence.rbegin(); it != sentence.rend(); ++it) {
+            tgt[i * tgt_len() + pos++] = Translate(*it);
+        }
+        tgt[i * tgt_len() + pos++] = kEosToken;
+        while (pos < tgt_len()) {
+            tgt[i * tgt_len() + pos++] = kPadToken;
+        }
+    }
+    return batch;
+}
+
+}  // namespace fathom::data

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic WMT substitute for seq2seq.
+ *
+ * A toy "language pair": the target sentence is a deterministic
+ * token-level transformation of the source (a vocabulary permutation
+ * applied to the reversed source). Reversal is the canonical
+ * encoder-decoder stress test from the original seq2seq paper — the
+ * model must carry the whole sentence through the thought vector — and
+ * a learned permutation forces the embedding/softmax machinery to do
+ * real work.
+ */
+#ifndef FATHOM_DATA_SYNTHETIC_TRANSLATION_H
+#define FATHOM_DATA_SYNTHETIC_TRANSLATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fathom::data {
+
+/** Reserved token ids. */
+inline constexpr std::int32_t kPadToken = 0;
+inline constexpr std::int32_t kGoToken = 1;
+inline constexpr std::int32_t kEosToken = 2;
+inline constexpr std::int32_t kFirstWordToken = 3;
+
+/** One batch of aligned sentence pairs (fixed length, padded). */
+struct TranslationBatch {
+    Tensor source;  ///< int32 [n, src_len].
+    Tensor target;  ///< int32 [n, tgt_len] (= GO + translated + EOS + pad).
+};
+
+/** Deterministic-transformation parallel corpus. */
+class SyntheticTranslationDataset {
+  public:
+    /**
+     * @param vocab   total vocabulary size (>= kFirstWordToken + 1).
+     * @param src_len source sentence frame length (padded).
+     * @param seed    stream seed; also fixes the "language" permutation.
+     */
+    SyntheticTranslationDataset(std::int64_t vocab, std::int64_t src_len,
+                                std::uint64_t seed);
+
+    TranslationBatch NextBatch(std::int64_t n);
+
+    /** @return the translation of one source token. */
+    std::int32_t Translate(std::int32_t token) const;
+
+    std::int64_t vocab() const { return vocab_; }
+    std::int64_t src_len() const { return src_len_; }
+
+    /** Target frame length: GO + src_len + EOS. */
+    std::int64_t tgt_len() const { return src_len_ + 2; }
+
+  private:
+    std::int64_t vocab_;
+    std::int64_t src_len_;
+    std::vector<std::int32_t> permutation_;  ///< word -> translated word.
+    Rng rng_;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_SYNTHETIC_TRANSLATION_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Typed attribute values attached to graph nodes.
+ *
+ * Attributes carry the static configuration of an operation (strides,
+ * padding, axes, transpose flags, ...) exactly as TensorFlow's NodeDef
+ * attrs do. They are set at graph-construction time and immutable
+ * afterwards.
+ */
+#ifndef FATHOM_GRAPH_ATTR_VALUE_H
+#define FATHOM_GRAPH_ATTR_VALUE_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fathom::graph {
+
+/** A single typed attribute value. */
+class AttrValue {
+  public:
+    AttrValue() : value_(std::int64_t{0}) {}
+    AttrValue(std::int64_t v) : value_(v) {}
+    AttrValue(int v) : value_(static_cast<std::int64_t>(v)) {}
+    AttrValue(float v) : value_(v) {}
+    AttrValue(bool v) : value_(v) {}
+    AttrValue(std::string v) : value_(std::move(v)) {}
+    AttrValue(const char* v) : value_(std::string(v)) {}
+    AttrValue(std::vector<std::int64_t> v) : value_(std::move(v)) {}
+
+    std::int64_t
+    AsInt() const
+    {
+        if (auto* v = std::get_if<std::int64_t>(&value_)) {
+            return *v;
+        }
+        throw std::logic_error("AttrValue: not an int");
+    }
+
+    float
+    AsFloat() const
+    {
+        if (auto* v = std::get_if<float>(&value_)) {
+            return *v;
+        }
+        if (auto* v = std::get_if<std::int64_t>(&value_)) {
+            return static_cast<float>(*v);
+        }
+        throw std::logic_error("AttrValue: not a float");
+    }
+
+    bool
+    AsBool() const
+    {
+        if (auto* v = std::get_if<bool>(&value_)) {
+            return *v;
+        }
+        throw std::logic_error("AttrValue: not a bool");
+    }
+
+    const std::string&
+    AsString() const
+    {
+        if (auto* v = std::get_if<std::string>(&value_)) {
+            return *v;
+        }
+        throw std::logic_error("AttrValue: not a string");
+    }
+
+    const std::vector<std::int64_t>&
+    AsIntList() const
+    {
+        if (auto* v = std::get_if<std::vector<std::int64_t>>(&value_)) {
+            return *v;
+        }
+        throw std::logic_error("AttrValue: not an int list");
+    }
+
+  private:
+    std::variant<std::int64_t, float, bool, std::string,
+                 std::vector<std::int64_t>>
+        value_;
+};
+
+}  // namespace fathom::graph
+
+#endif  // FATHOM_GRAPH_ATTR_VALUE_H

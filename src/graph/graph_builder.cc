@@ -1,0 +1,505 @@
+#include "graph/graph_builder.h"
+
+#include <stdexcept>
+
+namespace fathom::graph {
+
+GraphBuilder::GraphBuilder(Graph* graph, VariableStore* variables)
+    : graph_(graph), variables_(variables)
+{
+    if (graph_ == nullptr || variables_ == nullptr) {
+        throw std::invalid_argument("GraphBuilder: null graph or variables");
+    }
+}
+
+void
+GraphBuilder::PushScope(const std::string& scope)
+{
+    scopes_.push_back(scope);
+}
+
+void
+GraphBuilder::PopScope()
+{
+    if (scopes_.empty()) {
+        throw std::logic_error("GraphBuilder::PopScope: scope stack empty");
+    }
+    scopes_.pop_back();
+}
+
+std::string
+GraphBuilder::Scoped(const std::string& name) const
+{
+    std::string full;
+    for (const auto& s : scopes_) {
+        full += s;
+        full += "/";
+    }
+    full += name;
+    return full;
+}
+
+NodeId
+GraphBuilder::AddNode(const std::string& name, const std::string& op_type,
+                      std::vector<Output> inputs,
+                      std::map<std::string, AttrValue> attrs, int num_outputs)
+{
+    return graph_->AddNode(Scoped(name), op_type, std::move(inputs),
+                           std::move(attrs), num_outputs);
+}
+
+Output
+GraphBuilder::AddOp(const std::string& name, const std::string& op_type,
+                    std::vector<Output> inputs,
+                    std::map<std::string, AttrValue> attrs)
+{
+    return Output{AddNode(name, op_type, std::move(inputs), std::move(attrs),
+                          1),
+                  0};
+}
+
+// ---- sources -----------------------------------------------------------
+
+Output
+GraphBuilder::Placeholder(const std::string& name)
+{
+    return AddOp(name, "Placeholder", {});
+}
+
+Output
+GraphBuilder::Const(const Tensor& value, const std::string& name)
+{
+    const NodeId id = AddNode(name, "Const", {});
+    const std::string key =
+        "__const/" + graph_->node(id).name;  // post-uniquification name.
+    graph_->mutable_node(id).attrs["var_name"] = AttrValue(key);
+    variables_->Set(key, value.Clone());
+    return Output{id, 0};
+}
+
+Output
+GraphBuilder::ScalarConst(float value, const std::string& name)
+{
+    return Const(Tensor::Scalar(value), name);
+}
+
+Output
+GraphBuilder::Variable(const std::string& name, const Tensor& init,
+                       std::string* out_var_name)
+{
+    const NodeId id = AddNode(name, "Variable", {});
+    const std::string key = graph_->node(id).name;
+    graph_->mutable_node(id).attrs["var_name"] = AttrValue(key);
+    variables_->Set(key, init.Clone());
+    if (out_var_name != nullptr) {
+        *out_var_name = key;
+    }
+    return Output{id, 0};
+}
+
+// ---- data movement -----------------------------------------------------
+
+Output
+GraphBuilder::Identity(Output x, const std::string& name)
+{
+    return AddOp(name, "Identity", {x});
+}
+
+Output
+GraphBuilder::StopGradient(Output x)
+{
+    return AddOp("stop_gradient", "StopGradient", {x});
+}
+
+Output
+GraphBuilder::Reshape(Output x, const std::vector<std::int64_t>& shape)
+{
+    return AddOp("reshape", "Reshape", {x}, {{"shape", AttrValue(shape)}});
+}
+
+Output
+GraphBuilder::Transpose(Output x, const std::vector<std::int64_t>& perm)
+{
+    return AddOp("transpose", "Transpose", {x}, {{"perm", AttrValue(perm)}});
+}
+
+Output
+GraphBuilder::Concat(const std::vector<Output>& xs, int axis)
+{
+    return AddOp("concat", "Concat", xs,
+                 {{"axis", AttrValue(static_cast<std::int64_t>(axis))}});
+}
+
+Output
+GraphBuilder::Slice(Output x, const std::vector<std::int64_t>& begin,
+                    const std::vector<std::int64_t>& size)
+{
+    return AddOp("slice", "Slice", {x},
+                 {{"begin", AttrValue(begin)}, {"size", AttrValue(size)}});
+}
+
+std::vector<Output>
+GraphBuilder::Split(Output x, int axis, int num_splits)
+{
+    const NodeId id = AddNode(
+        "split", "Split", {x},
+        {{"axis", AttrValue(static_cast<std::int64_t>(axis))},
+         {"num_splits", AttrValue(static_cast<std::int64_t>(num_splits))}},
+        num_splits);
+    std::vector<Output> outputs;
+    outputs.reserve(static_cast<std::size_t>(num_splits));
+    for (int i = 0; i < num_splits; ++i) {
+        outputs.push_back(Output{id, i});
+    }
+    return outputs;
+}
+
+Output
+GraphBuilder::Gather(Output params, Output indices)
+{
+    return AddOp("gather", "Gather", {params, indices});
+}
+
+Output
+GraphBuilder::OneHot(Output indices, std::int64_t depth, float on, float off)
+{
+    return AddOp("one_hot", "OneHot", {indices},
+                 {{"depth", AttrValue(depth)},
+                  {"on_value", AttrValue(on)},
+                  {"off_value", AttrValue(off)}});
+}
+
+Output
+GraphBuilder::Pad(Output x, const std::vector<std::int64_t>& paddings)
+{
+    return AddOp("pad", "Pad", {x}, {{"paddings", AttrValue(paddings)}});
+}
+
+Output
+GraphBuilder::Tile(Output x, const std::vector<std::int64_t>& multiples)
+{
+    return AddOp("tile", "Tile", {x},
+                 {{"multiples", AttrValue(multiples)}});
+}
+
+Output
+GraphBuilder::ShapeOp(Output x)
+{
+    return AddOp("shape", "Shape", {x});
+}
+
+// ---- elementwise -------------------------------------------------------
+
+Output
+GraphBuilder::Add(Output a, Output b)
+{
+    return AddOp("add", "Add", {a, b});
+}
+
+Output
+GraphBuilder::Sub(Output a, Output b)
+{
+    return AddOp("sub", "Sub", {a, b});
+}
+
+Output
+GraphBuilder::Mul(Output a, Output b)
+{
+    return AddOp("mul", "Mul", {a, b});
+}
+
+Output
+GraphBuilder::Div(Output a, Output b)
+{
+    return AddOp("div", "Div", {a, b});
+}
+
+Output
+GraphBuilder::AddN(const std::vector<Output>& xs)
+{
+    if (xs.size() == 1) {
+        return xs[0];
+    }
+    return AddOp("add_n", "AddN", xs);
+}
+
+Output
+GraphBuilder::Neg(Output x)
+{
+    return AddOp("neg", "Neg", {x});
+}
+
+Output
+GraphBuilder::Exp(Output x)
+{
+    return AddOp("exp", "Exp", {x});
+}
+
+Output
+GraphBuilder::Log(Output x)
+{
+    return AddOp("log", "Log", {x});
+}
+
+Output
+GraphBuilder::Sqrt(Output x)
+{
+    return AddOp("sqrt", "Sqrt", {x});
+}
+
+Output
+GraphBuilder::Square(Output x)
+{
+    return AddOp("square", "Square", {x});
+}
+
+Output
+GraphBuilder::Pow(Output x, float exponent)
+{
+    return AddOp("pow", "Pow", {x}, {{"exponent", AttrValue(exponent)}});
+}
+
+Output
+GraphBuilder::Relu(Output x)
+{
+    return AddOp("relu", "Relu", {x});
+}
+
+Output
+GraphBuilder::ClipByValue(Output x, float clip_min, float clip_max)
+{
+    return AddOp("clip", "ClipByValue", {x},
+                 {{"clip_min", AttrValue(clip_min)},
+                  {"clip_max", AttrValue(clip_max)}});
+}
+
+Output
+GraphBuilder::Sigmoid(Output x)
+{
+    return AddOp("sigmoid", "Sigmoid", {x});
+}
+
+Output
+GraphBuilder::Tanh(Output x)
+{
+    return AddOp("tanh", "Tanh", {x});
+}
+
+// ---- matrix / convolution ----------------------------------------------
+
+Output
+GraphBuilder::MatMul(Output a, Output b, bool transpose_a, bool transpose_b)
+{
+    return AddOp("matmul", "MatMul", {a, b},
+                 {{"transpose_a", AttrValue(transpose_a)},
+                  {"transpose_b", AttrValue(transpose_b)}});
+}
+
+Output
+GraphBuilder::Conv2D(Output input, Output filter, std::int64_t stride,
+                     const std::string& padding)
+{
+    return AddOp("conv2d", "Conv2D", {input, filter},
+                 {{"stride", AttrValue(stride)},
+                  {"padding", AttrValue(padding)}});
+}
+
+Output
+GraphBuilder::MaxPool(Output input, std::int64_t window, std::int64_t stride,
+                      const std::string& padding)
+{
+    return AddOp("max_pool", "MaxPool", {input},
+                 {{"window", AttrValue(window)},
+                  {"stride", AttrValue(stride)},
+                  {"padding", AttrValue(padding)}});
+}
+
+Output
+GraphBuilder::AvgPool(Output input, std::int64_t window, std::int64_t stride,
+                      const std::string& padding)
+{
+    return AddOp("avg_pool", "AvgPool", {input},
+                 {{"window", AttrValue(window)},
+                  {"stride", AttrValue(stride)},
+                  {"padding", AttrValue(padding)}});
+}
+
+Output
+GraphBuilder::Lrn(Output input, std::int64_t depth_radius, float bias,
+                  float alpha, float beta)
+{
+    return AddOp("lrn", "Lrn", {input},
+                 {{"depth_radius", AttrValue(depth_radius)},
+                  {"bias", AttrValue(bias)},
+                  {"alpha", AttrValue(alpha)},
+                  {"beta", AttrValue(beta)}});
+}
+
+std::vector<Output>
+GraphBuilder::BatchNorm(Output x, Output gamma, Output beta, float epsilon)
+{
+    const NodeId id =
+        AddNode("batch_norm", "BatchNorm", {x, gamma, beta},
+                {{"epsilon", AttrValue(epsilon)}}, /*num_outputs=*/3);
+    return {Output{id, 0}, Output{id, 1}, Output{id, 2}};
+}
+
+// ---- reduction / expansion ----------------------------------------------
+
+Output
+GraphBuilder::ReduceSum(Output x, const std::vector<std::int64_t>& axes,
+                        bool keep_dims)
+{
+    return AddOp("sum", "ReduceSum", {x},
+                 {{"axes", AttrValue(axes)},
+                  {"keep_dims", AttrValue(keep_dims)}});
+}
+
+Output
+GraphBuilder::ReduceMean(Output x, const std::vector<std::int64_t>& axes,
+                         bool keep_dims)
+{
+    return AddOp("mean", "ReduceMean", {x},
+                 {{"axes", AttrValue(axes)},
+                  {"keep_dims", AttrValue(keep_dims)}});
+}
+
+Output
+GraphBuilder::ReduceMax(Output x, const std::vector<std::int64_t>& axes,
+                        bool keep_dims)
+{
+    return AddOp("max", "ReduceMax", {x},
+                 {{"axes", AttrValue(axes)},
+                  {"keep_dims", AttrValue(keep_dims)}});
+}
+
+Output
+GraphBuilder::Softmax(Output logits)
+{
+    return AddOp("softmax", "Softmax", {logits});
+}
+
+Output
+GraphBuilder::LogSoftmax(Output logits)
+{
+    return AddOp("log_softmax", "LogSoftmax", {logits});
+}
+
+Output
+GraphBuilder::ArgMax(Output x)
+{
+    return AddOp("arg_max", "ArgMax", {x});
+}
+
+// ---- random sampling -----------------------------------------------------
+
+Output
+GraphBuilder::RandomNormal(const std::vector<std::int64_t>& shape, float mean,
+                           float stddev)
+{
+    return AddOp("random_normal", "RandomNormal", {},
+                 {{"shape", AttrValue(shape)},
+                  {"mean", AttrValue(mean)},
+                  {"stddev", AttrValue(stddev)}});
+}
+
+Output
+GraphBuilder::RandomUniform(const std::vector<std::int64_t>& shape, float lo,
+                            float hi)
+{
+    return AddOp("random_uniform", "RandomUniform", {},
+                 {{"shape", AttrValue(shape)},
+                  {"lo", AttrValue(lo)},
+                  {"hi", AttrValue(hi)}});
+}
+
+Output
+GraphBuilder::DropoutMask(Output like, float keep_prob)
+{
+    return AddOp("dropout_mask", "DropoutMask", {like},
+                 {{"keep_prob", AttrValue(keep_prob)}});
+}
+
+// ---- losses / optimization -----------------------------------------------
+
+std::vector<Output>
+GraphBuilder::SoftmaxCrossEntropy(Output logits, Output labels)
+{
+    const NodeId id = AddNode("xent", "SoftmaxCrossEntropy", {logits, labels},
+                              {}, /*num_outputs=*/2);
+    return {Output{id, 0}, Output{id, 1}};
+}
+
+std::vector<Output>
+GraphBuilder::CtcLoss(Output logits, Output labels, std::int64_t blank)
+{
+    const NodeId id = AddNode("ctc", "CtcLoss", {logits, labels},
+                              {{"blank", AttrValue(blank)}},
+                              /*num_outputs=*/2);
+    return {Output{id, 0}, Output{id, 1}};
+}
+
+NodeId
+GraphBuilder::ApplyGradientDescent(const std::string& var_name, Output grad,
+                                   float lr)
+{
+    return AddNode("apply_sgd", "ApplyGradientDescent", {grad},
+                   {{"var_name", AttrValue(var_name)}, {"lr", AttrValue(lr)}},
+                   /*num_outputs=*/0);
+}
+
+NodeId
+GraphBuilder::ApplyMomentum(const std::string& var_name, Output grad,
+                            float lr, float momentum)
+{
+    return AddNode("apply_momentum", "ApplyMomentum", {grad},
+                   {{"var_name", AttrValue(var_name)},
+                    {"lr", AttrValue(lr)},
+                    {"momentum", AttrValue(momentum)}},
+                   /*num_outputs=*/0);
+}
+
+NodeId
+GraphBuilder::ApplyRmsProp(const std::string& var_name, Output grad, float lr,
+                           float decay, float epsilon)
+{
+    return AddNode("apply_rmsprop", "ApplyRMSProp", {grad},
+                   {{"var_name", AttrValue(var_name)},
+                    {"lr", AttrValue(lr)},
+                    {"decay", AttrValue(decay)},
+                    {"epsilon", AttrValue(epsilon)}},
+                   /*num_outputs=*/0);
+}
+
+NodeId
+GraphBuilder::ApplyAdam(const std::string& var_name, Output grad, float lr,
+                        float beta1, float beta2, float epsilon)
+{
+    return AddNode("apply_adam", "ApplyAdam", {grad},
+                   {{"var_name", AttrValue(var_name)},
+                    {"lr", AttrValue(lr)},
+                    {"beta1", AttrValue(beta1)},
+                    {"beta2", AttrValue(beta2)},
+                    {"epsilon", AttrValue(epsilon)}},
+                   /*num_outputs=*/0);
+}
+
+NodeId
+GraphBuilder::Assign(const std::string& var_name, Output value)
+{
+    return AddNode("assign", "Assign", {value},
+                   {{"var_name", AttrValue(var_name)}},
+                   /*num_outputs=*/0);
+}
+
+NodeId
+GraphBuilder::Group(const std::vector<NodeId>& deps, const std::string& name)
+{
+    const NodeId id = AddNode(name, "NoOp", {}, {}, /*num_outputs=*/0);
+    for (NodeId dep : deps) {
+        graph_->AddControlEdge(dep, id);
+    }
+    return id;
+}
+
+}  // namespace fathom::graph

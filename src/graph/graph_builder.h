@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Typed convenience API for constructing dataflow graphs.
+ *
+ * GraphBuilder plays the role of TensorFlow's Python frontend: each
+ * method appends one primitive operation node and returns the edge
+ * (Output) carrying its result. Gradient functions and the layer
+ * library both build graphs exclusively through this interface, so op
+ * type names and attribute conventions live in exactly one place.
+ */
+#ifndef FATHOM_GRAPH_GRAPH_BUILDER_H
+#define FATHOM_GRAPH_GRAPH_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/op_registry.h"
+#include "tensor/rng.h"
+
+namespace fathom::graph {
+
+/**
+ * Builds nodes into a Graph and registers initial values of variables
+ * and constants into a VariableStore.
+ *
+ * Node names are derived from an optional scope stack (PushScope /
+ * PopScope) so profiles remain attributable to model structure.
+ */
+class GraphBuilder {
+  public:
+    /**
+     * @param graph     graph to append to (not owned).
+     * @param variables store receiving variable/constant initial values
+     *                  (not owned).
+     */
+    GraphBuilder(Graph* graph, VariableStore* variables);
+
+    Graph& graph() { return *graph_; }
+    VariableStore& variables() { return *variables_; }
+
+    /** Pushes a name scope; subsequent nodes get "scope/name" names. */
+    void PushScope(const std::string& scope);
+    void PopScope();
+
+    // ---- sources -------------------------------------------------------
+
+    /** A named feed point; must be fed at Run() time. */
+    Output Placeholder(const std::string& name);
+
+    /** An embedded constant tensor. */
+    Output Const(const Tensor& value, const std::string& name = "const");
+
+    /** A scalar float constant. */
+    Output ScalarConst(float value, const std::string& name = "scalar");
+
+    /**
+     * A persistent trainable parameter, initialized to @p init.
+     * @return the read edge. The variable's store key is returned via
+     * @p out_var_name if non-null.
+     */
+    Output Variable(const std::string& name, const Tensor& init,
+                    std::string* out_var_name = nullptr);
+
+    // ---- data movement -------------------------------------------------
+
+    Output Identity(Output x, const std::string& name = "identity");
+    Output StopGradient(Output x);
+    Output Reshape(Output x, const std::vector<std::int64_t>& shape);
+    Output Transpose(Output x, const std::vector<std::int64_t>& perm);
+    Output Concat(const std::vector<Output>& xs, int axis);
+    Output Slice(Output x, const std::vector<std::int64_t>& begin,
+                 const std::vector<std::int64_t>& size);
+    /** Splits @p x into @p num_splits equal parts along @p axis. */
+    std::vector<Output> Split(Output x, int axis, int num_splits);
+    Output Gather(Output params, Output indices);
+    Output OneHot(Output indices, std::int64_t depth, float on = 1.0f,
+                  float off = 0.0f);
+    /** @p paddings is flattened [before0, after0, before1, after1, ...]. */
+    Output Pad(Output x, const std::vector<std::int64_t>& paddings);
+    Output Tile(Output x, const std::vector<std::int64_t>& multiples);
+    Output ShapeOp(Output x);
+
+    // ---- elementwise arithmetic ----------------------------------------
+
+    Output Add(Output a, Output b);
+    Output Sub(Output a, Output b);
+    Output Mul(Output a, Output b);
+    Output Div(Output a, Output b);
+    Output AddN(const std::vector<Output>& xs);
+    Output Neg(Output x);
+    Output Exp(Output x);
+    Output Log(Output x);
+    Output Sqrt(Output x);
+    Output Square(Output x);
+    Output Pow(Output x, float exponent);
+    Output Relu(Output x);
+    /** Clamps elementwise to [clip_min, clip_max]. */
+    Output ClipByValue(Output x, float clip_min, float clip_max);
+    Output Sigmoid(Output x);
+    Output Tanh(Output x);
+
+    // ---- matrix / convolution ------------------------------------------
+
+    Output MatMul(Output a, Output b, bool transpose_a = false,
+                  bool transpose_b = false);
+    Output Conv2D(Output input, Output filter, std::int64_t stride,
+                  const std::string& padding);
+    Output MaxPool(Output input, std::int64_t window, std::int64_t stride,
+                   const std::string& padding);
+    Output AvgPool(Output input, std::int64_t window, std::int64_t stride,
+                   const std::string& padding);
+    Output Lrn(Output input, std::int64_t depth_radius, float bias,
+               float alpha, float beta);
+
+    /**
+     * Batch normalization with batch statistics.
+     * @return {y, mean, inv_std} edges.
+     */
+    std::vector<Output> BatchNorm(Output x, Output gamma, Output beta,
+                                  float epsilon = 1e-5f);
+
+    // ---- reduction / expansion -----------------------------------------
+
+    Output ReduceSum(Output x, const std::vector<std::int64_t>& axes,
+                     bool keep_dims = false);
+    Output ReduceMean(Output x, const std::vector<std::int64_t>& axes,
+                      bool keep_dims = false);
+    Output ReduceMax(Output x, const std::vector<std::int64_t>& axes,
+                     bool keep_dims = false);
+    Output Softmax(Output logits);
+    Output LogSoftmax(Output logits);
+    Output ArgMax(Output x);
+
+    // ---- random sampling -----------------------------------------------
+
+    Output RandomNormal(const std::vector<std::int64_t>& shape, float mean,
+                        float stddev);
+    Output RandomUniform(const std::vector<std::int64_t>& shape, float lo,
+                         float hi);
+    /** Bernoulli(keep_prob)/keep_prob mask with the shape of @p like. */
+    Output DropoutMask(Output like, float keep_prob);
+
+    // ---- losses / optimization -----------------------------------------
+
+    /**
+     * Mean softmax cross-entropy between logits [n, c] and int32 labels
+     * [n]. @return {mean-loss scalar, d(loss)/d(logits)} edges.
+     */
+    std::vector<Output> SoftmaxCrossEntropy(Output logits, Output labels);
+
+    /**
+     * CTC loss for one sequence: logits [t, c], labels int32 [l].
+     * @return {loss scalar, d(loss)/d(logits)} edges.
+     */
+    std::vector<Output> CtcLoss(Output logits, Output labels,
+                                std::int64_t blank);
+
+    /** SGD update: var -= lr * grad. @return the update node id. */
+    NodeId ApplyGradientDescent(const std::string& var_name, Output grad,
+                                float lr);
+    /** Momentum update with coefficient @p momentum. */
+    NodeId ApplyMomentum(const std::string& var_name, Output grad, float lr,
+                         float momentum);
+    /** RMSProp update (decay, epsilon as in the DQN paper). */
+    NodeId ApplyRmsProp(const std::string& var_name, Output grad, float lr,
+                        float decay, float epsilon);
+    /** Adam update (Kingma & Ba defaults). */
+    NodeId ApplyAdam(const std::string& var_name, Output grad, float lr,
+                     float beta1 = 0.9f, float beta2 = 0.999f,
+                     float epsilon = 1e-8f);
+
+    /** Explicit assignment: stores @p value into @p var_name. */
+    NodeId Assign(const std::string& var_name, Output value);
+
+    /** A no-op node depending on all of @p deps (like tf.group). */
+    NodeId Group(const std::vector<NodeId>& deps,
+                 const std::string& name = "group");
+
+    // ---- generic escape hatch ------------------------------------------
+
+    /** Adds an arbitrary node. */
+    NodeId AddNode(const std::string& name, const std::string& op_type,
+                   std::vector<Output> inputs,
+                   std::map<std::string, AttrValue> attrs = {},
+                   int num_outputs = 1);
+
+    /** Adds an arbitrary single-output node and returns its edge. */
+    Output AddOp(const std::string& name, const std::string& op_type,
+                 std::vector<Output> inputs,
+                 std::map<std::string, AttrValue> attrs = {});
+
+  private:
+    std::string Scoped(const std::string& name) const;
+
+    Graph* graph_;
+    VariableStore* variables_;
+    std::vector<std::string> scopes_;
+    int const_counter_ = 0;
+};
+
+/** RAII helper for name scopes. */
+class ScopeGuard {
+  public:
+    ScopeGuard(GraphBuilder& builder, const std::string& scope)
+        : builder_(builder)
+    {
+        builder_.PushScope(scope);
+    }
+    ~ScopeGuard() { builder_.PopScope(); }
+    ScopeGuard(const ScopeGuard&) = delete;
+    ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+  private:
+    GraphBuilder& builder_;
+};
+
+}  // namespace fathom::graph
+
+#endif  // FATHOM_GRAPH_GRAPH_BUILDER_H

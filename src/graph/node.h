@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Nodes and edges of the coarse-grained dataflow graph.
+ *
+ * A Node is "the smallest schedulable unit" of the runtime, exactly as
+ * the paper describes TensorFlow operations. Data edges are
+ * (node, output-index) pairs; control edges impose execution order
+ * without carrying data (used to sequence variable updates).
+ */
+#ifndef FATHOM_GRAPH_NODE_H
+#define FATHOM_GRAPH_NODE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/attr_value.h"
+
+namespace fathom::graph {
+
+/** Dense node identifier within one Graph. */
+using NodeId = std::int32_t;
+
+/** One data-edge endpoint: output @p index of node @p node. */
+struct Output {
+    NodeId node = -1;
+    int index = 0;
+
+    bool
+    operator==(const Output& other) const
+    {
+        return node == other.node && index == other.index;
+    }
+};
+
+/** One operation instance in a Graph. */
+struct Node {
+    NodeId id = -1;
+    std::string name;     ///< unique within the graph, e.g. "conv1/MatMul".
+    std::string op_type;  ///< registered operation type, e.g. "Conv2D".
+    std::vector<Output> inputs;
+    std::vector<NodeId> control_inputs;  ///< must-run-before dependencies.
+    std::map<std::string, AttrValue> attrs;
+    int num_outputs = 1;
+
+    /** @return the attr @p key; throws std::out_of_range if missing. */
+    const AttrValue&
+    attr(const std::string& key) const
+    {
+        auto it = attrs.find(key);
+        if (it == attrs.end()) {
+            throw std::out_of_range("Node '" + name + "' (" + op_type +
+                                    ") missing attr '" + key + "'");
+        }
+        return it->second;
+    }
+
+    /** @return attr @p key as int, or @p fallback if absent. */
+    std::int64_t
+    attr_int(const std::string& key, std::int64_t fallback) const
+    {
+        auto it = attrs.find(key);
+        return it == attrs.end() ? fallback : it->second.AsInt();
+    }
+
+    /** @return attr @p key as float, or @p fallback if absent. */
+    float
+    attr_float(const std::string& key, float fallback) const
+    {
+        auto it = attrs.find(key);
+        return it == attrs.end() ? fallback : it->second.AsFloat();
+    }
+
+    /** @return attr @p key as bool, or @p fallback if absent. */
+    bool
+    attr_bool(const std::string& key, bool fallback) const
+    {
+        auto it = attrs.find(key);
+        return it == attrs.end() ? fallback : it->second.AsBool();
+    }
+};
+
+}  // namespace fathom::graph
+
+#endif  // FATHOM_GRAPH_NODE_H

@@ -1,0 +1,41 @@
+#include "graph/op_class.h"
+
+namespace fathom::graph {
+
+std::string
+OpClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::kMatrixOps:
+        return "MatrixOps";
+      case OpClass::kConvolution:
+        return "Convolution";
+      case OpClass::kElementwise:
+        return "ElementwiseArithmetic";
+      case OpClass::kReductionExpansion:
+        return "ReductionExpansion";
+      case OpClass::kRandomSampling:
+        return "RandomSampling";
+      case OpClass::kOptimization:
+        return "Optimization";
+      case OpClass::kDataMovement:
+        return "DataMovement";
+      case OpClass::kControl:
+        return "Control";
+    }
+    return "Unknown";
+}
+
+const std::array<OpClass, kNumOpClasses>&
+AllOpClasses()
+{
+    static const std::array<OpClass, kNumOpClasses> kClasses = {
+        OpClass::kMatrixOps,          OpClass::kConvolution,
+        OpClass::kElementwise,        OpClass::kReductionExpansion,
+        OpClass::kRandomSampling,     OpClass::kOptimization,
+        OpClass::kDataMovement,       OpClass::kControl,
+    };
+    return kClasses;
+}
+
+}  // namespace fathom::graph

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The seven-way operation-type taxonomy from the paper's Figure 3.
+ *
+ * Every registered operation is tagged with one class; the analysis
+ * tools aggregate execution time per class to reproduce the paper's
+ * breakdown heatmap, similarity clustering, and scaling studies.
+ */
+#ifndef FATHOM_GRAPH_OP_CLASS_H
+#define FATHOM_GRAPH_OP_CLASS_H
+
+#include <array>
+#include <string>
+
+namespace fathom::graph {
+
+/** Operation class, matching the paper's Fig. 3 legend. */
+enum class OpClass {
+    kMatrixOps,           ///< MatMul and friends.
+    kConvolution,         ///< Conv2D forward/backward, pooling.
+    kElementwise,         ///< activations, gate arithmetic, add/mul/...
+    kReductionExpansion,  ///< Sum/Mean/Max, Tile, AddN, Softmax.
+    kRandomSampling,      ///< RandomNormal/Uniform, dropout masks.
+    kOptimization,        ///< parameter updates and loss functions.
+    kDataMovement,        ///< Reshape/Transpose/Concat/Slice/Gather/...
+    kControl,             ///< Const/Placeholder/Variable/Assign/Shape.
+};
+
+/** Number of distinct op classes. */
+inline constexpr int kNumOpClasses = 8;
+
+/** @return a stable display name, e.g. "Convolution". */
+std::string OpClassName(OpClass c);
+
+/** @return all classes in display order (Fig. 3 row order). */
+const std::array<OpClass, kNumOpClasses>& AllOpClasses();
+
+}  // namespace fathom::graph
+
+#endif  // FATHOM_GRAPH_OP_CLASS_H

@@ -1,0 +1,264 @@
+#include "kernels/conv2d.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fathom::kernels {
+
+Conv2DGeometry
+ResolveConv2D(const Shape& input, const Shape& filter, std::int64_t stride,
+              Padding padding)
+{
+    if (input.rank() != 4) {
+        throw std::invalid_argument("Conv2D input must be NHWC rank-4, got " +
+                                    input.ToString());
+    }
+    if (filter.rank() != 4) {
+        throw std::invalid_argument(
+            "Conv2D filter must be [kh, kw, c, oc] rank-4, got " +
+            filter.ToString());
+    }
+    if (input.dim(3) != filter.dim(2)) {
+        throw std::invalid_argument(
+            "Conv2D channel mismatch: input " + input.ToString() +
+            " vs filter " + filter.ToString());
+    }
+    if (stride < 1) {
+        throw std::invalid_argument("Conv2D stride must be >= 1");
+    }
+
+    Conv2DGeometry g;
+    g.batch = input.dim(0);
+    g.in_h = input.dim(1);
+    g.in_w = input.dim(2);
+    g.in_c = input.dim(3);
+    g.k_h = filter.dim(0);
+    g.k_w = filter.dim(1);
+    g.out_c = filter.dim(3);
+    g.stride = stride;
+
+    if (padding == Padding::kSame) {
+        g.out_h = (g.in_h + stride - 1) / stride;
+        g.out_w = (g.in_w + stride - 1) / stride;
+        const std::int64_t pad_h =
+            std::max<std::int64_t>((g.out_h - 1) * stride + g.k_h - g.in_h, 0);
+        const std::int64_t pad_w =
+            std::max<std::int64_t>((g.out_w - 1) * stride + g.k_w - g.in_w, 0);
+        g.pad_top = pad_h / 2;
+        g.pad_left = pad_w / 2;
+    } else {
+        if (g.in_h < g.k_h || g.in_w < g.k_w) {
+            throw std::invalid_argument("Conv2D VALID: filter larger than input");
+        }
+        g.out_h = (g.in_h - g.k_h) / stride + 1;
+        g.out_w = (g.in_w - g.k_w) / stride + 1;
+        g.pad_top = 0;
+        g.pad_left = 0;
+    }
+    return g;
+}
+
+Tensor
+Conv2D(const Tensor& input, const Tensor& filter, std::int64_t stride,
+       Padding padding, parallel::ThreadPool& pool)
+{
+    const Conv2DGeometry g =
+        ResolveConv2D(input.shape(), filter.shape(), stride, padding);
+    Tensor out = Tensor::Zeros(Shape{g.batch, g.out_h, g.out_w, g.out_c});
+
+    const float* in = input.data<float>();
+    const float* w = filter.data<float>();
+    float* o = out.data<float>();
+
+    const std::int64_t in_row = g.in_w * g.in_c;
+    const std::int64_t in_img = g.in_h * in_row;
+    const std::int64_t out_row = g.out_w * g.out_c;
+    const std::int64_t out_img = g.out_h * out_row;
+    const std::int64_t w_kw = g.in_c * g.out_c;
+    const std::int64_t w_kh = g.k_w * w_kw;
+
+    // Parallelize over (batch, output row) pairs: large trip count for
+    // image workloads, cheap to split.
+    pool.ParallelFor(
+        g.batch * g.out_h, /*grain=*/1,
+        [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t n = r / g.out_h;
+                const std::int64_t oh = r % g.out_h;
+                const std::int64_t ih0 = oh * g.stride - g.pad_top;
+                for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+                    const std::int64_t iw0 = ow * g.stride - g.pad_left;
+                    float* optr = o + n * out_img + oh * out_row + ow * g.out_c;
+                    for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+                        const std::int64_t ih = ih0 + kh;
+                        if (ih < 0 || ih >= g.in_h) {
+                            continue;
+                        }
+                        for (std::int64_t kw = 0; kw < g.k_w; ++kw) {
+                            const std::int64_t iw = iw0 + kw;
+                            if (iw < 0 || iw >= g.in_w) {
+                                continue;
+                            }
+                            const float* iptr =
+                                in + n * in_img + ih * in_row + iw * g.in_c;
+                            const float* wptr = w + kh * w_kh + kw * w_kw;
+                            for (std::int64_t c = 0; c < g.in_c; ++c) {
+                                const float iv = iptr[c];
+                                if (iv == 0.0f) {
+                                    continue;
+                                }
+                                const float* wrow = wptr + c * g.out_c;
+                                for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                                    optr[oc] += iv * wrow[oc];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    return out;
+}
+
+Tensor
+Conv2DBackpropInput(const Shape& input_shape, const Tensor& filter,
+                    const Tensor& grad_out, std::int64_t stride,
+                    Padding padding, parallel::ThreadPool& pool)
+{
+    const Conv2DGeometry g =
+        ResolveConv2D(input_shape, filter.shape(), stride, padding);
+    if (grad_out.shape() != Shape({g.batch, g.out_h, g.out_w, g.out_c})) {
+        throw std::invalid_argument("Conv2DBackpropInput: grad_out shape " +
+                                    grad_out.shape().ToString() +
+                                    " inconsistent with geometry");
+    }
+    Tensor grad_in = Tensor::Zeros(input_shape);
+
+    const float* w = filter.data<float>();
+    const float* go = grad_out.data<float>();
+    float* gi = grad_in.data<float>();
+
+    const std::int64_t in_row = g.in_w * g.in_c;
+    const std::int64_t in_img = g.in_h * in_row;
+    const std::int64_t out_row = g.out_w * g.out_c;
+    const std::int64_t out_img = g.out_h * out_row;
+    const std::int64_t w_kw = g.in_c * g.out_c;
+    const std::int64_t w_kh = g.k_w * w_kw;
+
+    // Gather formulation over input rows: each (n, ih) pair is written
+    // by exactly one chunk, so no synchronization is needed.
+    pool.ParallelFor(
+        g.batch * g.in_h, /*grain=*/1,
+        [&](std::int64_t r0, std::int64_t r1) {
+            for (std::int64_t r = r0; r < r1; ++r) {
+                const std::int64_t n = r / g.in_h;
+                const std::int64_t ih = r % g.in_h;
+                for (std::int64_t iw = 0; iw < g.in_w; ++iw) {
+                    float* giptr = gi + n * in_img + ih * in_row + iw * g.in_c;
+                    for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+                        // ih = oh*stride - pad_top + kh  =>  oh as below.
+                        const std::int64_t oh_num = ih + g.pad_top - kh;
+                        if (oh_num < 0 || oh_num % g.stride != 0) {
+                            continue;
+                        }
+                        const std::int64_t oh = oh_num / g.stride;
+                        if (oh >= g.out_h) {
+                            continue;
+                        }
+                        for (std::int64_t kw = 0; kw < g.k_w; ++kw) {
+                            const std::int64_t ow_num = iw + g.pad_left - kw;
+                            if (ow_num < 0 || ow_num % g.stride != 0) {
+                                continue;
+                            }
+                            const std::int64_t ow = ow_num / g.stride;
+                            if (ow >= g.out_w) {
+                                continue;
+                            }
+                            const float* goptr =
+                                go + n * out_img + oh * out_row + ow * g.out_c;
+                            const float* wptr = w + kh * w_kh + kw * w_kw;
+                            for (std::int64_t c = 0; c < g.in_c; ++c) {
+                                const float* wrow = wptr + c * g.out_c;
+                                float acc = 0.0f;
+                                for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                                    acc += wrow[oc] * goptr[oc];
+                                }
+                                giptr[c] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    return grad_in;
+}
+
+Tensor
+Conv2DBackpropFilter(const Tensor& input, const Shape& filter_shape,
+                     const Tensor& grad_out, std::int64_t stride,
+                     Padding padding, parallel::ThreadPool& pool)
+{
+    const Conv2DGeometry g =
+        ResolveConv2D(input.shape(), filter_shape, stride, padding);
+    if (grad_out.shape() != Shape({g.batch, g.out_h, g.out_w, g.out_c})) {
+        throw std::invalid_argument("Conv2DBackpropFilter: grad_out shape " +
+                                    grad_out.shape().ToString() +
+                                    " inconsistent with geometry");
+    }
+    Tensor grad_w = Tensor::Zeros(filter_shape);
+
+    const float* in = input.data<float>();
+    const float* go = grad_out.data<float>();
+    float* gw = grad_w.data<float>();
+
+    const std::int64_t in_row = g.in_w * g.in_c;
+    const std::int64_t in_img = g.in_h * in_row;
+    const std::int64_t out_row = g.out_w * g.out_c;
+    const std::int64_t out_img = g.out_h * out_row;
+    const std::int64_t w_kw = g.in_c * g.out_c;
+    const std::int64_t w_kh = g.k_w * w_kw;
+
+    // Each (kh, kw) filter tap is an independent accumulation; taps are
+    // the parallel unit so no chunk writes another's slice.
+    pool.ParallelFor(
+        g.k_h * g.k_w, /*grain=*/1,
+        [&](std::int64_t t0, std::int64_t t1) {
+            for (std::int64_t t = t0; t < t1; ++t) {
+                const std::int64_t kh = t / g.k_w;
+                const std::int64_t kw = t % g.k_w;
+                float* gwtap = gw + kh * w_kh + kw * w_kw;
+                for (std::int64_t n = 0; n < g.batch; ++n) {
+                    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+                        const std::int64_t ih = oh * g.stride - g.pad_top + kh;
+                        if (ih < 0 || ih >= g.in_h) {
+                            continue;
+                        }
+                        for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+                            const std::int64_t iw =
+                                ow * g.stride - g.pad_left + kw;
+                            if (iw < 0 || iw >= g.in_w) {
+                                continue;
+                            }
+                            const float* iptr =
+                                in + n * in_img + ih * in_row + iw * g.in_c;
+                            const float* goptr =
+                                go + n * out_img + oh * out_row + ow * g.out_c;
+                            for (std::int64_t c = 0; c < g.in_c; ++c) {
+                                const float iv = iptr[c];
+                                if (iv == 0.0f) {
+                                    continue;
+                                }
+                                float* gwrow = gwtap + c * g.out_c;
+                                for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                                    gwrow[oc] += iv * goptr[oc];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    return grad_w;
+}
+
+}  // namespace fathom::kernels

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * 2-D convolution and its two backward passes.
+ *
+ * Layout is NHWC (batch, height, width, channels) with filters in
+ * [kh, kw, in_channels, out_channels], matching TensorFlow's defaults.
+ * The paper's convolutional workloads (alexnet, vgg, residual, deepq)
+ * are dominated by these three kernels, and the asymmetry between one
+ * forward reduction and two backward reductions is what makes training
+ * relatively more expensive for conv nets (paper Sec. V-D).
+ */
+#ifndef FATHOM_KERNELS_CONV2D_H
+#define FATHOM_KERNELS_CONV2D_H
+
+#include <cstdint>
+
+#include "parallel/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace fathom::kernels {
+
+/** Padding policy, mirroring TensorFlow's SAME/VALID. */
+enum class Padding {
+    kSame,   ///< output size = ceil(input / stride), zero-padded.
+    kValid,  ///< no padding; output size = floor((in - k) / stride) + 1.
+};
+
+/** Static geometry of a convolution, resolved from shapes + attrs. */
+struct Conv2DGeometry {
+    std::int64_t batch, in_h, in_w, in_c;
+    std::int64_t k_h, k_w, out_c;
+    std::int64_t stride;
+    std::int64_t out_h, out_w;
+    std::int64_t pad_top, pad_left;
+};
+
+/**
+ * Resolves output size and padding for the given input/filter shapes.
+ * @throws std::invalid_argument on malformed shapes.
+ */
+Conv2DGeometry ResolveConv2D(const Shape& input, const Shape& filter,
+                             std::int64_t stride, Padding padding);
+
+/**
+ * Forward convolution.
+ * @param input  [n, h, w, c] float32.
+ * @param filter [kh, kw, c, oc] float32.
+ * @return       [n, oh, ow, oc] float32.
+ */
+Tensor Conv2D(const Tensor& input, const Tensor& filter, std::int64_t stride,
+              Padding padding, parallel::ThreadPool& pool);
+
+/**
+ * Gradient with respect to the input (the "deconvolution").
+ * @param input_shape shape of the original input.
+ * @param filter      the forward filter.
+ * @param grad_out    gradient flowing into the forward output.
+ */
+Tensor Conv2DBackpropInput(const Shape& input_shape, const Tensor& filter,
+                           const Tensor& grad_out, std::int64_t stride,
+                           Padding padding, parallel::ThreadPool& pool);
+
+/**
+ * Gradient with respect to the filter.
+ * @param input        the original forward input.
+ * @param filter_shape shape of the forward filter.
+ * @param grad_out     gradient flowing into the forward output.
+ */
+Tensor Conv2DBackpropFilter(const Tensor& input, const Shape& filter_shape,
+                            const Tensor& grad_out, std::int64_t stride,
+                            Padding padding, parallel::ThreadPool& pool);
+
+}  // namespace fathom::kernels
+
+#endif  // FATHOM_KERNELS_CONV2D_H

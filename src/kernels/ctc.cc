@@ -1,0 +1,341 @@
+#include "kernels/ctc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "kernels/reduction.h"
+#include "parallel/thread_pool.h"
+
+namespace fathom::kernels {
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/** log(exp(a) + exp(b)) without overflow. */
+float
+LogAdd(float a, float b)
+{
+    if (a == kNegInf) {
+        return b;
+    }
+    if (b == kNegInf) {
+        return a;
+    }
+    const float m = std::max(a, b);
+    return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+}  // namespace
+
+CtcResult
+CtcLoss(const Tensor& logits, const std::vector<std::int32_t>& labels,
+        std::int32_t blank)
+{
+    if (logits.shape().rank() != 2) {
+        throw std::invalid_argument("CtcLoss: logits must be [time, classes]");
+    }
+    const std::int64_t time = logits.shape().dim(0);
+    const std::int64_t classes = logits.shape().dim(1);
+    if (blank < 0 || blank >= classes) {
+        throw std::invalid_argument("CtcLoss: blank index out of range");
+    }
+    for (std::int32_t l : labels) {
+        if (l < 0 || l >= classes || l == blank) {
+            throw std::invalid_argument("CtcLoss: invalid label value");
+        }
+    }
+
+    // Extended sequence l' = blank, l1, blank, l2, ..., blank.
+    const std::int64_t num_labels = static_cast<std::int64_t>(labels.size());
+    const std::int64_t ext = 2 * num_labels + 1;
+    std::vector<std::int32_t> lp(static_cast<std::size_t>(ext), blank);
+    for (std::int64_t i = 0; i < num_labels; ++i) {
+        lp[static_cast<std::size_t>(2 * i + 1)] =
+            labels[static_cast<std::size_t>(i)];
+    }
+
+    // Feasibility: each label needs a frame, plus a separator frame
+    // between equal consecutive labels.
+    std::int64_t min_frames = num_labels;
+    for (std::int64_t i = 1; i < num_labels; ++i) {
+        if (labels[static_cast<std::size_t>(i)] ==
+            labels[static_cast<std::size_t>(i - 1)]) {
+            ++min_frames;
+        }
+    }
+    if (time < min_frames) {
+        throw std::invalid_argument(
+            "CtcLoss: label sequence cannot fit in " + std::to_string(time) +
+            " frames");
+    }
+
+    parallel::ThreadPool inline_pool(1);
+    const Tensor log_probs = LogSoftmax(logits, inline_pool);
+    const float* lprob = log_probs.data<float>();
+    auto lp_at = [&](std::int64_t t, std::int64_t s) {
+        return lprob[t * classes + lp[static_cast<std::size_t>(s)]];
+    };
+    auto can_skip = [&](std::int64_t s) {
+        // The alpha(t-1, s-2) path is allowed when l'_s is a real label
+        // different from l'_{s-2}.
+        return s >= 2 && lp[static_cast<std::size_t>(s)] != blank &&
+               lp[static_cast<std::size_t>(s)] !=
+                   lp[static_cast<std::size_t>(s - 2)];
+    };
+
+    // Forward (alpha) and backward (beta) lattices, log domain.
+    std::vector<float> alpha(static_cast<std::size_t>(time * ext), kNegInf);
+    std::vector<float> beta(static_cast<std::size_t>(time * ext), kNegInf);
+    auto a = [&](std::int64_t t, std::int64_t s) -> float& {
+        return alpha[static_cast<std::size_t>(t * ext + s)];
+    };
+    auto b = [&](std::int64_t t, std::int64_t s) -> float& {
+        return beta[static_cast<std::size_t>(t * ext + s)];
+    };
+
+    a(0, 0) = lp_at(0, 0);
+    if (ext > 1) {
+        a(0, 1) = lp_at(0, 1);
+    }
+    for (std::int64_t t = 1; t < time; ++t) {
+        for (std::int64_t s = 0; s < ext; ++s) {
+            float v = a(t - 1, s);
+            if (s >= 1) {
+                v = LogAdd(v, a(t - 1, s - 1));
+            }
+            if (can_skip(s)) {
+                v = LogAdd(v, a(t - 1, s - 2));
+            }
+            if (v != kNegInf) {
+                a(t, s) = v + lp_at(t, s);
+            }
+        }
+    }
+
+    b(time - 1, ext - 1) = 0.0f;
+    if (ext > 1) {
+        b(time - 1, ext - 2) = 0.0f;
+    }
+    for (std::int64_t t = time - 2; t >= 0; --t) {
+        for (std::int64_t s = 0; s < ext; ++s) {
+            float v = (b(t + 1, s) == kNegInf)
+                          ? kNegInf
+                          : b(t + 1, s) + lp_at(t + 1, s);
+            if (s + 1 < ext && b(t + 1, s + 1) != kNegInf) {
+                v = LogAdd(v, b(t + 1, s + 1) + lp_at(t + 1, s + 1));
+            }
+            if (s + 2 < ext && can_skip(s + 2) &&
+                b(t + 1, s + 2) != kNegInf) {
+                v = LogAdd(v, b(t + 1, s + 2) + lp_at(t + 1, s + 2));
+            }
+            b(t, s) = v;
+        }
+    }
+
+    float log_p = a(time - 1, ext - 1);
+    if (ext > 1) {
+        log_p = LogAdd(log_p, a(time - 1, ext - 2));
+    }
+
+    CtcResult result;
+    result.loss = -log_p;
+    result.grad_logits = Tensor::Zeros(logits.shape());
+    float* grad = result.grad_logits.data<float>();
+
+    // gamma(t, s) = exp(alpha + beta - logP); accumulate posteriors per
+    // class, then dL/dy = softmax(y) - class posterior.
+    for (std::int64_t t = 0; t < time; ++t) {
+        std::vector<float> class_post(static_cast<std::size_t>(classes), 0.0f);
+        for (std::int64_t s = 0; s < ext; ++s) {
+            const float av = a(t, s);
+            const float bv = b(t, s);
+            if (av == kNegInf || bv == kNegInf) {
+                continue;
+            }
+            class_post[static_cast<std::size_t>(
+                lp[static_cast<std::size_t>(s)])] +=
+                std::exp(av + bv - log_p);
+        }
+        for (std::int64_t k = 0; k < classes; ++k) {
+            grad[t * classes + k] =
+                std::exp(lprob[t * classes + k]) -
+                class_post[static_cast<std::size_t>(k)];
+        }
+    }
+    return result;
+}
+
+float
+CtcLossBruteForce(const Tensor& logits,
+                  const std::vector<std::int32_t>& labels,
+                  std::int32_t blank)
+{
+    const std::int64_t time = logits.shape().dim(0);
+    const std::int64_t classes = logits.shape().dim(1);
+    parallel::ThreadPool inline_pool(1);
+    const Tensor log_probs = LogSoftmax(logits, inline_pool);
+    const float* lprob = log_probs.data<float>();
+
+    // Enumerate every alignment pi in {0..classes-1}^time, collapse it,
+    // and sum P(pi) over alignments that collapse to `labels`.
+    std::vector<std::int32_t> pi(static_cast<std::size_t>(time), 0);
+    float total = kNegInf;
+    for (;;) {
+        // Collapse: remove repeats then blanks.
+        std::vector<std::int32_t> collapsed;
+        for (std::int64_t t = 0; t < time; ++t) {
+            const std::int32_t c = pi[static_cast<std::size_t>(t)];
+            if (t > 0 && c == pi[static_cast<std::size_t>(t - 1)]) {
+                continue;
+            }
+            if (c != blank) {
+                collapsed.push_back(c);
+            }
+        }
+        if (collapsed == labels) {
+            float lp_path = 0.0f;
+            for (std::int64_t t = 0; t < time; ++t) {
+                lp_path += lprob[t * classes + pi[static_cast<std::size_t>(t)]];
+            }
+            total = LogAdd(total, lp_path);
+        }
+        // Next alignment (odometer).
+        std::int64_t pos = time - 1;
+        while (pos >= 0) {
+            if (++pi[static_cast<std::size_t>(pos)] < classes) {
+                break;
+            }
+            pi[static_cast<std::size_t>(pos)] = 0;
+            --pos;
+        }
+        if (pos < 0) {
+            break;
+        }
+    }
+    return -total;
+}
+
+std::vector<std::int32_t>
+CtcBeamSearchDecode(const Tensor& logits, std::int32_t blank, int beam_width)
+{
+    const std::int64_t time = logits.shape().dim(0);
+    const std::int64_t classes = logits.shape().dim(1);
+    if (beam_width < 1) {
+        throw std::invalid_argument("CtcBeamSearchDecode: beam_width >= 1");
+    }
+    parallel::ThreadPool inline_pool(1);
+    const Tensor log_probs = LogSoftmax(logits, inline_pool);
+    const float* lp = log_probs.data<float>();
+
+    // Each beam entry tracks a prefix with two scores: probability of
+    // all alignments ending in blank (p_b) and in the prefix's last
+    // label (p_nb), both in the log domain.
+    struct Scores {
+        float p_b = kNegInf;
+        float p_nb = kNegInf;
+        float
+        total() const
+        {
+            return LogAdd(p_b, p_nb);
+        }
+    };
+    // Prefixes as int32 vectors; use a map keyed by the prefix.
+    using Prefix = std::vector<std::int32_t>;
+    std::map<Prefix, Scores> beam;
+    beam[{}] = Scores{0.0f, kNegInf};  // empty prefix, via blanks.
+
+    for (std::int64_t t = 0; t < time; ++t) {
+        std::map<Prefix, Scores> next;
+        auto bump = [&next](const Prefix& prefix, bool into_blank,
+                            float value) {
+            Scores& s = next[prefix];
+            float& slot = into_blank ? s.p_b : s.p_nb;
+            slot = LogAdd(slot, value);
+        };
+        for (const auto& [prefix, scores] : beam) {
+            const float last_lp =
+                prefix.empty()
+                    ? kNegInf
+                    : lp[t * classes + prefix.back()];
+            // Extend with blank: prefix unchanged.
+            bump(prefix, /*into_blank=*/true,
+                 scores.total() + lp[t * classes + blank]);
+            // Repeat the last label: only continues the non-blank path
+            // (a repeat after blank would be a new emission).
+            if (!prefix.empty()) {
+                bump(prefix, /*into_blank=*/false, scores.p_nb + last_lp);
+            }
+            for (std::int32_t c = 0; c < classes; ++c) {
+                if (c == blank) {
+                    continue;
+                }
+                const float c_lp = lp[t * classes + c];
+                Prefix extended = prefix;
+                extended.push_back(c);
+                if (!prefix.empty() && prefix.back() == c) {
+                    // New emission of the same label requires a blank
+                    // separator, so it can only follow the blank path.
+                    bump(extended, /*into_blank=*/false,
+                         scores.p_b + c_lp);
+                } else {
+                    bump(extended, /*into_blank=*/false,
+                         scores.total() + c_lp);
+                }
+            }
+        }
+        // Keep the beam_width best prefixes by total probability.
+        std::vector<std::pair<Prefix, Scores>> sorted(next.begin(),
+                                                      next.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.second.total() > b.second.total();
+                  });
+        beam.clear();
+        for (std::size_t i = 0;
+             i < sorted.size() &&
+             i < static_cast<std::size_t>(beam_width);
+             ++i) {
+            beam.insert(sorted[i]);
+        }
+    }
+
+    const Prefix* best = nullptr;
+    float best_score = kNegInf;
+    for (const auto& [prefix, scores] : beam) {
+        if (scores.total() > best_score) {
+            best_score = scores.total();
+            best = &prefix;
+        }
+    }
+    return best != nullptr ? *best : Prefix{};
+}
+
+std::vector<std::int32_t>
+CtcGreedyDecode(const Tensor& logits, std::int32_t blank)
+{
+    const std::int64_t time = logits.shape().dim(0);
+    const std::int64_t classes = logits.shape().dim(1);
+    const float* p = logits.data<float>();
+    std::vector<std::int32_t> out;
+    std::int32_t prev = -1;
+    for (std::int64_t t = 0; t < time; ++t) {
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < classes; ++c) {
+            if (p[t * classes + c] > p[t * classes + best]) {
+                best = c;
+            }
+        }
+        const std::int32_t sym = static_cast<std::int32_t>(best);
+        if (sym != prev && sym != blank) {
+            out.push_back(sym);
+        }
+        prev = sym;
+    }
+    return out;
+}
+
+}  // namespace fathom::kernels

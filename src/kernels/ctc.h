@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Connectionist temporal classification (CTC) loss.
+ *
+ * CTC (Graves et al. 2006) lets Deep Speech learn from unsegmented
+ * transcriptions; the paper's Fig. 3 shows it as the only significant
+ * non-MatMul computation in the speech workload. Implemented with the
+ * standard log-domain forward-backward recursion over the
+ * blank-interleaved label sequence.
+ */
+#ifndef FATHOM_KERNELS_CTC_H
+#define FATHOM_KERNELS_CTC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fathom::kernels {
+
+/** Result of one CTC evaluation. */
+struct CtcResult {
+    float loss;          ///< -log P(labels | logits).
+    Tensor grad_logits;  ///< gradient w.r.t. the raw (pre-softmax) logits.
+};
+
+/**
+ * Computes the CTC loss and its gradient for one sequence.
+ *
+ * @param logits  raw per-frame class scores, float32 [time, num_classes].
+ * @param labels  target label sequence (values in [0, num_classes),
+ *                excluding the blank); may be empty.
+ * @param blank   index of the blank symbol.
+ *
+ * The gradient uses the classical identity
+ *   dL/dy(t,k) = softmax(y)(t,k) - sum_{s : l'_s = k} gamma(t,s)
+ * where gamma is the alignment posterior from forward-backward.
+ *
+ * @throws std::invalid_argument if the labels cannot be emitted within
+ * the given number of frames (|l'| > 2T rule) or indices are invalid.
+ */
+CtcResult CtcLoss(const Tensor& logits,
+                  const std::vector<std::int32_t>& labels,
+                  std::int32_t blank);
+
+/**
+ * Reference implementation by explicit enumeration of all alignments.
+ * Exponential in time; for testing only (time * classes <= ~20^6).
+ */
+float CtcLossBruteForce(const Tensor& logits,
+                        const std::vector<std::int32_t>& labels,
+                        std::int32_t blank);
+
+/**
+ * Greedy (best-path) CTC decoding: per-frame argmax, collapse repeats,
+ * strip blanks. Used by inference paths and examples.
+ */
+std::vector<std::int32_t> CtcGreedyDecode(const Tensor& logits,
+                                          std::int32_t blank);
+
+/**
+ * Prefix beam-search CTC decoding (Hannun et al. 2014's decoder,
+ * without a language model): maintains the @p beam_width most probable
+ * *label prefixes*, correctly summing probability over all alignments
+ * of each prefix — unlike best-path decoding, which scores single
+ * alignments.
+ *
+ * @param logits raw per-frame scores [time, num_classes].
+ * @return the most probable label sequence.
+ */
+std::vector<std::int32_t> CtcBeamSearchDecode(const Tensor& logits,
+                                              std::int32_t blank,
+                                              int beam_width);
+
+}  // namespace fathom::kernels
+
+#endif  // FATHOM_KERNELS_CTC_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Data-movement kernels: transpose, concat, slice, gather, scatter-add,
+ * one-hot, pad.
+ *
+ * These form the paper's "Data Movement" operation class — individually
+ * cheap, but collectively significant in attention-based models
+ * (seq2seq) and memory networks, and resistant to parallel speedup.
+ */
+#ifndef FATHOM_KERNELS_DATA_MOVEMENT_H
+#define FATHOM_KERNELS_DATA_MOVEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace fathom::kernels {
+
+/**
+ * Permutes tensor dimensions: out[i_perm[0], ...] = in[i_0, ...].
+ * @param perm a permutation of [0, rank).
+ */
+Tensor Transpose(const Tensor& input, const std::vector<int>& perm,
+                 parallel::ThreadPool& pool);
+
+/** Concatenates float32 tensors along @p axis. */
+Tensor Concat(const std::vector<Tensor>& inputs, int axis,
+              parallel::ThreadPool& pool);
+
+/**
+ * Extracts a dense sub-block: out = in[begin[0]:begin[0]+size[0], ...].
+ * size[i] == -1 means "to the end of that dimension".
+ */
+Tensor Slice(const Tensor& input, const std::vector<std::int64_t>& begin,
+             const std::vector<std::int64_t>& size,
+             parallel::ThreadPool& pool);
+
+/**
+ * Embedding-style row gather: params [v, ...inner], indices int32
+ * [outer...] -> output [outer..., ...inner].
+ */
+Tensor Gather(const Tensor& params, const Tensor& indices,
+              parallel::ThreadPool& pool);
+
+/**
+ * Adjoint of Gather: accumulates rows of @p grad_out into a zero tensor
+ * of @p params_shape at positions given by @p indices.
+ */
+Tensor GatherGrad(const Shape& params_shape, const Tensor& indices,
+                  const Tensor& grad_out, parallel::ThreadPool& pool);
+
+/**
+ * One-hot encoding: int32 indices [outer...] -> float32
+ * [outer..., depth] with on_value at each index and off_value elsewhere.
+ * Out-of-range indices produce an all-off row (TF semantics).
+ */
+Tensor OneHot(const Tensor& indices, std::int64_t depth, float on_value,
+              float off_value, parallel::ThreadPool& pool);
+
+/** Zero-pads @p input by (before, after) element counts per dimension. */
+Tensor Pad(const Tensor& input,
+           const std::vector<std::pair<std::int64_t, std::int64_t>>& paddings,
+           parallel::ThreadPool& pool);
+
+/** Adjoint of Pad: slices the interior region back out. */
+Tensor PadGrad(const Tensor& grad_out,
+               const std::vector<std::pair<std::int64_t, std::int64_t>>& paddings,
+               parallel::ThreadPool& pool);
+
+}  // namespace fathom::kernels
+
+#endif  // FATHOM_KERNELS_DATA_MOVEMENT_H

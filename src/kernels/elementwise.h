@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Elementwise unary/binary maps with NumPy-style broadcasting.
+ *
+ * The elementwise-arithmetic operation class covers activations and the
+ * gate arithmetic inside LSTM cells — the paper singles these out as the
+ * reason seq2seq's profile is heavy on elementwise multiplication.
+ */
+#ifndef FATHOM_KERNELS_ELEMENTWISE_H
+#define FATHOM_KERNELS_ELEMENTWISE_H
+
+#include <functional>
+
+#include "parallel/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace fathom::kernels {
+
+/**
+ * @return the NumPy broadcast of two shapes.
+ * @throws std::invalid_argument if the shapes are incompatible.
+ */
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+/** Applies @p fn elementwise to a float32 tensor. */
+Tensor UnaryMap(const Tensor& input, const std::function<float(float)>& fn,
+                parallel::ThreadPool& pool);
+
+/**
+ * Applies @p fn elementwise to two float32 tensors with broadcasting.
+ * The fast same-shape path avoids index arithmetic entirely.
+ */
+Tensor BinaryMap(const Tensor& a, const Tensor& b,
+                 const std::function<float(float, float)>& fn,
+                 parallel::ThreadPool& pool);
+
+/**
+ * Sums a float32 tensor of @p from shape down to @p to shape by
+ * reducing over broadcast dimensions — the adjoint of broadcasting,
+ * used by gradients of broadcasting binary ops.
+ */
+Tensor ReduceToShape(const Tensor& from, const Shape& to,
+                     parallel::ThreadPool& pool);
+
+}  // namespace fathom::kernels
+
+#endif  // FATHOM_KERNELS_ELEMENTWISE_H

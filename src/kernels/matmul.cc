@@ -1,0 +1,91 @@
+#include "kernels/matmul.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fathom::kernels {
+
+namespace {
+
+/** Resolves the logical (rows, cols) of a possibly-transposed matrix. */
+void
+LogicalDims(const Tensor& t, bool transpose, std::int64_t* rows,
+            std::int64_t* cols)
+{
+    if (t.shape().rank() != 2) {
+        throw std::invalid_argument("MatMul operand must be rank-2, got " +
+                                    t.shape().ToString());
+    }
+    *rows = transpose ? t.shape().dim(1) : t.shape().dim(0);
+    *cols = transpose ? t.shape().dim(0) : t.shape().dim(1);
+}
+
+}  // namespace
+
+std::int64_t
+MatMulParallelWork(const Tensor& a, bool transpose_a)
+{
+    std::int64_t m = 0;
+    std::int64_t k = 0;
+    LogicalDims(a, transpose_a, &m, &k);
+    return m;
+}
+
+Tensor
+MatMul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b,
+       parallel::ThreadPool& pool)
+{
+    std::int64_t m = 0;
+    std::int64_t ka = 0;
+    std::int64_t kb = 0;
+    std::int64_t n = 0;
+    LogicalDims(a, transpose_a, &m, &ka);
+    LogicalDims(b, transpose_b, &kb, &n);
+    if (ka != kb) {
+        throw std::invalid_argument(
+            "MatMul inner dimensions differ: " + a.shape().ToString() +
+            (transpose_a ? "^T" : "") + " x " + b.shape().ToString() +
+            (transpose_b ? "^T" : ""));
+    }
+    const std::int64_t k = ka;
+
+    Tensor c = Tensor::Zeros(Shape{m, n});
+    const float* pa = a.data<float>();
+    const float* pb = b.data<float>();
+    float* pc = c.data<float>();
+
+    // Element strides of the *logical* (row, col) indices into the
+    // physical buffers.
+    const std::int64_t a_rs = transpose_a ? 1 : k;
+    const std::int64_t a_cs = transpose_a ? m : 1;
+    const std::int64_t b_rs = transpose_b ? 1 : n;
+    const std::int64_t b_cs = transpose_b ? k : 1;
+
+    // Row-parallel i-k-j order: the inner j loop is contiguous in C and
+    // (when B is untransposed) in B, which is the cache-friendly case
+    // that dominates the workloads.
+    pool.ParallelFor(m, /*grain=*/8, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+            float* crow = pc + i * n;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                const float av = pa[i * a_rs + kk * a_cs];
+                if (av == 0.0f) {
+                    continue;
+                }
+                const float* brow = pb + kk * b_rs;
+                if (b_cs == 1) {
+                    for (std::int64_t j = 0; j < n; ++j) {
+                        crow[j] += av * brow[j];
+                    }
+                } else {
+                    for (std::int64_t j = 0; j < n; ++j) {
+                        crow[j] += av * brow[j * b_cs];
+                    }
+                }
+            }
+        }
+    });
+    return c;
+}
+
+}  // namespace fathom::kernels

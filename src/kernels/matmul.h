@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Dense matrix-matrix multiplication.
+ *
+ * MatMul is one of the two "heavy" primitives identified by the paper
+ * (the other being convolution); fully-connected and recurrent Fathom
+ * workloads (speech, seq2seq, memnet, autoenc) spend most of their time
+ * here.
+ */
+#ifndef FATHOM_KERNELS_MATMUL_H
+#define FATHOM_KERNELS_MATMUL_H
+
+#include "parallel/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace fathom::kernels {
+
+/**
+ * Computes C = op(A) * op(B) where op is optional transposition.
+ *
+ * @param a          float32 matrix [m, k] (or [k, m] if transpose_a).
+ * @param b          float32 matrix [k, n] (or [n, k] if transpose_b).
+ * @param transpose_a whether to use A^T.
+ * @param transpose_b whether to use B^T.
+ * @param pool       thread pool for row-parallel execution.
+ * @return           float32 matrix [m, n].
+ *
+ * Uses a cache-blocked i-k-j loop order with the i dimension split
+ * across the pool.
+ */
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
+              bool transpose_b, parallel::ThreadPool& pool);
+
+/** @return the parallelizable trip count of the matmul (rows of C). */
+std::int64_t MatMulParallelWork(const Tensor& a, bool transpose_a);
+
+}  // namespace fathom::kernels
+
+#endif  // FATHOM_KERNELS_MATMUL_H

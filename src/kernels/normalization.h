@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Normalization kernels: local response normalization (alexnet) and
+ * batch normalization (residual networks).
+ */
+#ifndef FATHOM_KERNELS_NORMALIZATION_H
+#define FATHOM_KERNELS_NORMALIZATION_H
+
+#include <cstdint>
+
+#include "parallel/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace fathom::kernels {
+
+/** Hyperparameters of local response normalization (TF semantics). */
+struct LrnParams {
+    std::int64_t depth_radius = 2;  ///< half-window across channels.
+    float bias = 1.0f;
+    float alpha = 1e-4f;
+    float beta = 0.75f;
+};
+
+/**
+ * Cross-channel LRN over the last dimension:
+ *   out[i] = in[i] / (bias + alpha * sum_{|j-i|<=r} in[j]^2)^beta
+ */
+Tensor Lrn(const Tensor& input, const LrnParams& params,
+           parallel::ThreadPool& pool);
+
+/** Exact gradient of Lrn with respect to its input. */
+Tensor LrnGrad(const Tensor& input, const Tensor& grad_out,
+               const LrnParams& params, parallel::ThreadPool& pool);
+
+/** Forward results of batch normalization needed by the backward pass. */
+struct BatchNormResult {
+    Tensor output;  ///< normalized, scaled, shifted activations.
+    Tensor mean;    ///< per-channel batch mean [c].
+    Tensor inv_std; ///< per-channel 1/sqrt(var + eps) [c].
+};
+
+/**
+ * Batch normalization over all dimensions except the last (channel)
+ * dimension, using batch statistics:
+ *   y = gamma * (x - mean) / sqrt(var + eps) + beta
+ *
+ * @param gamma per-channel scale [c].
+ * @param beta  per-channel shift [c].
+ */
+BatchNormResult BatchNorm(const Tensor& input, const Tensor& gamma,
+                          const Tensor& beta, float epsilon,
+                          parallel::ThreadPool& pool);
+
+/** Gradients of BatchNorm. */
+struct BatchNormGrads {
+    Tensor grad_input;
+    Tensor grad_gamma;
+    Tensor grad_beta;
+};
+
+/**
+ * Backward pass of batch normalization given the forward statistics.
+ */
+BatchNormGrads BatchNormGrad(const Tensor& input, const Tensor& gamma,
+                             const Tensor& mean, const Tensor& inv_std,
+                             const Tensor& grad_out,
+                             parallel::ThreadPool& pool);
+
+}  // namespace fathom::kernels
+
+#endif  // FATHOM_KERNELS_NORMALIZATION_H

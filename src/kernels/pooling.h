@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Spatial max/average pooling over NHWC tensors.
+ */
+#ifndef FATHOM_KERNELS_POOLING_H
+#define FATHOM_KERNELS_POOLING_H
+
+#include <cstdint>
+
+#include "kernels/conv2d.h"
+#include "parallel/thread_pool.h"
+#include "tensor/tensor.h"
+
+namespace fathom::kernels {
+
+/** Static geometry of a pooling window sweep. */
+struct PoolGeometry {
+    std::int64_t batch, in_h, in_w, channels;
+    std::int64_t window, stride;
+    std::int64_t out_h, out_w;
+    std::int64_t pad_top, pad_left;
+};
+
+/** Resolves pooled output size for the given input and window. */
+PoolGeometry ResolvePool(const Shape& input, std::int64_t window,
+                         std::int64_t stride, Padding padding);
+
+/** Max pooling: [n,h,w,c] -> [n,oh,ow,c]. */
+Tensor MaxPool(const Tensor& input, std::int64_t window, std::int64_t stride,
+               Padding padding, parallel::ThreadPool& pool);
+
+/**
+ * Gradient of MaxPool. Recomputes argmaxes from @p input, routing each
+ * output gradient to the (first) maximal input within its window.
+ */
+Tensor MaxPoolGrad(const Tensor& input, const Tensor& grad_out,
+                   std::int64_t window, std::int64_t stride, Padding padding,
+                   parallel::ThreadPool& pool);
+
+/** Average pooling: [n,h,w,c] -> [n,oh,ow,c]. */
+Tensor AvgPool(const Tensor& input, std::int64_t window, std::int64_t stride,
+               Padding padding, parallel::ThreadPool& pool);
+
+/** Gradient of AvgPool: spreads each output gradient over its window. */
+Tensor AvgPoolGrad(const Shape& input_shape, const Tensor& grad_out,
+                   std::int64_t window, std::int64_t stride, Padding padding,
+                   parallel::ThreadPool& pool);
+
+}  // namespace fathom::kernels
+
+#endif  // FATHOM_KERNELS_POOLING_H

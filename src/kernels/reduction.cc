@@ -1,0 +1,286 @@
+#include "kernels/reduction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace fathom::kernels {
+
+Tensor
+Reduce(const Tensor& input, ReduceOp op, const std::vector<int>& axes,
+       bool keep_dims, parallel::ThreadPool& pool)
+{
+    const Shape& in_shape = input.shape();
+    const int rank = in_shape.rank();
+
+    std::set<int> reduce_axes;
+    if (axes.empty()) {
+        for (int i = 0; i < rank; ++i) {
+            reduce_axes.insert(i);
+        }
+    } else {
+        for (int a : axes) {
+            const int norm = a < 0 ? a + rank : a;
+            if (norm < 0 || norm >= rank) {
+                throw std::invalid_argument("Reduce: axis out of range");
+            }
+            reduce_axes.insert(norm);
+        }
+    }
+
+    std::vector<std::int64_t> out_dims;
+    for (int i = 0; i < rank; ++i) {
+        if (reduce_axes.count(i)) {
+            if (keep_dims) {
+                out_dims.push_back(1);
+            }
+        } else {
+            out_dims.push_back(in_shape.dim(i));
+        }
+    }
+    const Shape out_shape(out_dims);
+
+    // Map each input element to its output cell via per-axis strides
+    // (stride 0 on reduced axes).
+    std::vector<std::int64_t> out_strides_by_axis(
+        static_cast<std::size_t>(rank), 0);
+    {
+        std::int64_t stride = 1;
+        for (int i = rank - 1; i >= 0; --i) {
+            if (!reduce_axes.count(i)) {
+                out_strides_by_axis[static_cast<std::size_t>(i)] = stride;
+                stride *= in_shape.dim(i);
+            }
+        }
+    }
+    std::vector<std::int64_t> in_strides(static_cast<std::size_t>(rank), 1);
+    for (int i = rank - 2; i >= 0; --i) {
+        in_strides[static_cast<std::size_t>(i)] =
+            in_strides[static_cast<std::size_t>(i + 1)] * in_shape.dim(i + 1);
+    }
+
+    const float init = (op == ReduceOp::kMax)
+                           ? -std::numeric_limits<float>::infinity()
+                           : 0.0f;
+    Tensor out = Tensor::Full(out_shape, init);
+    const float* in = input.data<float>();
+    float* o = out.data<float>();
+
+    const std::int64_t n = input.num_elements();
+    for (std::int64_t flat = 0; flat < n; ++flat) {
+        std::int64_t rem = flat;
+        std::int64_t off = 0;
+        for (int d = 0; d < rank; ++d) {
+            const std::int64_t id = rem / in_strides[static_cast<std::size_t>(d)];
+            rem -= id * in_strides[static_cast<std::size_t>(d)];
+            off += id * out_strides_by_axis[static_cast<std::size_t>(d)];
+        }
+        if (op == ReduceOp::kMax) {
+            o[off] = std::max(o[off], in[flat]);
+        } else {
+            o[off] += in[flat];
+        }
+    }
+
+    if (op == ReduceOp::kMean) {
+        std::int64_t count = 1;
+        for (int a : reduce_axes) {
+            count *= in_shape.dim(a);
+        }
+        const float inv = count > 0 ? 1.0f / static_cast<float>(count) : 0.0f;
+        const std::int64_t out_n = out.num_elements();
+        for (std::int64_t i = 0; i < out_n; ++i) {
+            o[i] *= inv;
+        }
+    }
+    (void)pool;
+    return out;
+}
+
+namespace {
+
+/** @return (rows, cols) flattening all but the last dimension. */
+std::pair<std::int64_t, std::int64_t>
+RowsCols(const Shape& s)
+{
+    if (s.rank() < 1) {
+        throw std::invalid_argument("softmax-family kernels need rank >= 1");
+    }
+    const std::int64_t cols = s.dim(-1);
+    return {s.num_elements() / std::max<std::int64_t>(cols, 1), cols};
+}
+
+}  // namespace
+
+Tensor
+Softmax(const Tensor& logits, parallel::ThreadPool& pool)
+{
+    const auto [rows, cols] = RowsCols(logits.shape());
+    Tensor out(DType::kFloat32, logits.shape());
+    const float* in = logits.data<float>();
+    float* o = out.data<float>();
+    pool.ParallelFor(rows, /*grain=*/4, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const float* row = in + r * cols;
+            float* orow = o + r * cols;
+            float m = -std::numeric_limits<float>::infinity();
+            for (std::int64_t c = 0; c < cols; ++c) {
+                m = std::max(m, row[c]);
+            }
+            float sum = 0.0f;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                orow[c] = std::exp(row[c] - m);
+                sum += orow[c];
+            }
+            const float inv = 1.0f / sum;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                orow[c] *= inv;
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+LogSoftmax(const Tensor& logits, parallel::ThreadPool& pool)
+{
+    const auto [rows, cols] = RowsCols(logits.shape());
+    Tensor out(DType::kFloat32, logits.shape());
+    const float* in = logits.data<float>();
+    float* o = out.data<float>();
+    pool.ParallelFor(rows, /*grain=*/4, [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const float* row = in + r * cols;
+            float* orow = o + r * cols;
+            float m = -std::numeric_limits<float>::infinity();
+            for (std::int64_t c = 0; c < cols; ++c) {
+                m = std::max(m, row[c]);
+            }
+            float sum = 0.0f;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                sum += std::exp(row[c] - m);
+            }
+            const float log_sum = std::log(sum) + m;
+            for (std::int64_t c = 0; c < cols; ++c) {
+                orow[c] = row[c] - log_sum;
+            }
+        }
+    });
+    return out;
+}
+
+Tensor
+ArgMaxLastDim(const Tensor& input, parallel::ThreadPool& pool)
+{
+    const auto [rows, cols] = RowsCols(input.shape());
+    std::vector<std::int64_t> out_dims = input.shape().dims();
+    out_dims.pop_back();
+    Tensor out(DType::kInt32, Shape(out_dims));
+    const float* in = input.data<float>();
+    std::int32_t* o = out.data<std::int32_t>();
+    pool.ParallelFor(rows, /*grain=*/16,
+                     [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+            const float* row = in + r * cols;
+            std::int64_t best = 0;
+            for (std::int64_t c = 1; c < cols; ++c) {
+                if (row[c] > row[best]) {
+                    best = c;
+                }
+            }
+            o[r] = static_cast<std::int32_t>(best);
+        }
+    });
+    return out;
+}
+
+Tensor
+Tile(const Tensor& input, const std::vector<std::int64_t>& multiples,
+     parallel::ThreadPool& pool)
+{
+    const Shape& in_shape = input.shape();
+    const int rank = in_shape.rank();
+    if (static_cast<int>(multiples.size()) != rank) {
+        throw std::invalid_argument("Tile: multiples rank mismatch");
+    }
+    std::vector<std::int64_t> out_dims(static_cast<std::size_t>(rank));
+    for (int i = 0; i < rank; ++i) {
+        if (multiples[static_cast<std::size_t>(i)] < 1) {
+            throw std::invalid_argument("Tile: multiples must be >= 1");
+        }
+        out_dims[static_cast<std::size_t>(i)] =
+            in_shape.dim(i) * multiples[static_cast<std::size_t>(i)];
+    }
+    const Shape out_shape(out_dims);
+    Tensor out(DType::kFloat32, out_shape);
+    const float* in = input.data<float>();
+    float* o = out.data<float>();
+
+    std::vector<std::int64_t> in_strides(static_cast<std::size_t>(rank), 1);
+    std::vector<std::int64_t> out_strides(static_cast<std::size_t>(rank), 1);
+    for (int i = rank - 2; i >= 0; --i) {
+        in_strides[static_cast<std::size_t>(i)] =
+            in_strides[static_cast<std::size_t>(i + 1)] * in_shape.dim(i + 1);
+        out_strides[static_cast<std::size_t>(i)] =
+            out_strides[static_cast<std::size_t>(i + 1)] * out_shape.dim(i + 1);
+    }
+
+    const std::int64_t n = out_shape.num_elements();
+    pool.ParallelFor(n, /*grain=*/2048, [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t flat = i0; flat < i1; ++flat) {
+            std::int64_t rem = flat;
+            std::int64_t src = 0;
+            for (int d = 0; d < rank; ++d) {
+                const std::int64_t od =
+                    rem / out_strides[static_cast<std::size_t>(d)];
+                rem -= od * out_strides[static_cast<std::size_t>(d)];
+                src += (od % in_shape.dim(d)) *
+                       in_strides[static_cast<std::size_t>(d)];
+            }
+            o[flat] = in[src];
+        }
+    });
+    return out;
+}
+
+Tensor
+TileGrad(const Tensor& grad_out, const Shape& input_shape,
+         const std::vector<std::int64_t>& multiples,
+         parallel::ThreadPool& pool)
+{
+    const int rank = input_shape.rank();
+    if (static_cast<int>(multiples.size()) != rank) {
+        throw std::invalid_argument("TileGrad: multiples rank mismatch");
+    }
+    Tensor grad_in = Tensor::Zeros(input_shape);
+    const Shape& out_shape = grad_out.shape();
+    const float* go = grad_out.data<float>();
+    float* gi = grad_in.data<float>();
+
+    std::vector<std::int64_t> in_strides(static_cast<std::size_t>(rank), 1);
+    std::vector<std::int64_t> out_strides(static_cast<std::size_t>(rank), 1);
+    for (int i = rank - 2; i >= 0; --i) {
+        in_strides[static_cast<std::size_t>(i)] =
+            in_strides[static_cast<std::size_t>(i + 1)] * input_shape.dim(i + 1);
+        out_strides[static_cast<std::size_t>(i)] =
+            out_strides[static_cast<std::size_t>(i + 1)] * out_shape.dim(i + 1);
+    }
+    const std::int64_t n = out_shape.num_elements();
+    for (std::int64_t flat = 0; flat < n; ++flat) {
+        std::int64_t rem = flat;
+        std::int64_t dst = 0;
+        for (int d = 0; d < rank; ++d) {
+            const std::int64_t od = rem / out_strides[static_cast<std::size_t>(d)];
+            rem -= od * out_strides[static_cast<std::size_t>(d)];
+            dst += (od % input_shape.dim(d)) *
+                   in_strides[static_cast<std::size_t>(d)];
+        }
+        gi[dst] += go[flat];
+    }
+    (void)pool;
+    return grad_in;
+}
+
+}  // namespace fathom::kernels

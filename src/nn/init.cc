@@ -1,0 +1,62 @@
+#include "nn/init.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fathom::nn {
+
+Tensor
+GlorotUniform(Rng& rng, const Shape& shape, std::int64_t fan_in,
+              std::int64_t fan_out)
+{
+    const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+    Tensor t(DType::kFloat32, shape);
+    rng.FillUniform(&t, -a, a);
+    return t;
+}
+
+Tensor
+HeNormal(Rng& rng, const Shape& shape, std::int64_t fan_in)
+{
+    const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+    Tensor t(DType::kFloat32, shape);
+    rng.FillNormal(&t, 0.0f, stddev);
+    return t;
+}
+
+Tensor
+TruncatedNormal(Rng& rng, const Shape& shape, float stddev)
+{
+    Tensor t(DType::kFloat32, shape);
+    float* p = t.data<float>();
+    for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+        float v = rng.Normal(0.0f, stddev);
+        while (std::fabs(v) > 2.0f * stddev) {
+            v = rng.Normal(0.0f, stddev);
+        }
+        p[i] = v;
+    }
+    return t;
+}
+
+std::pair<std::int64_t, std::int64_t>
+DenseFans(const Shape& shape)
+{
+    if (shape.rank() != 2) {
+        throw std::invalid_argument("DenseFans: weight must be [in, out]");
+    }
+    return {shape.dim(0), shape.dim(1)};
+}
+
+std::pair<std::int64_t, std::int64_t>
+ConvFans(const Shape& shape)
+{
+    if (shape.rank() != 4) {
+        throw std::invalid_argument("ConvFans: filter must be [kh,kw,ic,oc]");
+    }
+    const std::int64_t receptive = shape.dim(0) * shape.dim(1);
+    return {receptive * shape.dim(2), receptive * shape.dim(3)};
+}
+
+}  // namespace fathom::nn

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Weight initializers used by the layer library.
+ */
+#ifndef FATHOM_NN_INIT_H
+#define FATHOM_NN_INIT_H
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fathom::nn {
+
+/**
+ * Glorot/Xavier uniform initialization: U[-a, a] with
+ * a = sqrt(6 / (fan_in + fan_out)). The default for dense and
+ * recurrent weights.
+ */
+Tensor GlorotUniform(Rng& rng, const Shape& shape, std::int64_t fan_in,
+                     std::int64_t fan_out);
+
+/** He normal initialization: N(0, sqrt(2 / fan_in)). For ReLU conv nets. */
+Tensor HeNormal(Rng& rng, const Shape& shape, std::int64_t fan_in);
+
+/** Truncated-range normal: N(0, stddev) clipped at 2 sigma. */
+Tensor TruncatedNormal(Rng& rng, const Shape& shape, float stddev);
+
+/** @return fan_in/fan_out for a dense [in, out] weight. */
+std::pair<std::int64_t, std::int64_t> DenseFans(const Shape& shape);
+
+/** @return fan_in/fan_out for a conv [kh, kw, ic, oc] filter. */
+std::pair<std::int64_t, std::int64_t> ConvFans(const Shape& shape);
+
+}  // namespace fathom::nn
+
+#endif  // FATHOM_NN_INIT_H

@@ -1,0 +1,233 @@
+#include "nn/layers.h"
+
+#include "nn/init.h"
+
+namespace fathom::nn {
+
+using graph::GraphBuilder;
+using graph::Output;
+
+Output
+Trainables::NewVariable(GraphBuilder& builder, const std::string& name,
+                        const Tensor& init)
+{
+    Param param;
+    param.read = builder.Variable(name, init, &param.var_name);
+    params_.push_back(param);
+    return param.read;
+}
+
+std::vector<Output>
+Trainables::ReadEdges() const
+{
+    std::vector<Output> edges;
+    edges.reserve(params_.size());
+    for (const Param& p : params_) {
+        edges.push_back(p.read);
+    }
+    return edges;
+}
+
+Output
+Activate(GraphBuilder& builder, Output x, Activation activation)
+{
+    switch (activation) {
+      case Activation::kNone:
+        return x;
+      case Activation::kRelu:
+        return builder.Relu(x);
+      case Activation::kSigmoid:
+        return builder.Sigmoid(x);
+      case Activation::kTanh:
+        return builder.Tanh(x);
+    }
+    return x;
+}
+
+Output
+Dense(GraphBuilder& builder, Trainables* trainables, Rng& rng,
+      const std::string& name, Output x, std::int64_t in, std::int64_t out,
+      Activation activation)
+{
+    graph::ScopeGuard scope(builder, name);
+    const Output w = trainables->NewVariable(
+        builder, "weights", GlorotUniform(rng, Shape{in, out}, in, out));
+    const Output b =
+        trainables->NewVariable(builder, "bias", Tensor::Zeros(Shape{out}));
+    return Activate(builder, builder.Add(builder.MatMul(x, w), b),
+                    activation);
+}
+
+DenseParams
+MakeDense(GraphBuilder& builder, Trainables* trainables, Rng& rng,
+          const std::string& name, std::int64_t in, std::int64_t out)
+{
+    graph::ScopeGuard scope(builder, name);
+    DenseParams params;
+    params.weights = trainables->NewVariable(
+        builder, "weights", GlorotUniform(rng, Shape{in, out}, in, out));
+    params.bias =
+        trainables->NewVariable(builder, "bias", Tensor::Zeros(Shape{out}));
+    return params;
+}
+
+Output
+ApplyDense(GraphBuilder& builder, const DenseParams& params, Output x,
+           Activation activation)
+{
+    return Activate(builder,
+                    builder.Add(builder.MatMul(x, params.weights),
+                                params.bias),
+                    activation);
+}
+
+Output
+Conv2DLayer(GraphBuilder& builder, Trainables* trainables, Rng& rng,
+            const std::string& name, Output x, std::int64_t kernel,
+            std::int64_t in_channels, std::int64_t out_channels,
+            std::int64_t stride, const std::string& padding,
+            Activation activation)
+{
+    graph::ScopeGuard scope(builder, name);
+    const Shape w_shape{kernel, kernel, in_channels, out_channels};
+    const auto [fan_in, fan_out] = ConvFans(w_shape);
+    (void)fan_out;
+    const Output w = trainables->NewVariable(builder, "filter",
+                                             HeNormal(rng, w_shape, fan_in));
+    const Output b = trainables->NewVariable(
+        builder, "bias", Tensor::Zeros(Shape{out_channels}));
+    const Output conv = builder.Conv2D(x, w, stride, padding);
+    return Activate(builder, builder.Add(conv, b), activation);
+}
+
+Output
+BatchNormLayer(GraphBuilder& builder, Trainables* trainables,
+               const std::string& name, Output x, std::int64_t channels)
+{
+    graph::ScopeGuard scope(builder, name);
+    const Output gamma = trainables->NewVariable(
+        builder, "gamma", Tensor::Full(Shape{channels}, 1.0f));
+    const Output beta = trainables->NewVariable(
+        builder, "beta", Tensor::Zeros(Shape{channels}));
+    return builder.BatchNorm(x, gamma, beta)[0];
+}
+
+ConvParams
+MakeConv2D(GraphBuilder& builder, Trainables* trainables, Rng& rng,
+           const std::string& name, std::int64_t kernel,
+           std::int64_t in_channels, std::int64_t out_channels)
+{
+    graph::ScopeGuard scope(builder, name);
+    const Shape w_shape{kernel, kernel, in_channels, out_channels};
+    const auto [fan_in, fan_out] = ConvFans(w_shape);
+    (void)fan_out;
+    ConvParams params;
+    params.filter = trainables->NewVariable(builder, "filter",
+                                            HeNormal(rng, w_shape, fan_in));
+    params.bias = trainables->NewVariable(
+        builder, "bias", Tensor::Zeros(Shape{out_channels}));
+    return params;
+}
+
+Output
+ApplyConv2D(GraphBuilder& builder, const ConvParams& params, Output x,
+            std::int64_t stride, const std::string& padding,
+            Activation activation)
+{
+    const Output conv = builder.Conv2D(x, params.filter, stride, padding);
+    return Activate(builder, builder.Add(conv, params.bias), activation);
+}
+
+BatchNormParams
+MakeBatchNorm(GraphBuilder& builder, Trainables* trainables,
+              const std::string& name, std::int64_t channels, float epsilon)
+{
+    graph::ScopeGuard scope(builder, name);
+    BatchNormParams params;
+    params.epsilon = epsilon;
+    params.gamma = trainables->NewVariable(
+        builder, "gamma", Tensor::Full(Shape{channels}, 1.0f));
+    params.beta = trainables->NewVariable(builder, "beta",
+                                          Tensor::Zeros(Shape{channels}));
+    // Running statistics are state, not parameters: created directly so
+    // the optimizer never updates them.
+    params.running_mean =
+        builder.Variable("running_mean", Tensor::Zeros(Shape{channels}),
+                         &params.running_mean_name);
+    params.running_var =
+        builder.Variable("running_var", Tensor::Full(Shape{channels}, 1.0f),
+                         &params.running_var_name);
+    return params;
+}
+
+BatchNormTrainResult
+ApplyBatchNormTraining(GraphBuilder& builder, const BatchNormParams& params,
+                       Output x, float momentum)
+{
+    const auto bn =
+        builder.BatchNorm(x, params.gamma, params.beta, params.epsilon);
+    BatchNormTrainResult result;
+    result.y = bn[0];
+
+    // Batch variance from the kernel's inv_std output:
+    //   var = 1 / inv_std^2 - epsilon.
+    const Output one = builder.ScalarConst(1.0f, "one");
+    const Output eps = builder.ScalarConst(params.epsilon, "eps");
+    const Output batch_var =
+        builder.Sub(builder.Div(one, builder.Square(bn[2])), eps);
+
+    // Exponential moving averages.
+    const Output m = builder.ScalarConst(momentum, "momentum");
+    const Output inv_m = builder.ScalarConst(1.0f - momentum, "inv_momentum");
+    const Output new_mean =
+        builder.Add(builder.Mul(params.running_mean, m),
+                    builder.Mul(bn[1], inv_m));
+    const Output new_var = builder.Add(builder.Mul(params.running_var, m),
+                                       builder.Mul(batch_var, inv_m));
+    result.stat_updates.push_back(
+        builder.Assign(params.running_mean_name, new_mean));
+    result.stat_updates.push_back(
+        builder.Assign(params.running_var_name, new_var));
+    return result;
+}
+
+Output
+ApplyBatchNormInference(GraphBuilder& builder, const BatchNormParams& params,
+                        Output x)
+{
+    return builder.AddOp(
+        "batch_norm_inference", "BatchNormInference",
+        {x, params.gamma, params.beta, params.running_mean,
+         params.running_var},
+        {{"epsilon", graph::AttrValue(params.epsilon)}});
+}
+
+Output
+Dropout(GraphBuilder& builder, Output x, float keep_prob, bool training)
+{
+    if (!training || keep_prob >= 1.0f) {
+        return x;
+    }
+    return builder.Mul(x, builder.DropoutMask(x, keep_prob));
+}
+
+Output
+Embedding(GraphBuilder& builder, Trainables* trainables, Rng& rng,
+          const std::string& name, Output indices, std::int64_t vocab,
+          std::int64_t dim)
+{
+    graph::ScopeGuard scope(builder, name);
+    const Output table = trainables->NewVariable(
+        builder, "embedding",
+        GlorotUniform(rng, Shape{vocab, dim}, vocab, dim));
+    return builder.Gather(table, indices);
+}
+
+Output
+Flatten(GraphBuilder& builder, Output x, std::int64_t batch,
+        std::int64_t features)
+{
+    return builder.Reshape(x, {batch, features});
+}
+
+}  // namespace fathom::nn

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Layer builders: dense, convolution, batch-norm, dropout, embeddings.
+ *
+ * Layers are free functions that append primitive-op subgraphs through
+ * a GraphBuilder and register their parameters with a Trainables
+ * collector, in the spirit of the thin layer wrappers the Fathom
+ * workloads were originally written with.
+ */
+#ifndef FATHOM_NN_LAYERS_H
+#define FATHOM_NN_LAYERS_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "tensor/rng.h"
+
+namespace fathom::nn {
+
+/** One trainable parameter: its store key and read edge. */
+struct Param {
+    std::string var_name;
+    graph::Output read;
+};
+
+/** Collects the trainable parameters of a model as layers are built. */
+class Trainables {
+  public:
+    /** Creates a variable, registers it, and returns its read edge. */
+    graph::Output NewVariable(graph::GraphBuilder& builder,
+                              const std::string& name, const Tensor& init);
+
+    const std::vector<Param>& params() const { return params_; }
+
+    /** @return read edges of all parameters, in creation order. */
+    std::vector<graph::Output> ReadEdges() const;
+
+  private:
+    std::vector<Param> params_;
+};
+
+/** Supported layer activations. */
+enum class Activation { kNone, kRelu, kSigmoid, kTanh };
+
+/** Applies @p activation to @p x (identity for kNone). */
+graph::Output Activate(graph::GraphBuilder& builder, graph::Output x,
+                       Activation activation);
+
+/**
+ * Fully-connected layer: y = act(x W + b).
+ * @param x [batch, in] input edge.
+ */
+graph::Output Dense(graph::GraphBuilder& builder, Trainables* trainables,
+                    Rng& rng, const std::string& name, graph::Output x,
+                    std::int64_t in, std::int64_t out,
+                    Activation activation = Activation::kNone);
+
+/** Parameters of a dense layer, for weight sharing across subgraphs. */
+struct DenseParams {
+    graph::Output weights;
+    graph::Output bias;
+};
+
+/** Creates dense-layer parameters without applying them. */
+DenseParams MakeDense(graph::GraphBuilder& builder, Trainables* trainables,
+                      Rng& rng, const std::string& name, std::int64_t in,
+                      std::int64_t out);
+
+/** Applies previously created dense parameters: y = act(x W + b). */
+graph::Output ApplyDense(graph::GraphBuilder& builder,
+                         const DenseParams& params, graph::Output x,
+                         Activation activation = Activation::kNone);
+
+/**
+ * Convolutional layer: y = act(conv(x, W) + b), NHWC.
+ * @param x [n, h, w, ic] input edge.
+ */
+graph::Output Conv2DLayer(graph::GraphBuilder& builder,
+                          Trainables* trainables, Rng& rng,
+                          const std::string& name, graph::Output x,
+                          std::int64_t kernel, std::int64_t in_channels,
+                          std::int64_t out_channels, std::int64_t stride,
+                          const std::string& padding,
+                          Activation activation = Activation::kRelu);
+
+/**
+ * Batch-normalization layer with trainable scale/shift over the last
+ * (channel) dimension.
+ */
+graph::Output BatchNormLayer(graph::GraphBuilder& builder,
+                             Trainables* trainables, const std::string& name,
+                             graph::Output x, std::int64_t channels);
+
+/** Parameters of a conv layer, for weight sharing across subgraphs. */
+struct ConvParams {
+    graph::Output filter;  ///< [k, k, in, out].
+    graph::Output bias;    ///< [out].
+};
+
+/** Creates conv-layer parameters without applying them. */
+ConvParams MakeConv2D(graph::GraphBuilder& builder, Trainables* trainables,
+                      Rng& rng, const std::string& name, std::int64_t kernel,
+                      std::int64_t in_channels, std::int64_t out_channels);
+
+/** Applies previously created conv parameters. */
+graph::Output ApplyConv2D(graph::GraphBuilder& builder,
+                          const ConvParams& params, graph::Output x,
+                          std::int64_t stride, const std::string& padding,
+                          Activation activation = Activation::kNone);
+
+/**
+ * Batch-normalization parameters with running statistics, for models
+ * that need distinct training (batch stats) and inference (running
+ * stats) paths over shared parameters.
+ */
+struct BatchNormParams {
+    graph::Output gamma;
+    graph::Output beta;
+    graph::Output running_mean;  ///< non-trainable state, read edge.
+    graph::Output running_var;
+    std::string running_mean_name;  ///< store keys for the Assigns.
+    std::string running_var_name;
+    float epsilon = 1e-5f;
+};
+
+/** Creates batch-norm parameters (gamma/beta trainable, stats not). */
+BatchNormParams MakeBatchNorm(graph::GraphBuilder& builder,
+                              Trainables* trainables,
+                              const std::string& name, std::int64_t channels,
+                              float epsilon = 1e-5f);
+
+/** Result of a training-mode batch-norm application. */
+struct BatchNormTrainResult {
+    graph::Output y;
+    /**
+     * Update nodes refreshing the running statistics with momentum;
+     * run them as targets alongside the train op.
+     */
+    std::vector<graph::NodeId> stat_updates;
+};
+
+/**
+ * Training-mode application: normalizes with batch statistics and
+ * emits exponential-moving-average updates of the running statistics
+ * (new = momentum * old + (1 - momentum) * batch).
+ */
+BatchNormTrainResult ApplyBatchNormTraining(graph::GraphBuilder& builder,
+                                            const BatchNormParams& params,
+                                            graph::Output x,
+                                            float momentum = 0.9f);
+
+/** Inference-mode application: normalizes with the running stats. */
+graph::Output ApplyBatchNormInference(graph::GraphBuilder& builder,
+                                      const BatchNormParams& params,
+                                      graph::Output x);
+
+/** Dropout: multiplies by a resampled mask when @p training is true. */
+graph::Output Dropout(graph::GraphBuilder& builder, graph::Output x,
+                      float keep_prob, bool training);
+
+/**
+ * Token embedding lookup: indices int32 [ ... ] -> [ ..., dim].
+ */
+graph::Output Embedding(graph::GraphBuilder& builder, Trainables* trainables,
+                        Rng& rng, const std::string& name,
+                        graph::Output indices, std::int64_t vocab,
+                        std::int64_t dim);
+
+/** Flattens a NHWC activation to [n, h*w*c]. */
+graph::Output Flatten(graph::GraphBuilder& builder, graph::Output x,
+                      std::int64_t batch, std::int64_t features);
+
+}  // namespace fathom::nn
+
+#endif  // FATHOM_NN_LAYERS_H

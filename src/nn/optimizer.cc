@@ -1,0 +1,93 @@
+#include "nn/optimizer.h"
+
+#include "autodiff/gradients.h"
+
+namespace fathom::nn {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::Output;
+
+OptimizerConfig
+OptimizerConfig::Sgd(float lr)
+{
+    OptimizerConfig c;
+    c.kind = OptimizerKind::kSgd;
+    c.learning_rate = lr;
+    return c;
+}
+
+OptimizerConfig
+OptimizerConfig::Momentum(float lr, float momentum)
+{
+    OptimizerConfig c;
+    c.kind = OptimizerKind::kMomentum;
+    c.learning_rate = lr;
+    c.momentum = momentum;
+    return c;
+}
+
+OptimizerConfig
+OptimizerConfig::RmsProp(float lr, float decay, float epsilon)
+{
+    OptimizerConfig c;
+    c.kind = OptimizerKind::kRmsProp;
+    c.learning_rate = lr;
+    c.decay = decay;
+    c.epsilon = epsilon;
+    return c;
+}
+
+OptimizerConfig
+OptimizerConfig::Adam(float lr)
+{
+    OptimizerConfig c;
+    c.kind = OptimizerKind::kAdam;
+    c.learning_rate = lr;
+    return c;
+}
+
+NodeId
+Minimize(GraphBuilder& builder, Output loss, const Trainables& trainables,
+         const OptimizerConfig& config)
+{
+    const auto grads =
+        autodiff::BuildGradients(builder, loss, trainables.ReadEdges());
+
+    graph::ScopeGuard scope(builder, "train");
+    std::vector<NodeId> updates;
+    updates.reserve(grads.size());
+    for (std::size_t i = 0; i < grads.size(); ++i) {
+        const std::string& var = trainables.params()[i].var_name;
+        Output grad = grads[i];
+        if (config.clip_value > 0.0f) {
+            grad = builder.ClipByValue(grad, -config.clip_value,
+                                       config.clip_value);
+        }
+        switch (config.kind) {
+          case OptimizerKind::kSgd:
+            updates.push_back(builder.ApplyGradientDescent(
+                var, grad, config.learning_rate));
+            break;
+          case OptimizerKind::kMomentum:
+            updates.push_back(builder.ApplyMomentum(
+                var, grad, config.learning_rate, config.momentum));
+            break;
+          case OptimizerKind::kRmsProp:
+            updates.push_back(builder.ApplyRmsProp(var, grad,
+                                                   config.learning_rate,
+                                                   config.decay,
+                                                   config.epsilon));
+            break;
+          case OptimizerKind::kAdam:
+            updates.push_back(builder.ApplyAdam(var, grad,
+                                                config.learning_rate,
+                                                config.beta1, config.beta2,
+                                                config.epsilon));
+            break;
+        }
+    }
+    return builder.Group(updates, "train_op");
+}
+
+}  // namespace fathom::nn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Training-graph construction: gradients + parameter-update ops.
+ */
+#ifndef FATHOM_NN_OPTIMIZER_H
+#define FATHOM_NN_OPTIMIZER_H
+
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "nn/layers.h"
+
+namespace fathom::nn {
+
+/** Which update rule to apply (the optimizers the workloads use). */
+enum class OptimizerKind { kSgd, kMomentum, kRmsProp, kAdam };
+
+/** Hyperparameters of the update rule. */
+struct OptimizerConfig {
+    OptimizerKind kind = OptimizerKind::kSgd;
+    float learning_rate = 0.01f;
+    float momentum = 0.9f;    ///< kMomentum only.
+    float decay = 0.95f;      ///< kRmsProp only.
+    float epsilon = 1e-6f;    ///< kRmsProp / kAdam.
+    float beta1 = 0.9f;       ///< kAdam only.
+    float beta2 = 0.999f;     ///< kAdam only.
+
+    /**
+     * Elementwise gradient clipping threshold (0 disables). Applied as
+     * clip(g, -clip_value, +clip_value) before the update op — the
+     * standard stabilizer for unrolled recurrent models.
+     */
+    float clip_value = 0.0f;
+
+    static OptimizerConfig Sgd(float lr);
+    static OptimizerConfig Momentum(float lr, float momentum = 0.9f);
+    static OptimizerConfig RmsProp(float lr, float decay = 0.95f,
+                                   float epsilon = 1e-6f);
+    static OptimizerConfig Adam(float lr);
+};
+
+/**
+ * Builds the backward graph of @p loss w.r.t. all parameters in
+ * @p trainables and appends one update op per parameter.
+ *
+ * @return a NoOp node depending on all updates (the "train op"); run
+ * it as a target to take one optimization step.
+ */
+graph::NodeId Minimize(graph::GraphBuilder& builder, graph::Output loss,
+                       const Trainables& trainables,
+                       const OptimizerConfig& config);
+
+}  // namespace fathom::nn
+
+#endif  // FATHOM_NN_OPTIMIZER_H

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Convolution-class ops: Conv2D (+ both backprops), pooling, LRN, and
+ * batch normalization.
+ */
+#include <cmath>
+#include <vector>
+
+#include "autodiff/gradients.h"
+#include "graph/op_registry.h"
+#include "kernels/conv2d.h"
+#include "kernels/normalization.h"
+#include "kernels/pooling.h"
+#include "ops/common.h"
+#include "ops/register.h"
+
+namespace fathom::ops {
+
+using autodiff::GradientRegistry;
+using graph::AttrValue;
+using graph::GraphBuilder;
+using graph::Node;
+using graph::OpClass;
+using graph::OpContext;
+using graph::OpDef;
+using graph::OpRegistry;
+using graph::Output;
+
+namespace {
+
+/** FLOPs of one convolution sweep given resolved geometry. */
+double
+ConvFlops(const kernels::Conv2DGeometry& g)
+{
+    return 2.0 * static_cast<double>(g.batch) * static_cast<double>(g.out_h) *
+           static_cast<double>(g.out_w) * static_cast<double>(g.k_h) *
+           static_cast<double>(g.k_w) * static_cast<double>(g.in_c) *
+           static_cast<double>(g.out_c);
+}
+
+kernels::LrnParams
+LrnParamsFromNode(const Node& node)
+{
+    kernels::LrnParams p;
+    p.depth_radius = node.attr_int("depth_radius", 2);
+    p.bias = node.attr_float("bias", 1.0f);
+    p.alpha = node.attr_float("alpha", 1e-4f);
+    p.beta = node.attr_float("beta", 0.75f);
+    return p;
+}
+
+}  // namespace
+
+void
+RegisterConvOps()
+{
+    OpRegistry& ops = OpRegistry::Global();
+    GradientRegistry& grads = GradientRegistry::Global();
+
+    ops.Register(OpDef{
+        "Conv2D", OpClass::kConvolution,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::Conv2D(
+                       ctx.input(0), ctx.input(1),
+                       ctx.node().attr("stride").AsInt(),
+                       ParsePadding(ctx.node().attr("padding").AsString()),
+                       ctx.pool()));
+        },
+        [](const Node& node, const std::vector<Tensor>& inputs,
+           const std::vector<Tensor>& outputs) {
+            const auto g = kernels::ResolveConv2D(
+                inputs[0].shape(), inputs[1].shape(),
+                node.attr("stride").AsInt(),
+                ParsePadding(node.attr("padding").AsString()));
+            graph::OpCost cost;
+            cost.flops = ConvFlops(g);
+            cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+            cost.parallel_work = g.batch * g.out_h;
+            return cost;
+        },
+        false});
+
+    // inputs: (input_ref_for_shape, filter, grad_out)
+    ops.Register(OpDef{
+        "Conv2DBackpropInput", OpClass::kConvolution,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::Conv2DBackpropInput(
+                       ctx.input(0).shape(), ctx.input(1), ctx.input(2),
+                       ctx.node().attr("stride").AsInt(),
+                       ParsePadding(ctx.node().attr("padding").AsString()),
+                       ctx.pool()));
+        },
+        [](const Node& node, const std::vector<Tensor>& inputs,
+           const std::vector<Tensor>& outputs) {
+            const auto g = kernels::ResolveConv2D(
+                inputs[0].shape(), inputs[1].shape(),
+                node.attr("stride").AsInt(),
+                ParsePadding(node.attr("padding").AsString()));
+            graph::OpCost cost;
+            cost.flops = ConvFlops(g);
+            cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+            cost.parallel_work = g.batch * g.in_h;
+            return cost;
+        },
+        false});
+
+    // inputs: (input, filter_ref_for_shape, grad_out)
+    ops.Register(OpDef{
+        "Conv2DBackpropFilter", OpClass::kConvolution,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::Conv2DBackpropFilter(
+                       ctx.input(0), ctx.input(1).shape(), ctx.input(2),
+                       ctx.node().attr("stride").AsInt(),
+                       ParsePadding(ctx.node().attr("padding").AsString()),
+                       ctx.pool()));
+        },
+        [](const Node& node, const std::vector<Tensor>& inputs,
+           const std::vector<Tensor>& outputs) {
+            const auto g = kernels::ResolveConv2D(
+                inputs[0].shape(), inputs[1].shape(),
+                node.attr("stride").AsInt(),
+                ParsePadding(node.attr("padding").AsString()));
+            graph::OpCost cost;
+            cost.flops = ConvFlops(g);
+            cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+            cost.parallel_work = g.k_h * g.k_w;
+            return cost;
+        },
+        false});
+
+    grads.Register(
+        "Conv2D",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            const Output input = node.inputs[0];
+            const Output filter = node.inputs[1];
+            std::map<std::string, AttrValue> attrs = {
+                {"stride", node.attr("stride")},
+                {"padding", node.attr("padding")}};
+            const Output gi =
+                b.AddOp("conv2d_back_input", "Conv2DBackpropInput",
+                        {input, filter, g[0]}, attrs);
+            const Output gf =
+                b.AddOp("conv2d_back_filter", "Conv2DBackpropFilter",
+                        {input, filter, g[0]}, attrs);
+            return {gi, gf};
+        });
+
+    // ---- pooling ---------------------------------------------------------
+
+    auto pool_cost = [](const Node& node, const std::vector<Tensor>& inputs,
+                        const std::vector<Tensor>& outputs) {
+        const auto g = kernels::ResolvePool(
+            inputs[0].shape(), node.attr("window").AsInt(),
+            node.attr("stride").AsInt(),
+            ParsePadding(node.attr("padding").AsString()));
+        graph::OpCost cost;
+        cost.flops = static_cast<double>(g.batch * g.out_h * g.out_w *
+                                         g.channels * g.window * g.window);
+        cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+        cost.parallel_work = g.batch * g.out_h;
+        return cost;
+    };
+
+    ops.Register(OpDef{
+        "MaxPool", OpClass::kConvolution,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::MaxPool(
+                       ctx.input(0), ctx.node().attr("window").AsInt(),
+                       ctx.node().attr("stride").AsInt(),
+                       ParsePadding(ctx.node().attr("padding").AsString()),
+                       ctx.pool()));
+        },
+        pool_cost, false});
+
+    ops.Register(OpDef{
+        "AvgPool", OpClass::kConvolution,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::AvgPool(
+                       ctx.input(0), ctx.node().attr("window").AsInt(),
+                       ctx.node().attr("stride").AsInt(),
+                       ParsePadding(ctx.node().attr("padding").AsString()),
+                       ctx.pool()));
+        },
+        pool_cost, false});
+
+    // inputs: (input, grad_out)
+    ops.Register(OpDef{
+        "MaxPoolGrad", OpClass::kConvolution,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::MaxPoolGrad(
+                       ctx.input(0), ctx.input(1),
+                       ctx.node().attr("window").AsInt(),
+                       ctx.node().attr("stride").AsInt(),
+                       ParsePadding(ctx.node().attr("padding").AsString()),
+                       ctx.pool()));
+        },
+        SerialCost(2.0), false});
+
+    // inputs: (input_ref_for_shape, grad_out)
+    ops.Register(OpDef{
+        "AvgPoolGrad", OpClass::kConvolution,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::AvgPoolGrad(
+                       ctx.input(0).shape(), ctx.input(1),
+                       ctx.node().attr("window").AsInt(),
+                       ctx.node().attr("stride").AsInt(),
+                       ParsePadding(ctx.node().attr("padding").AsString()),
+                       ctx.pool()));
+        },
+        SerialCost(2.0), false});
+
+    auto pool_grad = [](const char* grad_op) {
+        return [grad_op](GraphBuilder& b, const Node& node,
+                         const std::vector<Output>& g)
+                   -> std::vector<std::optional<Output>> {
+            std::map<std::string, AttrValue> attrs = {
+                {"window", node.attr("window")},
+                {"stride", node.attr("stride")},
+                {"padding", node.attr("padding")}};
+            return {b.AddOp("pool_grad", grad_op, {node.inputs[0], g[0]},
+                            attrs)};
+        };
+    };
+    grads.Register("MaxPool", pool_grad("MaxPoolGrad"));
+    grads.Register("AvgPool", pool_grad("AvgPoolGrad"));
+
+    // ---- local response normalization -------------------------------------
+
+    ops.Register(OpDef{
+        "Lrn", OpClass::kReductionExpansion,
+        [](OpContext& ctx) {
+            ctx.set_output(0, kernels::Lrn(ctx.input(0),
+                                           LrnParamsFromNode(ctx.node()),
+                                           ctx.pool()));
+        },
+        [](const Node& node, const std::vector<Tensor>& inputs,
+           const std::vector<Tensor>& outputs) {
+            graph::OpCost cost;
+            const double window =
+                2.0 * static_cast<double>(node.attr_int("depth_radius", 2)) +
+                1.0;
+            cost.flops = (window * 2.0 + 20.0) *
+                         static_cast<double>(inputs[0].num_elements());
+            cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+            const Shape& s = inputs[0].shape();
+            cost.parallel_work = s.num_elements() / s.dim(-1);
+            return cost;
+        },
+        false});
+
+    // inputs: (input, grad_out)
+    ops.Register(OpDef{
+        "LrnGrad", OpClass::kReductionExpansion,
+        [](OpContext& ctx) {
+            ctx.set_output(0, kernels::LrnGrad(ctx.input(0), ctx.input(1),
+                                               LrnParamsFromNode(ctx.node()),
+                                               ctx.pool()));
+        },
+        SerialCost(40.0), false});
+
+    grads.Register(
+        "Lrn",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("lrn_grad", "LrnGrad", {node.inputs[0], g[0]},
+                            node.attrs)};
+        });
+
+    // ---- batch normalization ----------------------------------------------
+
+    // inputs: (x, gamma, beta); outputs: (y, mean, inv_std)
+    ops.Register(OpDef{
+        "BatchNorm", OpClass::kReductionExpansion,
+        [](OpContext& ctx) {
+            auto result = kernels::BatchNorm(
+                ctx.input(0), ctx.input(1), ctx.input(2),
+                ctx.node().attr_float("epsilon", 1e-5f), ctx.pool());
+            ctx.set_output(0, std::move(result.output));
+            ctx.set_output(1, std::move(result.mean));
+            ctx.set_output(2, std::move(result.inv_std));
+        },
+        [](const Node&, const std::vector<Tensor>& inputs,
+           const std::vector<Tensor>& outputs) {
+            graph::OpCost cost;
+            cost.flops = 8.0 * static_cast<double>(inputs[0].num_elements());
+            cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+            const Shape& s = inputs[0].shape();
+            cost.parallel_work = s.num_elements() / s.dim(-1);
+            return cost;
+        },
+        false});
+
+    // inputs: (x, gamma, beta, mean, var); inference-mode normalization
+    // with *running* statistics instead of batch statistics.
+    ops.Register(OpDef{
+        "BatchNormInference", OpClass::kReductionExpansion,
+        [](OpContext& ctx) {
+            const Tensor& x = ctx.input(0);
+            const Tensor& gamma = ctx.input(1);
+            const Tensor& beta = ctx.input(2);
+            const Tensor& mean = ctx.input(3);
+            const Tensor& var = ctx.input(4);
+            const float eps = ctx.node().attr_float("epsilon", 1e-5f);
+            const std::int64_t channels = x.shape().dim(-1);
+            if (gamma.num_elements() != channels ||
+                beta.num_elements() != channels ||
+                mean.num_elements() != channels ||
+                var.num_elements() != channels) {
+                throw std::invalid_argument(
+                    "BatchNormInference: per-channel params must be "
+                    "[channels]");
+            }
+            Tensor out(DType::kFloat32, x.shape());
+            const std::int64_t rows = x.num_elements() / channels;
+            const float* xp = x.data<float>();
+            const float* g = gamma.data<float>();
+            const float* bt = beta.data<float>();
+            const float* mu = mean.data<float>();
+            const float* v = var.data<float>();
+            float* o = out.data<float>();
+            std::vector<float> scale(static_cast<std::size_t>(channels));
+            std::vector<float> shift(static_cast<std::size_t>(channels));
+            for (std::int64_t c = 0; c < channels; ++c) {
+                const float inv = 1.0f / std::sqrt(v[c] + eps);
+                scale[static_cast<std::size_t>(c)] = g[c] * inv;
+                shift[static_cast<std::size_t>(c)] =
+                    bt[c] - mu[c] * g[c] * inv;
+            }
+            ctx.pool().ParallelFor(
+                rows, /*grain=*/64,
+                [&](std::int64_t r0, std::int64_t r1) {
+                    for (std::int64_t r = r0; r < r1; ++r) {
+                        for (std::int64_t c = 0; c < channels; ++c) {
+                            o[r * channels + c] =
+                                xp[r * channels + c] *
+                                    scale[static_cast<std::size_t>(c)] +
+                                shift[static_cast<std::size_t>(c)];
+                        }
+                    }
+                });
+            ctx.set_output(0, std::move(out));
+        },
+        ElementwiseCost(2.0), false});
+
+    // inputs: (x, gamma, mean, inv_std, grad_y);
+    // outputs: (grad_x, grad_gamma, grad_beta)
+    ops.Register(OpDef{
+        "BatchNormGrad", OpClass::kReductionExpansion,
+        [](OpContext& ctx) {
+            auto result = kernels::BatchNormGrad(
+                ctx.input(0), ctx.input(1), ctx.input(2), ctx.input(3),
+                ctx.input(4), ctx.pool());
+            ctx.set_output(0, std::move(result.grad_input));
+            ctx.set_output(1, std::move(result.grad_gamma));
+            ctx.set_output(2, std::move(result.grad_beta));
+        },
+        SerialCost(10.0), false});
+
+    grads.Register(
+        "BatchNorm",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            if (g[1].node != -1 || g[2].node != -1) {
+                throw std::logic_error(
+                    "BatchNorm: gradients through batch statistics outputs "
+                    "are not supported");
+            }
+            const graph::NodeId id = b.AddNode(
+                "batch_norm_grad", "BatchNormGrad",
+                {node.inputs[0], node.inputs[1], Output{node.id, 1},
+                 Output{node.id, 2}, g[0]},
+                {}, /*num_outputs=*/3);
+            return {Output{id, 0}, Output{id, 1}, Output{id, 2}};
+        });
+}
+
+}  // namespace fathom::ops

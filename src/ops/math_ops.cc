@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Elementwise arithmetic ops and their gradients.
+ */
+#include <cmath>
+
+#include "autodiff/gradients.h"
+#include "graph/op_registry.h"
+#include "kernels/elementwise.h"
+#include "ops/common.h"
+#include "ops/register.h"
+
+namespace fathom::ops {
+
+using autodiff::GradientRegistry;
+using graph::AttrValue;
+using graph::GraphBuilder;
+using graph::Node;
+using graph::OpClass;
+using graph::OpContext;
+using graph::OpDef;
+using graph::OpRegistry;
+using graph::Output;
+
+namespace {
+
+/** Registers a broadcasting binary op. */
+void
+RegisterBinary(const std::string& name, float (*fn)(float, float),
+               double flops_per_elem)
+{
+    OpRegistry::Global().Register(OpDef{
+        name, OpClass::kElementwise,
+        [fn](OpContext& ctx) {
+            ctx.set_output(0, kernels::BinaryMap(ctx.input(0), ctx.input(1),
+                                                 fn, ctx.pool()));
+        },
+        ElementwiseCost(flops_per_elem), false});
+}
+
+/** Registers a unary op. */
+void
+RegisterUnary(const std::string& name, float (*fn)(float),
+              double flops_per_elem)
+{
+    OpRegistry::Global().Register(OpDef{
+        name, OpClass::kElementwise,
+        [fn](OpContext& ctx) {
+            ctx.set_output(0,
+                           kernels::UnaryMap(ctx.input(0), fn, ctx.pool()));
+        },
+        ElementwiseCost(flops_per_elem), false});
+}
+
+/** Reduces @p grad to the broadcast-input's shape. */
+Output
+SumTo(GraphBuilder& b, Output grad, Output ref)
+{
+    return b.AddOp("sum_to", "SumToShapeOf", {grad, ref});
+}
+
+}  // namespace
+
+void
+RegisterMathOps()
+{
+    OpRegistry& ops = OpRegistry::Global();
+    GradientRegistry& grads = GradientRegistry::Global();
+
+    RegisterBinary("Add", [](float a, float b) { return a + b; }, 1.0);
+    RegisterBinary("Sub", [](float a, float b) { return a - b; }, 1.0);
+    RegisterBinary("Mul", [](float a, float b) { return a * b; }, 1.0);
+    RegisterBinary("Div", [](float a, float b) { return a / b; }, 4.0);
+
+    RegisterUnary("Neg", [](float x) { return -x; }, 1.0);
+    RegisterUnary("Exp", [](float x) { return std::exp(x); }, 10.0);
+    RegisterUnary(
+        "Log", [](float x) { return std::log(x); }, 10.0);
+    RegisterUnary(
+        "Sqrt", [](float x) { return std::sqrt(x); }, 4.0);
+    RegisterUnary("Square", [](float x) { return x * x; }, 1.0);
+    RegisterUnary(
+        "Relu", [](float x) { return x > 0.0f ? x : 0.0f; }, 1.0);
+    RegisterUnary(
+        "Sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+        12.0);
+    RegisterUnary(
+        "Tanh", [](float x) { return std::tanh(x); }, 12.0);
+
+    ops.Register(OpDef{
+        "Pow", OpClass::kElementwise,
+        [](OpContext& ctx) {
+            const float p = ctx.node().attr("exponent").AsFloat();
+            ctx.set_output(0, kernels::UnaryMap(
+                                  ctx.input(0),
+                                  [p](float x) { return std::pow(x, p); },
+                                  ctx.pool()));
+        },
+        ElementwiseCost(20.0), false});
+
+    ops.Register(OpDef{
+        "AddN", OpClass::kElementwise,
+        [](OpContext& ctx) {
+            Tensor acc = ctx.input(0).Clone();
+            float* a = acc.data<float>();
+            const std::int64_t n = acc.num_elements();
+            for (int i = 1; i < ctx.num_inputs(); ++i) {
+                if (ctx.input(i).shape() != acc.shape()) {
+                    throw std::invalid_argument("AddN: shape mismatch");
+                }
+                const float* x = ctx.input(i).data<float>();
+                for (std::int64_t k = 0; k < n; ++k) {
+                    a[k] += x[k];
+                }
+            }
+            ctx.set_output(0, std::move(acc));
+        },
+        ElementwiseCost(1.0), false});
+
+    // Gradient helper ops (elementwise, appear in backward profiles).
+    ops.Register(OpDef{
+        "ReluGrad", OpClass::kElementwise,
+        [](OpContext& ctx) {
+            // inputs: (grad, x)
+            ctx.set_output(0, kernels::BinaryMap(
+                                  ctx.input(0), ctx.input(1),
+                                  [](float g, float x) {
+                                      return x > 0.0f ? g : 0.0f;
+                                  },
+                                  ctx.pool()));
+        },
+        ElementwiseCost(1.0), false});
+
+    ops.Register(OpDef{
+        "SigmoidGrad", OpClass::kElementwise,
+        [](OpContext& ctx) {
+            // inputs: (grad, y) with y = sigmoid(x)
+            ctx.set_output(0, kernels::BinaryMap(
+                                  ctx.input(0), ctx.input(1),
+                                  [](float g, float y) {
+                                      return g * y * (1.0f - y);
+                                  },
+                                  ctx.pool()));
+        },
+        ElementwiseCost(3.0), false});
+
+    ops.Register(OpDef{
+        "TanhGrad", OpClass::kElementwise,
+        [](OpContext& ctx) {
+            // inputs: (grad, y) with y = tanh(x)
+            ctx.set_output(0, kernels::BinaryMap(
+                                  ctx.input(0), ctx.input(1),
+                                  [](float g, float y) {
+                                      return g * (1.0f - y * y);
+                                  },
+                                  ctx.pool()));
+        },
+        ElementwiseCost(3.0), false});
+
+    ops.Register(OpDef{
+        "ClipByValue", OpClass::kElementwise,
+        [](OpContext& ctx) {
+            const float lo = ctx.node().attr("clip_min").AsFloat();
+            const float hi = ctx.node().attr("clip_max").AsFloat();
+            ctx.set_output(0, kernels::UnaryMap(
+                                  ctx.input(0),
+                                  [lo, hi](float x) {
+                                      return x < lo ? lo : (x > hi ? hi : x);
+                                  },
+                                  ctx.pool()));
+        },
+        ElementwiseCost(2.0), false});
+
+    // inputs: (grad, x); passes gradient only inside the clip range.
+    ops.Register(OpDef{
+        "ClipByValueGrad", OpClass::kElementwise,
+        [](OpContext& ctx) {
+            const float lo = ctx.node().attr("clip_min").AsFloat();
+            const float hi = ctx.node().attr("clip_max").AsFloat();
+            ctx.set_output(0, kernels::BinaryMap(
+                                  ctx.input(0), ctx.input(1),
+                                  [lo, hi](float g, float x) {
+                                      return (x >= lo && x <= hi) ? g : 0.0f;
+                                  },
+                                  ctx.pool()));
+        },
+        ElementwiseCost(2.0), false});
+
+    // The adjoint of broadcasting: reduce grad down to ref's shape.
+    ops.Register(OpDef{
+        "SumToShapeOf", OpClass::kReductionExpansion,
+        [](OpContext& ctx) {
+            ctx.set_output(0, kernels::ReduceToShape(
+                                  ctx.input(0), ctx.input(1).shape(),
+                                  ctx.pool()));
+        },
+        SerialCost(1.0), false});
+
+    // ---- gradients -------------------------------------------------------
+
+    grads.Register(
+        "Add",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {SumTo(b, g[0], node.inputs[0]),
+                    SumTo(b, g[0], node.inputs[1])};
+        });
+
+    grads.Register(
+        "Sub",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {SumTo(b, g[0], node.inputs[0]),
+                    SumTo(b, b.Neg(g[0]), node.inputs[1])};
+        });
+
+    grads.Register(
+        "Mul",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            const Output a = node.inputs[0];
+            const Output bb = node.inputs[1];
+            return {SumTo(b, b.Mul(g[0], bb), a),
+                    SumTo(b, b.Mul(g[0], a), bb)};
+        });
+
+    grads.Register(
+        "Div",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            const Output a = node.inputs[0];
+            const Output bb = node.inputs[1];
+            const Output ga = b.Div(g[0], bb);
+            const Output gb =
+                b.Neg(b.Div(b.Mul(g[0], a), b.Mul(bb, bb)));
+            return {SumTo(b, ga, a), SumTo(b, gb, bb)};
+        });
+
+    grads.Register(
+        "AddN",
+        [](GraphBuilder&, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return std::vector<std::optional<Output>>(node.inputs.size(),
+                                                      g[0]);
+        });
+
+    grads.Register(
+        "Neg",
+        [](GraphBuilder& b, const Node&, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> { return {b.Neg(g[0])}; });
+
+    grads.Register(
+        "Exp",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.Mul(g[0], Output{node.id, 0})};
+        });
+
+    grads.Register(
+        "Log",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.Div(g[0], node.inputs[0])};
+        });
+
+    grads.Register(
+        "Sqrt",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            // d sqrt(x) = 0.5 / sqrt(x)
+            const Output half = b.ScalarConst(0.5f, "half");
+            return {b.Div(b.Mul(g[0], half), Output{node.id, 0})};
+        });
+
+    grads.Register(
+        "Square",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            const Output two = b.ScalarConst(2.0f, "two");
+            return {b.Mul(b.Mul(g[0], two), node.inputs[0])};
+        });
+
+    grads.Register(
+        "Pow",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            const float p = node.attr("exponent").AsFloat();
+            const Output coeff = b.ScalarConst(p, "pow_coeff");
+            return {b.Mul(b.Mul(g[0], coeff),
+                          b.Pow(node.inputs[0], p - 1.0f))};
+        });
+
+    grads.Register(
+        "Relu",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("relu_grad", "ReluGrad", {g[0], node.inputs[0]})};
+        });
+
+    grads.Register(
+        "Sigmoid",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("sigmoid_grad", "SigmoidGrad",
+                            {g[0], Output{node.id, 0}})};
+        });
+
+    grads.Register(
+        "Tanh",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("tanh_grad", "TanhGrad",
+                            {g[0], Output{node.id, 0}})};
+        });
+
+    grads.Register(
+        "ClipByValue",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("clip_grad", "ClipByValueGrad",
+                            {g[0], node.inputs[0]},
+                            {{"clip_min", node.attr("clip_min")},
+                             {"clip_max", node.attr("clip_max")}})};
+        });
+
+    grads.Register(
+        "ReluGrad",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            // Second-order term for x is zero a.e.; propagate through
+            // the grad operand only.
+            return {b.AddOp("relu_grad", "ReluGrad", {g[0], node.inputs[1]}),
+                    std::nullopt};
+        });
+}
+
+}  // namespace fathom::ops

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Matrix multiplication op and gradient.
+ */
+#include "autodiff/gradients.h"
+#include "graph/op_registry.h"
+#include "kernels/matmul.h"
+#include "ops/common.h"
+#include "ops/register.h"
+
+namespace fathom::ops {
+
+using autodiff::GradientRegistry;
+using graph::GraphBuilder;
+using graph::Node;
+using graph::OpClass;
+using graph::OpContext;
+using graph::OpDef;
+using graph::OpRegistry;
+using graph::Output;
+
+void
+RegisterMatMulOps()
+{
+    OpRegistry::Global().Register(OpDef{
+        "MatMul", OpClass::kMatrixOps,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::MatMul(ctx.input(0), ctx.input(1),
+                                   ctx.node().attr_bool("transpose_a", false),
+                                   ctx.node().attr_bool("transpose_b", false),
+                                   ctx.pool()));
+        },
+        [](const Node& node, const std::vector<Tensor>& inputs,
+           const std::vector<Tensor>& outputs) {
+            graph::OpCost cost;
+            const bool ta = node.attr_bool("transpose_a", false);
+            const std::int64_t m = outputs[0].shape().dim(0);
+            const std::int64_t n = outputs[0].shape().dim(1);
+            const std::int64_t k =
+                ta ? inputs[0].shape().dim(0) : inputs[0].shape().dim(1);
+            cost.flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) * static_cast<double>(k);
+            cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+            cost.parallel_work = m;
+            return cost;
+        },
+        false});
+
+    GradientRegistry::Global().Register(
+        "MatMul",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            const Output a = node.inputs[0];
+            const Output bb = node.inputs[1];
+            const bool ta = node.attr_bool("transpose_a", false);
+            const bool tb = node.attr_bool("transpose_b", false);
+            Output ga, gb;
+            if (!ta && !tb) {
+                ga = b.MatMul(g[0], bb, false, true);
+                gb = b.MatMul(a, g[0], true, false);
+            } else if (ta && !tb) {
+                ga = b.MatMul(bb, g[0], false, true);
+                gb = b.MatMul(a, g[0], false, false);
+            } else if (!ta && tb) {
+                ga = b.MatMul(g[0], bb, false, false);
+                gb = b.MatMul(g[0], a, true, false);
+            } else {
+                ga = b.MatMul(bb, g[0], true, true);
+                gb = b.MatMul(g[0], a, true, true);
+            }
+            return {ga, gb};
+        });
+}
+
+}  // namespace fathom::ops

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Data-movement ops: Reshape, Transpose, Concat, Slice, Gather, OneHot,
+ * Pad, and their gradient helper ops.
+ */
+#include <stdexcept>
+
+#include "autodiff/gradients.h"
+#include "graph/op_registry.h"
+#include "kernels/data_movement.h"
+#include "ops/common.h"
+#include "ops/register.h"
+
+namespace fathom::ops {
+
+using autodiff::GradientRegistry;
+using graph::AttrValue;
+using graph::GraphBuilder;
+using graph::Node;
+using graph::OpClass;
+using graph::OpContext;
+using graph::OpDef;
+using graph::OpRegistry;
+using graph::Output;
+
+namespace {
+
+/** Resolves a reshape target allowing a single -1 wildcard. */
+Shape
+ResolveReshape(const Shape& input, const std::vector<std::int64_t>& target)
+{
+    std::int64_t known = 1;
+    int wildcard = -1;
+    for (std::size_t i = 0; i < target.size(); ++i) {
+        if (target[i] == -1) {
+            if (wildcard != -1) {
+                throw std::invalid_argument("Reshape: multiple -1 dims");
+            }
+            wildcard = static_cast<int>(i);
+        } else {
+            known *= target[i];
+        }
+    }
+    std::vector<std::int64_t> dims = target;
+    if (wildcard >= 0) {
+        if (known == 0 || input.num_elements() % known != 0) {
+            throw std::invalid_argument("Reshape: cannot infer -1 dim");
+        }
+        dims[static_cast<std::size_t>(wildcard)] =
+            input.num_elements() / known;
+    }
+    return Shape(dims);
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+PaddingsFromAttr(const std::vector<std::int64_t>& flat)
+{
+    if (flat.size() % 2 != 0) {
+        throw std::invalid_argument("paddings attr must have even length");
+    }
+    std::vector<std::pair<std::int64_t, std::int64_t>> paddings;
+    for (std::size_t i = 0; i < flat.size(); i += 2) {
+        paddings.emplace_back(flat[i], flat[i + 1]);
+    }
+    return paddings;
+}
+
+graph::CostFn
+MovementCost()
+{
+    return [](const Node&, const std::vector<Tensor>& inputs,
+              const std::vector<Tensor>& outputs) {
+        graph::OpCost cost;
+        cost.flops = 0.0;
+        cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+        cost.parallel_work = 1;
+        return cost;
+    };
+}
+
+}  // namespace
+
+void
+RegisterMovementOps()
+{
+    OpRegistry& ops = OpRegistry::Global();
+    GradientRegistry& grads = GradientRegistry::Global();
+
+    ops.Register(OpDef{
+        "Reshape", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(0, ctx.input(0).Reshape(ResolveReshape(
+                                  ctx.input(0).shape(),
+                                  ctx.node().attr("shape").AsIntList())));
+        },
+        MovementCost(), false});
+
+    // inputs: (x, ref): reshape x to ref's shape (dynamic Reshape).
+    ops.Register(OpDef{
+        "ReshapeLike", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(0, ctx.input(0).Reshape(ctx.input(1).shape()));
+        },
+        MovementCost(), false});
+
+    auto reshape_grad = [](GraphBuilder& b, const Node& node,
+                           const std::vector<Output>& g)
+        -> std::vector<std::optional<Output>> {
+        std::vector<std::optional<Output>> result;
+        result.push_back(b.AddOp("reshape_grad", "ReshapeLike",
+                                 {g[0], node.inputs[0]}));
+        for (std::size_t i = 1; i < node.inputs.size(); ++i) {
+            result.push_back(std::nullopt);
+        }
+        return result;
+    };
+    grads.Register("Reshape", reshape_grad);
+    grads.Register("ReshapeLike", reshape_grad);
+
+    ops.Register(OpDef{
+        "Transpose", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            std::vector<int> perm;
+            for (std::int64_t p : ctx.node().attr("perm").AsIntList()) {
+                perm.push_back(static_cast<int>(p));
+            }
+            ctx.set_output(0,
+                           kernels::Transpose(ctx.input(0), perm, ctx.pool()));
+        },
+        MovementCost(), false});
+
+    grads.Register(
+        "Transpose",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            const auto& perm = node.attr("perm").AsIntList();
+            std::vector<std::int64_t> inverse(perm.size());
+            for (std::size_t i = 0; i < perm.size(); ++i) {
+                inverse[static_cast<std::size_t>(perm[i])] =
+                    static_cast<std::int64_t>(i);
+            }
+            return {b.Transpose(g[0], inverse)};
+        });
+
+    ops.Register(OpDef{
+        "Concat", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            std::vector<Tensor> inputs;
+            for (int i = 0; i < ctx.num_inputs(); ++i) {
+                inputs.push_back(ctx.input(i));
+            }
+            ctx.set_output(
+                0, kernels::Concat(inputs,
+                                   static_cast<int>(
+                                       ctx.node().attr("axis").AsInt()),
+                                   ctx.pool()));
+        },
+        MovementCost(), false});
+
+    // inputs: (grad, ref_0, ..., ref_{n-1}); n outputs, one per ref.
+    ops.Register(OpDef{
+        "ConcatGrad", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            const Tensor& g = ctx.input(0);
+            int axis = static_cast<int>(ctx.node().attr("axis").AsInt());
+            if (axis < 0) {
+                axis += g.shape().rank();
+            }
+            std::int64_t offset = 0;
+            for (int i = 1; i < ctx.num_inputs(); ++i) {
+                const Shape& ref = ctx.input(i).shape();
+                std::vector<std::int64_t> begin(
+                    static_cast<std::size_t>(g.shape().rank()), 0);
+                std::vector<std::int64_t> size = g.shape().dims();
+                begin[static_cast<std::size_t>(axis)] = offset;
+                size[static_cast<std::size_t>(axis)] = ref.dim(axis);
+                ctx.set_output(i - 1,
+                               kernels::Slice(g, begin, size, ctx.pool()));
+                offset += ref.dim(axis);
+            }
+        },
+        MovementCost(), false});
+
+    grads.Register(
+        "Concat",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            std::vector<Output> inputs = {g[0]};
+            for (const Output& in : node.inputs) {
+                inputs.push_back(in);
+            }
+            const graph::NodeId id = b.AddNode(
+                "concat_grad", "ConcatGrad", inputs,
+                {{"axis", node.attr("axis")}},
+                static_cast<int>(node.inputs.size()));
+            std::vector<std::optional<Output>> result;
+            for (int i = 0; i < static_cast<int>(node.inputs.size()); ++i) {
+                result.push_back(Output{id, i});
+            }
+            return result;
+        });
+
+    // attrs: axis, num_splits; N equal outputs along the axis.
+    ops.Register(OpDef{
+        "Split", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            const Tensor& x = ctx.input(0);
+            int axis = static_cast<int>(ctx.node().attr("axis").AsInt());
+            if (axis < 0) {
+                axis += x.shape().rank();
+            }
+            const std::int64_t n = ctx.node().attr("num_splits").AsInt();
+            const std::int64_t extent = x.shape().dim(axis);
+            if (n < 1 || extent % n != 0) {
+                throw std::invalid_argument(
+                    "Split: axis extent " + std::to_string(extent) +
+                    " not divisible into " + std::to_string(n) + " parts");
+            }
+            const std::int64_t part = extent / n;
+            for (std::int64_t i = 0; i < n; ++i) {
+                std::vector<std::int64_t> begin(
+                    static_cast<std::size_t>(x.shape().rank()), 0);
+                std::vector<std::int64_t> size = x.shape().dims();
+                begin[static_cast<std::size_t>(axis)] = i * part;
+                size[static_cast<std::size_t>(axis)] = part;
+                ctx.set_output(static_cast<int>(i),
+                               kernels::Slice(x, begin, size, ctx.pool()));
+            }
+        },
+        MovementCost(), false});
+
+    grads.Register(
+        "Split",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            // All output grads must exist (or be zero-filled); a Split
+            // whose outputs feed a loss normally uses every part, as in
+            // the LSTM gate computation. Missing grads are replaced by
+            // zeros of the corresponding part.
+            std::vector<Output> parts;
+            for (std::size_t i = 0; i < g.size(); ++i) {
+                if (g[i].node != -1) {
+                    parts.push_back(g[i]);
+                } else {
+                    parts.push_back(b.AddOp(
+                        "split_zero", "ZerosLike",
+                        {Output{node.id, static_cast<int>(i)}}));
+                }
+            }
+            return {b.Concat(parts, static_cast<int>(
+                                        node.attr("axis").AsInt()))};
+        });
+
+    ops.Register(OpDef{
+        "Slice", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::Slice(ctx.input(0),
+                                  ctx.node().attr("begin").AsIntList(),
+                                  ctx.node().attr("size").AsIntList(),
+                                  ctx.pool()));
+        },
+        MovementCost(), false});
+
+    // inputs: (grad, ref); scatter grad into zeros of ref's shape.
+    ops.Register(OpDef{
+        "SliceGrad", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            const Tensor& g = ctx.input(0);
+            const Shape& ref = ctx.input(1).shape();
+            const auto& begin = ctx.node().attr("begin").AsIntList();
+            std::vector<std::pair<std::int64_t, std::int64_t>> paddings;
+            for (int d = 0; d < ref.rank(); ++d) {
+                const std::int64_t before = begin[static_cast<std::size_t>(d)];
+                paddings.emplace_back(
+                    before, ref.dim(d) - before - g.shape().dim(d));
+            }
+            ctx.set_output(0, kernels::Pad(g, paddings, ctx.pool()));
+        },
+        MovementCost(), false});
+
+    grads.Register(
+        "Slice",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("slice_grad", "SliceGrad", {g[0], node.inputs[0]},
+                            {{"begin", node.attr("begin")}})};
+        });
+
+    ops.Register(OpDef{
+        "Gather", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(0, kernels::Gather(ctx.input(0), ctx.input(1),
+                                              ctx.pool()));
+        },
+        [](const Node&, const std::vector<Tensor>& inputs,
+           const std::vector<Tensor>& outputs) {
+            graph::OpCost cost;
+            cost.bytes = BytesOf(outputs) * 2.0 +
+                         static_cast<double>(inputs[1].byte_size());
+            cost.parallel_work = inputs[1].num_elements();
+            return cost;
+        },
+        false});
+
+    // inputs: (params_ref, indices, grad)
+    ops.Register(OpDef{
+        "GatherGrad", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(0, kernels::GatherGrad(ctx.input(0).shape(),
+                                                  ctx.input(1), ctx.input(2),
+                                                  ctx.pool()));
+        },
+        MovementCost(), false});
+
+    grads.Register(
+        "Gather",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("gather_grad", "GatherGrad",
+                            {node.inputs[0], node.inputs[1], g[0]}),
+                    std::nullopt};
+        });
+
+    ops.Register(OpDef{
+        "OneHot", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::OneHot(ctx.input(0),
+                                   ctx.node().attr("depth").AsInt(),
+                                   ctx.node().attr_float("on_value", 1.0f),
+                                   ctx.node().attr_float("off_value", 0.0f),
+                                   ctx.pool()));
+        },
+        MovementCost(), false});
+    grads.Register(
+        "OneHot",
+        [](GraphBuilder&, const Node&, const std::vector<Output>&)
+            -> std::vector<std::optional<Output>> { return {std::nullopt}; });
+
+    ops.Register(OpDef{
+        "Pad", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::Pad(ctx.input(0),
+                                PaddingsFromAttr(
+                                    ctx.node().attr("paddings").AsIntList()),
+                                ctx.pool()));
+        },
+        MovementCost(), false});
+
+    ops.Register(OpDef{
+        "PadGrad", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(
+                0, kernels::PadGrad(ctx.input(0),
+                                    PaddingsFromAttr(
+                                        ctx.node().attr("paddings")
+                                            .AsIntList()),
+                                    ctx.pool()));
+        },
+        MovementCost(), false});
+
+    grads.Register(
+        "Pad",
+        [](GraphBuilder& b, const Node& node, const std::vector<Output>& g)
+            -> std::vector<std::optional<Output>> {
+            return {b.AddOp("pad_grad", "PadGrad", {g[0]},
+                            {{"paddings", node.attr("paddings")}})};
+        });
+}
+
+}  // namespace fathom::ops

@@ -1,0 +1,24 @@
+#include "ops/register.h"
+
+#include <mutex>
+
+namespace fathom::ops {
+
+void
+RegisterStandardOps()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        RegisterSourceOps();
+        RegisterMathOps();
+        RegisterMatMulOps();
+        RegisterConvOps();
+        RegisterReductionOps();
+        RegisterMovementOps();
+        RegisterRandomOps();
+        RegisterLossOps();
+        RegisterOptimizerOps();
+    });
+}
+
+}  // namespace fathom::ops

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Explicit registration entry point for the standard operation set.
+ *
+ * Registration is an explicit call (not a static initializer) so that
+ * statically linked binaries cannot silently drop op translation units.
+ * Idempotent: safe to call from every main()/test fixture.
+ */
+#ifndef FATHOM_OPS_REGISTER_H
+#define FATHOM_OPS_REGISTER_H
+
+namespace fathom::ops {
+
+/** Registers all standard ops and their gradients. Idempotent. */
+void RegisterStandardOps();
+
+// Per-family registration hooks, called by RegisterStandardOps().
+void RegisterSourceOps();
+void RegisterMathOps();
+void RegisterMatMulOps();
+void RegisterConvOps();
+void RegisterReductionOps();
+void RegisterMovementOps();
+void RegisterRandomOps();
+void RegisterLossOps();
+void RegisterOptimizerOps();
+
+}  // namespace fathom::ops
+
+#endif  // FATHOM_OPS_REGISTER_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Source and control ops: Const, Placeholder, Variable, Identity,
+ * StopGradient, ZerosLike, Shape, NoOp.
+ */
+#include <stdexcept>
+
+#include "autodiff/gradients.h"
+#include "graph/op_registry.h"
+#include "ops/common.h"
+#include "ops/register.h"
+
+namespace fathom::ops {
+
+using autodiff::GradientRegistry;
+using graph::AttrValue;
+using graph::GraphBuilder;
+using graph::Node;
+using graph::OpClass;
+using graph::OpContext;
+using graph::OpDef;
+using graph::OpRegistry;
+using graph::Output;
+
+namespace {
+
+std::vector<std::optional<Output>>
+PassThroughGrad(GraphBuilder&, const Node&,
+                const std::vector<Output>& grad_outputs)
+{
+    return {grad_outputs[0]};
+}
+
+std::vector<std::optional<Output>>
+NoGrad(GraphBuilder&, const Node& node, const std::vector<Output>&)
+{
+    return std::vector<std::optional<Output>>(node.inputs.size(),
+                                              std::nullopt);
+}
+
+}  // namespace
+
+void
+RegisterSourceOps()
+{
+    OpRegistry& ops = OpRegistry::Global();
+    GradientRegistry& grads = GradientRegistry::Global();
+
+    ops.Register(OpDef{
+        "Const", OpClass::kControl,
+        [](OpContext& ctx) {
+            // Constants are materialized into the variable store at
+            // build time under a reserved "__const/" key.
+            ctx.set_output(0, ctx.variables().Get(
+                                  ctx.node().attr("var_name").AsString()));
+        },
+        nullptr, false});
+
+    ops.Register(OpDef{
+        "Placeholder", OpClass::kControl,
+        [](OpContext& ctx) {
+            throw std::logic_error("placeholder '" + ctx.node().name +
+                                   "' executed without a feed");
+        },
+        nullptr, false});
+
+    ops.Register(OpDef{
+        "Variable", OpClass::kControl,
+        [](OpContext& ctx) {
+            // Clone so that in-place optimizer updates later in the
+            // step can never alias a value already consumed forward.
+            ctx.set_output(0, ctx.variables()
+                                  .Get(ctx.node().attr("var_name").AsString())
+                                  .Clone());
+        },
+        nullptr, false});
+
+    ops.Register(OpDef{
+        "Identity", OpClass::kDataMovement,
+        [](OpContext& ctx) { ctx.set_output(0, ctx.input(0)); }, nullptr,
+        false});
+    grads.Register("Identity", PassThroughGrad);
+
+    ops.Register(OpDef{
+        "StopGradient", OpClass::kDataMovement,
+        [](OpContext& ctx) { ctx.set_output(0, ctx.input(0)); }, nullptr,
+        false});
+    grads.Register("StopGradient", NoGrad);
+
+    ops.Register(OpDef{
+        "ZerosLike", OpClass::kDataMovement,
+        [](OpContext& ctx) {
+            ctx.set_output(0, Tensor::Zeros(ctx.input(0).shape(),
+                                            ctx.input(0).dtype()));
+        },
+        nullptr, false});
+    grads.Register("ZerosLike", NoGrad);
+
+    ops.Register(OpDef{
+        "Shape", OpClass::kControl,
+        [](OpContext& ctx) {
+            const Shape& s = ctx.input(0).shape();
+            std::vector<std::int32_t> dims;
+            dims.reserve(static_cast<std::size_t>(s.rank()));
+            for (std::int64_t d : s.dims()) {
+                dims.push_back(static_cast<std::int32_t>(d));
+            }
+            ctx.set_output(0, Tensor::FromVectorInt(
+                                  Shape{static_cast<std::int64_t>(dims.size())},
+                                  dims));
+        },
+        nullptr, false});
+    grads.Register("Shape", NoGrad);
+
+    ops.Register(OpDef{
+        "NoOp", OpClass::kControl, [](OpContext&) {}, nullptr, false});
+}
+
+}  // namespace fathom::ops

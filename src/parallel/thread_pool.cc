@@ -1,0 +1,151 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+
+namespace fathom::parallel {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1))
+{
+    // The calling thread participates in ParallelFor, so spawn one
+    // fewer worker than the configured width.
+    for (int i = 0; i < num_threads_ - 1; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutting_down_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void
+ThreadPool::Schedule(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+            if (shutting_down_ && tasks_.empty()) {
+                return;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::ParallelFor(std::int64_t total, std::int64_t grain,
+                        const std::function<void(std::int64_t,
+                                                 std::int64_t)>& fn)
+{
+    if (total <= 0) {
+        return;
+    }
+    grain = std::max<std::int64_t>(grain, 1);
+    // Below the grain threshold (or with a single-thread pool) run
+    // inline: this is the "library avoids threading small trip counts"
+    // behaviour the paper attributes to Eigen.
+    if (num_threads_ == 1 || total <= grain) {
+        fn(0, total);
+        return;
+    }
+
+    const std::int64_t max_chunks = (total + grain - 1) / grain;
+    const std::int64_t num_chunks =
+        std::min<std::int64_t>(num_threads_, max_chunks);
+    const std::int64_t chunk = (total + num_chunks - 1) / num_chunks;
+
+    struct SharedState {
+        std::atomic<std::int64_t> remaining;
+        std::mutex done_mu;
+        std::condition_variable done_cv;
+        std::exception_ptr error;
+        std::mutex error_mu;
+    };
+    auto state = std::make_shared<SharedState>();
+    state->remaining.store(num_chunks - 1);
+
+    auto run_chunk = [&fn, state](std::int64_t begin, std::int64_t end) {
+        try {
+            fn(begin, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state->error_mu);
+            if (!state->error) {
+                state->error = std::current_exception();
+            }
+        }
+    };
+
+    // Dispatch all but the first chunk to workers; run the first inline.
+    for (std::int64_t c = 1; c < num_chunks; ++c) {
+        const std::int64_t begin = c * chunk;
+        const std::int64_t end = std::min(begin + chunk, total);
+        Schedule([run_chunk, begin, end, state] {
+            run_chunk(begin, end);
+            if (state->remaining.fetch_sub(1) == 1) {
+                std::lock_guard<std::mutex> lock(state->done_mu);
+                state->done_cv.notify_one();
+            }
+        });
+    }
+    run_chunk(0, std::min(chunk, total));
+
+    {
+        std::unique_lock<std::mutex> lock(state->done_mu);
+        state->done_cv.wait(lock,
+                            [&state] { return state->remaining.load() == 0; });
+    }
+    if (state->error) {
+        std::rethrow_exception(state->error);
+    }
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>&
+GlobalPoolSlot()
+{
+    static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>(1);
+    return pool;
+}
+
+}  // namespace
+
+ThreadPool&
+ThreadPool::Global()
+{
+    return *GlobalPoolSlot();
+}
+
+void
+ThreadPool::SetGlobalThreads(int num_threads)
+{
+    GlobalPoolSlot() = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace fathom::parallel

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Intra-op worker pool, the analogue of the Eigen thread pool that
+ * TensorFlow hands to its kernels.
+ *
+ * Fathom's parallelism study (paper Fig. 6) varies "the available thread
+ * pool for the underlying Eigen library"; here the corresponding knob is
+ * ThreadPool::num_threads, which kernels consult through ParallelFor.
+ */
+#ifndef FATHOM_PARALLEL_THREAD_POOL_H
+#define FATHOM_PARALLEL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fathom::parallel {
+
+/**
+ * A fixed-size pool of worker threads executing submitted closures.
+ *
+ * The pool with num_threads == 1 runs everything inline on the calling
+ * thread (no workers are spawned), which keeps single-threaded profiling
+ * runs free of synchronization noise.
+ */
+class ThreadPool {
+  public:
+    /**
+     * @param num_threads number of worker threads; 1 means "inline".
+     */
+    explicit ThreadPool(int num_threads);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** @return the configured parallel width (including the caller). */
+    int num_threads() const { return num_threads_; }
+
+    /**
+     * Schedules @p task on a worker. Only valid for pools with more than
+     * one thread; single-threaded pools run tasks inline via ParallelFor.
+     */
+    void Schedule(std::function<void()> task);
+
+    /**
+     * Runs fn(begin, end) over [0, total) split into contiguous chunks
+     * across the pool, blocking until all chunks complete.
+     *
+     * @param total       iteration count.
+     * @param grain       minimum iterations per chunk; ranges smaller
+     *                    than grain run inline on the caller. This
+     *                    mirrors Eigen's refusal to parallelize low
+     *                    trip-count loops (the "skinny tensor" effect
+     *                    the paper observes in memnet).
+     * @param fn          callable taking (int64 begin, int64 end).
+     *
+     * Exceptions thrown by @p fn are captured and rethrown on the
+     * calling thread after all chunks finish.
+     */
+    void ParallelFor(std::int64_t total, std::int64_t grain,
+                     const std::function<void(std::int64_t,
+                                              std::int64_t)>& fn);
+
+    /**
+     * @return the global pool used by kernels when no pool is passed
+     * explicitly. Defaults to a single thread; reconfigure with
+     * SetGlobalThreads().
+     */
+    static ThreadPool& Global();
+
+    /**
+     * Replaces the global pool with one of @p num_threads workers.
+     * Not thread-safe with respect to concurrently executing kernels;
+     * callers (the scaling harness) must quiesce first.
+     */
+    static void SetGlobalThreads(int num_threads);
+
+  private:
+    void WorkerLoop();
+
+    int num_threads_;
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool shutting_down_ = false;
+};
+
+}  // namespace fathom::parallel
+
+#endif  // FATHOM_PARALLEL_THREAD_POOL_H

@@ -1,0 +1,116 @@
+#include "runtime/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fathom::runtime {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'T', 'H', 'M', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+WritePod(std::ofstream& out, const T& value)
+{
+    out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+ReadPod(std::ifstream& in)
+{
+    T value{};
+    in.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in) {
+        throw std::runtime_error("checkpoint: truncated file");
+    }
+    return value;
+}
+
+}  // namespace
+
+void
+SaveCheckpoint(const graph::VariableStore& store, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        throw std::runtime_error("checkpoint: cannot open '" + path +
+                                 "' for writing");
+    }
+    out.write(kMagic, sizeof(kMagic));
+    WritePod(out, kVersion);
+
+    const auto names = store.Names();
+    WritePod(out, static_cast<std::uint32_t>(names.size()));
+    for (const auto& name : names) {
+        const Tensor& value = store.Get(name);
+        WritePod(out, static_cast<std::uint32_t>(name.size()));
+        out.write(name.data(), static_cast<std::streamsize>(name.size()));
+        WritePod(out, static_cast<std::uint8_t>(
+                          value.dtype() == DType::kFloat32 ? 0 : 1));
+        const auto& dims = value.shape().dims();
+        WritePod(out, static_cast<std::uint32_t>(dims.size()));
+        for (std::int64_t d : dims) {
+            WritePod(out, d);
+        }
+        const char* bytes =
+            value.dtype() == DType::kFloat32
+                ? reinterpret_cast<const char*>(value.data<float>())
+                : reinterpret_cast<const char*>(value.data<std::int32_t>());
+        out.write(bytes, static_cast<std::streamsize>(value.byte_size()));
+    }
+    if (!out) {
+        throw std::runtime_error("checkpoint: write to '" + path +
+                                 "' failed");
+    }
+}
+
+void
+RestoreCheckpoint(graph::VariableStore* store, const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("checkpoint: cannot open '" + path + "'");
+    }
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::string(magic, 8) != std::string(kMagic, 8)) {
+        throw std::runtime_error("checkpoint: bad magic in '" + path + "'");
+    }
+    const auto version = ReadPod<std::uint32_t>(in);
+    if (version != kVersion) {
+        throw std::runtime_error("checkpoint: unsupported version " +
+                                 std::to_string(version));
+    }
+    const auto count = ReadPod<std::uint32_t>(in);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const auto name_len = ReadPod<std::uint32_t>(in);
+        std::string name(name_len, '\0');
+        in.read(name.data(), name_len);
+        const auto dtype_tag = ReadPod<std::uint8_t>(in);
+        const auto rank = ReadPod<std::uint32_t>(in);
+        std::vector<std::int64_t> dims;
+        dims.reserve(rank);
+        for (std::uint32_t d = 0; d < rank; ++d) {
+            dims.push_back(ReadPod<std::int64_t>(in));
+        }
+        const DType dtype =
+            dtype_tag == 0 ? DType::kFloat32 : DType::kInt32;
+        Tensor value(dtype, Shape(dims));
+        char* bytes =
+            dtype == DType::kFloat32
+                ? reinterpret_cast<char*>(value.data<float>())
+                : reinterpret_cast<char*>(value.data<std::int32_t>());
+        in.read(bytes, static_cast<std::streamsize>(value.byte_size()));
+        if (!in) {
+            throw std::runtime_error("checkpoint: truncated tensor data");
+        }
+        store->Set(name, std::move(value));
+    }
+}
+
+}  // namespace fathom::runtime

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Checkpointing: serialize a VariableStore (model parameters and
+ * optimizer slots) to a file and restore it.
+ *
+ * Format: a small binary container —
+ *   magic "FTHMCKPT" | u32 version | u32 count |
+ *   repeated { u32 name_len | name | u8 dtype | u32 rank |
+ *              i64 dims[rank] | raw element bytes }.
+ * Little-endian, no alignment padding. The format is versioned so
+ * future extensions stay readable.
+ */
+#ifndef FATHOM_RUNTIME_CHECKPOINT_H
+#define FATHOM_RUNTIME_CHECKPOINT_H
+
+#include <string>
+
+#include "graph/op_registry.h"
+
+namespace fathom::runtime {
+
+/**
+ * Writes every variable in @p store to @p path.
+ * @throws std::runtime_error on I/O failure.
+ */
+void SaveCheckpoint(const graph::VariableStore& store,
+                    const std::string& path);
+
+/**
+ * Reads a checkpoint, replacing/creating variables in @p store.
+ * Existing variables not present in the file are left untouched.
+ * @throws std::runtime_error on I/O failure or format mismatch.
+ */
+void RestoreCheckpoint(graph::VariableStore* store, const std::string& path);
+
+}  // namespace fathom::runtime
+
+#endif  // FATHOM_RUNTIME_CHECKPOINT_H

@@ -1,0 +1,72 @@
+#include "runtime/device_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fathom::runtime {
+
+DeviceSpec
+DeviceSpec::Cpu(int threads)
+{
+    DeviceSpec dev;
+    dev.name = "cpu" + std::to_string(threads);
+    dev.threads = std::max(threads, 1);
+    dev.flops_per_thread = 8e9;       // scalar/SSE-ish single core rate.
+    dev.bytes_per_sec = 2.0e10;       // dual-channel DDR4.
+    dev.op_overhead = 2e-6;           // scheduler dispatch.
+    dev.min_work_per_thread = 16384;  // Eigen-style amortization.
+    dev.saturation_flops = 0.0;       // CPUs use the thread model.
+    return dev;
+}
+
+DeviceSpec
+DeviceSpec::Gpu()
+{
+    DeviceSpec dev;
+    dev.name = "gpu";
+    dev.threads = 1;                 // threads field unused for GPU.
+    dev.flops_per_thread = 1.2e12;   // GTX 960 achievable FP32.
+    dev.bytes_per_sec = 1.12e11;     // GTX 960 GDDR5 bandwidth.
+    dev.op_overhead = 4e-6;          // kernel launch latency.
+    dev.saturation_flops = 8e6;      // occupancy ramp.
+    dev.min_utilization = 1.0 / 32.0;
+    return dev;
+}
+
+int
+EffectiveThreads(const graph::OpCost& cost, const DeviceSpec& dev)
+{
+    if (dev.threads <= 1) {
+        return 1;
+    }
+    // Limit 1: independent units of work available.
+    const std::int64_t by_units = std::max<std::int64_t>(cost.parallel_work, 1);
+    // Limit 2: each engaged thread must amortize its coordination cost.
+    const double work = cost.flops > 0.0 ? cost.flops : cost.bytes;
+    const std::int64_t by_amortization = std::max<std::int64_t>(
+        static_cast<std::int64_t>(work / dev.min_work_per_thread), 1);
+    return static_cast<int>(std::min<std::int64_t>(
+        {static_cast<std::int64_t>(dev.threads), by_units, by_amortization}));
+}
+
+double
+EstimateSeconds(const graph::OpCost& cost, const DeviceSpec& dev)
+{
+    double rate;
+    if (dev.saturation_flops > 0.0) {
+        // GPU-style occupancy ramp with a floor.
+        const double util = std::max(
+            dev.min_utilization,
+            std::min(1.0, cost.flops / dev.saturation_flops));
+        rate = dev.flops_per_thread * util;
+    } else {
+        rate = dev.flops_per_thread *
+               static_cast<double>(EffectiveThreads(cost, dev));
+    }
+    const double compute = cost.flops > 0.0 ? cost.flops / rate : 0.0;
+    const double memory =
+        cost.bytes > 0.0 ? cost.bytes / dev.bytes_per_sec : 0.0;
+    return dev.op_overhead + std::max(compute, memory);
+}
+
+}  // namespace fathom::runtime

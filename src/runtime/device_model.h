@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analytical device timing model.
+ *
+ * The host running this reproduction has a single CPU core, so the
+ * paper's multi-thread (Fig. 6) and GPU (Fig. 5) experiments cannot be
+ * reproduced with wall-clock timing. Instead, every executed op records
+ * an OpCost (FLOPs, bytes, parallelizable trip count) measured from its
+ * real tensor shapes, and this model converts costs into simulated time
+ * for a configurable device. The mechanisms the paper's conclusions
+ * rest on are modeled directly:
+ *
+ *  - Amdahl scaling: an op only engages extra threads if (a) its
+ *    parallel trip count offers enough independent units and (b) each
+ *    thread receives enough work to amortize coordination — the
+ *    Eigen-style refusal to parallelize skinny tensors that the paper
+ *    observes in memnet.
+ *  - Roofline: op time is the max of compute time and memory time,
+ *    plus a fixed per-op dispatch overhead.
+ *  - GPU: far higher peak throughput with a larger per-op launch
+ *    latency and an occupancy ramp, so small data-dependent ops do not
+ *    benefit while large convolutions/matmuls gain an order of
+ *    magnitude or more.
+ */
+#ifndef FATHOM_RUNTIME_DEVICE_MODEL_H
+#define FATHOM_RUNTIME_DEVICE_MODEL_H
+
+#include <string>
+
+#include "graph/op_registry.h"
+
+namespace fathom::runtime {
+
+/** A simulated execution target. */
+struct DeviceSpec {
+    std::string name;
+
+    /** Worker count participating in intra-op parallelism (CPU only). */
+    int threads = 1;
+
+    /** Peak floating-point rate per thread, FLOP/s. */
+    double flops_per_thread = 8e9;
+
+    /** Memory bandwidth shared by all threads, B/s. */
+    double bytes_per_sec = 2.0e10;
+
+    /** Fixed dispatch/launch overhead per op, seconds. */
+    double op_overhead = 2e-6;
+
+    /**
+     * Minimum FLOPs (or bytes, for compute-free ops) that each engaged
+     * thread must receive before the runtime spreads an op across
+     * threads (Eigen-style amortization threshold).
+     */
+    double min_work_per_thread = 16384.0;
+
+    /**
+     * FLOPs at which the device reaches full utilization; below it,
+     * throughput ramps linearly (models GPU occupancy; 0 disables the
+     * ramp and uses the thread model instead).
+     */
+    double saturation_flops = 0.0;
+
+    /** Floor on the utilization ramp (fraction of peak). */
+    double min_utilization = 1.0 / 32.0;
+
+    /** A CPU resembling the paper's i7-6700k with @p threads threads. */
+    static DeviceSpec Cpu(int threads);
+
+    /** A GPU resembling the paper's GTX 960. */
+    static DeviceSpec Gpu();
+};
+
+/**
+ * @return simulated execution time in seconds of one op with cost
+ * @p cost on device @p dev.
+ */
+double EstimateSeconds(const graph::OpCost& cost, const DeviceSpec& dev);
+
+/**
+ * @return the number of threads the op would actually use on @p dev:
+ * limited by the device width, by the op's parallel trip count, and by
+ * the amortization threshold (1 if the op is too small to split).
+ */
+int EffectiveThreads(const graph::OpCost& cost, const DeviceSpec& dev);
+
+}  // namespace fathom::runtime
+
+#endif  // FATHOM_RUNTIME_DEVICE_MODEL_H

@@ -1,0 +1,154 @@
+#include "runtime/graph_optimizer.h"
+
+#include <sstream>
+
+#include "parallel/thread_pool.h"
+
+namespace fathom::runtime {
+
+namespace {
+
+/** Ops that must never be folded or merged regardless of purity. */
+bool
+IsPinned(const std::string& op_type)
+{
+    return op_type == "Placeholder" || op_type == "Variable" ||
+           op_type == "Assign" || op_type == "NoOp" ||
+           op_type.rfind("Apply", 0) == 0;
+}
+
+/** Serializes an attr map deterministically for the CSE signature. */
+std::string
+AttrsSignature(const graph::Node& node)
+{
+    std::ostringstream out;
+    for (const auto& [key, value] : node.attrs) {
+        out << key << "=";
+        // AttrValue intentionally has no general introspection; probe
+        // the variant through its typed accessors.
+        try {
+            out << "i" << value.AsInt();
+            continue;
+        } catch (const std::logic_error&) {
+        }
+        try {
+            out << "f" << value.AsFloat();
+            continue;
+        } catch (const std::logic_error&) {
+        }
+        try {
+            out << "b" << value.AsBool();
+            continue;
+        } catch (const std::logic_error&) {
+        }
+        try {
+            out << "s" << value.AsString();
+            continue;
+        } catch (const std::logic_error&) {
+        }
+        try {
+            out << "l";
+            for (std::int64_t v : value.AsIntList()) {
+                out << v << ",";
+            }
+            continue;
+        } catch (const std::logic_error&) {
+        }
+        out << "?";
+    }
+    return out.str();
+}
+
+}  // namespace
+
+OptimizedPlan
+OptimizePlan(const graph::Graph& graph,
+             const std::vector<graph::NodeId>& order,
+             graph::VariableStore& variables, bool fold_constants,
+             bool eliminate_common)
+{
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    OptimizedPlan plan;
+    plan.replacements.reserve(order.size());
+
+    // CSE signature -> representative node.
+    std::unordered_map<std::string, graph::NodeId> seen;
+    // Nodes whose outputs are compile-time constants.
+    std::unordered_map<graph::NodeId, bool> is_constant;
+
+    parallel::ThreadPool fold_pool(1);
+    Rng fold_rng(0);  // never used: stateful ops are pinned.
+
+    auto resolve = [&plan](graph::NodeId id) {
+        auto it = plan.replacements.find(id);
+        return it == plan.replacements.end() ? id : it->second;
+    };
+
+    for (const graph::NodeId id : order) {
+        const graph::Node& node = graph.node(id);
+        const bool registered = registry.Contains(node.op_type);
+        const graph::OpDef* def =
+            registered ? &registry.Lookup(node.op_type) : nullptr;
+        const bool pure = def != nullptr && !def->stateful &&
+                          !IsPinned(node.op_type);
+
+        // ---- CSE -----------------------------------------------------------
+        if (eliminate_common && pure) {
+            std::ostringstream sig;
+            sig << node.op_type << "|" << AttrsSignature(node) << "|";
+            for (const graph::Output& in : node.inputs) {
+                sig << resolve(in.node) << ":" << in.index << ",";
+            }
+            auto [it, inserted] = seen.emplace(sig.str(), id);
+            if (!inserted) {
+                plan.replacements[id] = it->second;
+                ++plan.cse_merged;
+                continue;  // merged away entirely.
+            }
+        }
+
+        // ---- constant folding -----------------------------------------------
+        bool foldable = fold_constants && pure && node.num_outputs > 0;
+        if (foldable) {
+            if (node.op_type == "Const") {
+                // A Const is already a materialized value.
+                plan.folded[id] = {
+                    variables.Get(node.attr("var_name").AsString())};
+                is_constant[id] = true;
+                // Still executes trivially if not consumed by folding,
+                // so keep it out of `order` only when all consumers
+                // fold too; simplest correct choice: drop it from the
+                // schedule since its value is in `folded`.
+                continue;
+            }
+            for (const graph::Output& in : node.inputs) {
+                const graph::NodeId src = resolve(in.node);
+                if (!is_constant.count(src) || !is_constant[src]) {
+                    foldable = false;
+                    break;
+                }
+            }
+            if (foldable) {
+                std::vector<Tensor> inputs;
+                inputs.reserve(node.inputs.size());
+                for (const graph::Output& in : node.inputs) {
+                    inputs.push_back(
+                        plan.folded.at(resolve(in.node))
+                            [static_cast<std::size_t>(in.index)]);
+                }
+                graph::OpContext ctx(node, &inputs, fold_pool, fold_rng,
+                                     variables);
+                def->kernel(ctx);
+                plan.folded[id] = std::move(ctx.outputs());
+                is_constant[id] = true;
+                ++plan.folded_nodes;
+                continue;
+            }
+        }
+
+        plan.order.push_back(id);
+    }
+    return plan;
+}
+
+}  // namespace fathom::runtime

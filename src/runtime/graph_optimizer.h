@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Application-level graph optimization.
+ *
+ * The paper (Sec. III-C) lists "an application-level, compiler-esque
+ * optimizer" among the convergent traits of the major frameworks.
+ * This module provides the two classic passes over the dataflow graph:
+ *
+ *  - **Common-subexpression elimination (CSE):** pure nodes with the
+ *    same op type, attributes, and canonicalized inputs are merged, so
+ *    duplicated subgraphs (e.g. shared trunks rebuilt by separate
+ *    heads) execute once.
+ *  - **Constant folding:** pure nodes whose transitive inputs are all
+ *    constants are evaluated once at optimization time and replaced by
+ *    materialized constants.
+ *
+ * Both passes operate on a *pruned execution order* and produce a node
+ * remapping; the original graph is never mutated (it is append-only),
+ * so optimization composes with the executor's plan cache.
+ */
+#ifndef FATHOM_RUNTIME_GRAPH_OPTIMIZER_H
+#define FATHOM_RUNTIME_GRAPH_OPTIMIZER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/op_registry.h"
+#include "tensor/rng.h"
+
+namespace fathom::runtime {
+
+/** Result of optimizing one execution plan. */
+struct OptimizedPlan {
+    /** Nodes to execute, in a valid topological order. */
+    std::vector<graph::NodeId> order;
+
+    /**
+     * Edge redirection: reading input (node, index) must instead read
+     * (replacement[node], index) when present. Identity mapping
+     * otherwise.
+     */
+    std::unordered_map<graph::NodeId, graph::NodeId> replacements;
+
+    /**
+     * Results of folded nodes: node id -> outputs computed at
+     * optimization time.
+     */
+    std::unordered_map<graph::NodeId, std::vector<Tensor>> folded;
+
+    int cse_merged = 0;    ///< nodes eliminated by CSE.
+    int folded_nodes = 0;  ///< nodes evaluated at optimization time.
+};
+
+/**
+ * Optimizes the execution of @p order (a topological order over
+ * @p graph, as produced by Graph::TopologicalOrder).
+ *
+ * @param variables store used to evaluate Const nodes during folding.
+ * @param fold_constants run the constant-folding pass.
+ * @param eliminate_common run the CSE pass.
+ *
+ * Stateful ops (random sampling, variable reads/updates) and
+ * placeholders are never merged or folded.
+ */
+OptimizedPlan OptimizePlan(const graph::Graph& graph,
+                           const std::vector<graph::NodeId>& order,
+                           graph::VariableStore& variables,
+                           bool fold_constants = true,
+                           bool eliminate_common = true);
+
+}  // namespace fathom::runtime
+
+#endif  // FATHOM_RUNTIME_GRAPH_OPTIMIZER_H

@@ -1,0 +1,212 @@
+#include "runtime/session.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/graph_optimizer.h"
+
+namespace fathom::runtime {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+SecondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+Session::Session(std::uint64_t seed)
+    : rng_(seed), pool_(std::make_unique<parallel::ThreadPool>(1))
+{
+}
+
+void
+Session::SetThreads(int threads)
+{
+    pool_ = std::make_unique<parallel::ThreadPool>(threads);
+}
+
+const Session::Plan&
+Session::GetPlan(const std::vector<graph::Output>& fetches,
+                 const std::vector<graph::NodeId>& targets)
+{
+    std::ostringstream key;
+    for (const auto& f : fetches) {
+        key << f.node << ":" << f.index << ",";
+    }
+    key << "|";
+    for (graph::NodeId t : targets) {
+        key << t << ",";
+    }
+    // Include graph size: appending nodes (e.g. building the training
+    // graph after an inference run) must invalidate nothing but new
+    // fetch sets still plan correctly. The optimizer flag also changes
+    // the plan.
+    key << "|" << graph_.num_nodes() << "|" << optimize_graphs_;
+
+    auto it = plan_cache_.find(key.str());
+    if (it != plan_cache_.end()) {
+        return it->second;
+    }
+    std::vector<graph::NodeId> roots;
+    roots.reserve(fetches.size() + targets.size());
+    for (const auto& f : fetches) {
+        roots.push_back(f.node);
+    }
+    for (graph::NodeId t : targets) {
+        roots.push_back(t);
+    }
+
+    std::vector<graph::NodeId> order = graph_.TopologicalOrder(roots);
+
+    Plan plan;
+    if (optimize_graphs_) {
+        auto optimized = OptimizePlan(graph_, order, variables_);
+        order = std::move(optimized.order);
+        plan.replacements = std::move(optimized.replacements);
+        plan.folded = std::move(optimized.folded);
+    }
+
+    // Resolve each node's op definition once at plan time: registry
+    // lookups are string-keyed and would otherwise run per op per step.
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    for (graph::NodeId id : order) {
+        const graph::Node& node = graph_.node(id);
+        const graph::OpDef* def = node.op_type == "Placeholder"
+                                      ? nullptr
+                                      : &registry.Lookup(node.op_type);
+        plan.steps.push_back({id, def});
+    }
+    auto [inserted, ok] = plan_cache_.emplace(key.str(), std::move(plan));
+    (void)ok;
+    return inserted->second;
+}
+
+std::vector<Tensor>
+Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
+             const std::vector<graph::NodeId>& targets)
+{
+    const auto& plan = GetPlan(fetches, targets);
+
+    std::vector<std::vector<Tensor>> values(
+        static_cast<std::size_t>(graph_.num_nodes()));
+    // Inject constant-folded results (empty unless optimization is on).
+    for (const auto& [id, outputs] : plan.folded) {
+        values[static_cast<std::size_t>(id)] = outputs;
+    }
+    // Edge redirection from CSE; identity when absent.
+    auto resolve = [&plan](graph::NodeId id) {
+        auto it = plan.replacements.find(id);
+        return it == plan.replacements.end() ? id : it->second;
+    };
+
+    const auto step_start = Clock::now();
+    tracer_.BeginStep();
+
+    std::vector<Tensor> inputs;  // reused across ops.
+    for (const PlanStep& step : plan.steps) {
+        const graph::NodeId id = step.node;
+        const graph::Node& node = graph_.node(id);
+
+        if (step.def == nullptr) {  // Placeholder.
+            auto fed = feeds.find(id);
+            if (fed == feeds.end()) {
+                tracer_.EndStep(SecondsSince(step_start));
+                throw std::invalid_argument(
+                    "Session::Run: placeholder '" + node.name + "' not fed");
+            }
+            values[static_cast<std::size_t>(id)] = {fed->second};
+            continue;
+        }
+
+        inputs.clear();
+        inputs.reserve(node.inputs.size());
+        for (const graph::Output& in : node.inputs) {
+            const auto& produced =
+                values[static_cast<std::size_t>(resolve(in.node))];
+            if (static_cast<std::size_t>(in.index) >= produced.size() ||
+                !produced[static_cast<std::size_t>(in.index)].initialized()) {
+                tracer_.EndStep(SecondsSince(step_start));
+                throw std::logic_error("Session::Run: node '" + node.name +
+                                       "' input from '" +
+                                       graph_.node(in.node).name +
+                                       "' was not produced");
+            }
+            inputs.push_back(produced[static_cast<std::size_t>(in.index)]);
+        }
+
+        const graph::OpDef& def = *step.def;
+        graph::OpContext ctx(node, &inputs, *pool_, rng_, variables_);
+
+        const auto op_start = Clock::now();
+        try {
+            def.kernel(ctx);
+        } catch (const std::exception& e) {
+            tracer_.EndStep(SecondsSince(step_start));
+            throw std::runtime_error("Session::Run: op '" + node.name +
+                                     "' (" + node.op_type +
+                                     ") failed: " + e.what());
+        }
+        const double op_seconds = SecondsSince(op_start);
+
+        if (tracer_.enabled()) {
+            OpExecRecord record;
+            record.node = id;
+            record.op_type = node.op_type;
+            record.op_class = def.op_class;
+            record.wall_seconds = op_seconds;
+            if (def.cost) {
+                record.cost = def.cost(node, inputs, ctx.outputs());
+            } else {
+                // Default: bytes-only cost from the outputs.
+                graph::OpCost cost;
+                for (const Tensor& out : ctx.outputs()) {
+                    if (out.initialized()) {
+                        cost.bytes += static_cast<double>(out.byte_size());
+                    }
+                }
+                record.cost = cost;
+            }
+            tracer_.Record(std::move(record));
+        }
+
+        values[static_cast<std::size_t>(id)] = std::move(ctx.outputs());
+    }
+
+    std::vector<Tensor> results;
+    results.reserve(fetches.size());
+    for (const graph::Output& f : fetches) {
+        const auto& produced =
+            values[static_cast<std::size_t>(resolve(f.node))];
+        if (static_cast<std::size_t>(f.index) >= produced.size() ||
+            !produced[static_cast<std::size_t>(f.index)].initialized()) {
+            tracer_.EndStep(SecondsSince(step_start));
+            throw std::logic_error("Session::Run: fetch of '" +
+                                   graph_.node(f.node).name +
+                                   "' produced no value");
+        }
+        results.push_back(produced[static_cast<std::size_t>(f.index)]);
+    }
+
+    tracer_.EndStep(SecondsSince(step_start));
+    return results;
+}
+
+std::vector<Tensor>
+Session::RunNamed(const std::map<std::string, Tensor>& feeds,
+                  const std::vector<graph::Output>& fetches,
+                  const std::vector<graph::NodeId>& targets)
+{
+    FeedMap by_id;
+    for (const auto& [name, value] : feeds) {
+        by_id[graph_.node_by_name(name).id] = value;
+    }
+    return Run(by_id, fetches, targets);
+}
+
+}  // namespace fathom::runtime

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The execution engine: owns a graph, its state, and runs steps.
+ *
+ * Session mirrors TensorFlow's session: callers feed placeholder
+ * values, name fetch edges and/or run-only targets, and the executor
+ * runs the pruned subgraph in topological order. Operations are the
+ * smallest schedulable unit and each execution is timed and costed for
+ * the profiling tools.
+ */
+#ifndef FATHOM_RUNTIME_SESSION_H
+#define FATHOM_RUNTIME_SESSION_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/op_registry.h"
+#include "parallel/thread_pool.h"
+#include "runtime/tracer.h"
+#include "tensor/rng.h"
+
+namespace fathom::runtime {
+
+/** Placeholder feeds for one step, keyed by node id. */
+using FeedMap = std::map<graph::NodeId, Tensor>;
+
+/**
+ * Owns one model's graph, variables, RNG, thread pool, and trace.
+ */
+class Session {
+  public:
+    /** @param seed seed for all stateful (sampling) ops. */
+    explicit Session(std::uint64_t seed = 1);
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    graph::Graph& graph() { return graph_; }
+    const graph::Graph& graph() const { return graph_; }
+    graph::VariableStore& variables() { return variables_; }
+    const graph::VariableStore& variables() const { return variables_; }
+
+    /** @return a builder appending to this session's graph/state. */
+    graph::GraphBuilder MakeBuilder()
+    {
+        return graph::GraphBuilder(&graph_, &variables_);
+    }
+
+    /**
+     * Reconfigures intra-op parallelism (the paper's Fig. 6 knob).
+     * Takes effect on the next Run().
+     */
+    void SetThreads(int threads);
+    int threads() const { return pool_->num_threads(); }
+
+    Tracer& tracer() { return tracer_; }
+    const Tracer& tracer() const { return tracer_; }
+
+    /**
+     * Enables the application-level graph optimizer (constant folding
+     * + common-subexpression elimination) for subsequently planned
+     * fetch sets. Off by default so profiles reflect the graph as
+     * written; see runtime/graph_optimizer.h.
+     */
+    void SetGraphOptimization(bool enabled) { optimize_graphs_ = enabled; }
+    bool graph_optimization() const { return optimize_graphs_; }
+
+    /**
+     * Executes the subgraph producing @p fetches and @p targets.
+     *
+     * @param feeds   values for placeholder nodes used by the subgraph.
+     * @param fetches edges whose tensors are returned, in order.
+     * @param targets extra nodes to run without fetching (e.g. the
+     *                optimizer update group).
+     * @return the fetched tensors.
+     * @throws std::logic_error / std::invalid_argument on malformed
+     *         graphs, missing feeds, or kernel failures.
+     */
+    std::vector<Tensor> Run(const FeedMap& feeds,
+                            const std::vector<graph::Output>& fetches,
+                            const std::vector<graph::NodeId>& targets = {});
+
+    /** Run() with feeds keyed by placeholder node name. */
+    std::vector<Tensor> RunNamed(
+        const std::map<std::string, Tensor>& feeds,
+        const std::vector<graph::Output>& fetches,
+        const std::vector<graph::NodeId>& targets = {});
+
+  private:
+    /** One plan entry: the node and its pre-resolved op definition. */
+    struct PlanStep {
+        graph::NodeId node;
+        const graph::OpDef* def;  ///< null for Placeholder nodes.
+    };
+
+    /** A cached, possibly optimized, execution plan. */
+    struct Plan {
+        std::vector<PlanStep> steps;
+        /** CSE edge redirection (empty when optimization is off). */
+        std::unordered_map<graph::NodeId, graph::NodeId> replacements;
+        /** Values pre-computed by constant folding. */
+        std::unordered_map<graph::NodeId, std::vector<Tensor>> folded;
+    };
+
+    /** Cached pruned topological plan for a fetch/target set. */
+    const Plan& GetPlan(const std::vector<graph::Output>& fetches,
+                        const std::vector<graph::NodeId>& targets);
+
+    graph::Graph graph_;
+    graph::VariableStore variables_;
+    Rng rng_;
+    std::unique_ptr<parallel::ThreadPool> pool_;
+    Tracer tracer_;
+    bool optimize_graphs_ = false;
+    std::map<std::string, Plan> plan_cache_;
+};
+
+}  // namespace fathom::runtime
+
+#endif  // FATHOM_RUNTIME_SESSION_H

@@ -1,0 +1,49 @@
+#include "runtime/tracer.h"
+
+#include <stdexcept>
+
+namespace fathom::runtime {
+
+double
+StepTrace::OpSeconds() const
+{
+    double total = 0.0;
+    for (const auto& r : records) {
+        total += r.wall_seconds;
+    }
+    return total;
+}
+
+void
+Tracer::BeginStep()
+{
+    if (!enabled_) {
+        return;
+    }
+    steps_.emplace_back();
+    in_step_ = true;
+}
+
+void
+Tracer::Record(OpExecRecord record)
+{
+    if (!enabled_ || !in_step_) {
+        return;
+    }
+    steps_.back().records.push_back(std::move(record));
+}
+
+void
+Tracer::EndStep(double step_wall_seconds)
+{
+    if (!enabled_) {
+        return;
+    }
+    if (!in_step_) {
+        throw std::logic_error("Tracer::EndStep without BeginStep");
+    }
+    steps_.back().wall_seconds = step_wall_seconds;
+    in_step_ = false;
+}
+
+}  // namespace fathom::runtime

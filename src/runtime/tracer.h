@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-operation execution traces.
+ *
+ * The tracer is the reproduction of the paper's "application-level
+ * modeling tools": it attributes wall-clock time and modeled cost to
+ * every executed operation, keyed by op type and op class, per step.
+ * All analyses (Figs. 1-6) consume these traces.
+ */
+#ifndef FATHOM_RUNTIME_TRACER_H
+#define FATHOM_RUNTIME_TRACER_H
+
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+#include "graph/op_class.h"
+#include "graph/op_registry.h"
+
+namespace fathom::runtime {
+
+/** One op execution. (Node names resolve via the graph and node id.) */
+struct OpExecRecord {
+    graph::NodeId node = -1;
+    std::string op_type;
+    graph::OpClass op_class = graph::OpClass::kControl;
+    double wall_seconds = 0.0;
+    graph::OpCost cost;
+};
+
+/** One Session::Run invocation. */
+struct StepTrace {
+    std::vector<OpExecRecord> records;
+    double wall_seconds = 0.0;  ///< whole-step time, including framework.
+
+    /** @return summed op wall time. */
+    double OpSeconds() const;
+
+    /**
+     * @return framework time outside op kernels (the paper reports
+     * this as typically < 1-2% of total runtime).
+     */
+    double OverheadSeconds() const { return wall_seconds - OpSeconds(); }
+};
+
+/** Accumulates step traces across a run. */
+class Tracer {
+  public:
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Begins a new step; records go to this step until EndStep. */
+    void BeginStep();
+    void Record(OpExecRecord record);
+    void EndStep(double step_wall_seconds);
+
+    const std::vector<StepTrace>& steps() const { return steps_; }
+    void Clear() { steps_.clear(); }
+
+  private:
+    bool enabled_ = true;
+    bool in_step_ = false;
+    std::vector<StepTrace> steps_;
+};
+
+}  // namespace fathom::runtime
+
+#endif  // FATHOM_RUNTIME_TRACER_H

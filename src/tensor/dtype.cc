@@ -1,0 +1,29 @@
+#include "tensor/dtype.h"
+
+namespace fathom {
+
+std::size_t
+DTypeSize(DType dtype)
+{
+    switch (dtype) {
+      case DType::kFloat32:
+        return 4;
+      case DType::kInt32:
+        return 4;
+    }
+    return 0;
+}
+
+std::string
+DTypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::kFloat32:
+        return "float32";
+      case DType::kInt32:
+        return "int32";
+    }
+    return "unknown";
+}
+
+}  // namespace fathom

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Element data types supported by the Fathom tensor library.
+ *
+ * The deep-learning workloads in Fathom only require single-precision
+ * floating point for parameters/activations and 32-bit integers for
+ * indices and labels, so the type system is deliberately small.
+ */
+#ifndef FATHOM_TENSOR_DTYPE_H
+#define FATHOM_TENSOR_DTYPE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fathom {
+
+/** Element type of a Tensor. */
+enum class DType {
+    kFloat32,  ///< 32-bit IEEE-754 float (parameters, activations).
+    kInt32,    ///< 32-bit signed integer (indices, labels, shapes).
+};
+
+/** @return the size in bytes of one element of @p dtype. */
+std::size_t DTypeSize(DType dtype);
+
+/** @return a human-readable name, e.g. "float32". */
+std::string DTypeName(DType dtype);
+
+/**
+ * Maps a C++ scalar type to its DType tag.
+ *
+ * Used by Tensor::data<T>() to check that typed accesses match the
+ * tensor's runtime element type.
+ */
+template <typename T>
+struct DTypeOf;
+
+template <>
+struct DTypeOf<float> {
+    static constexpr DType value = DType::kFloat32;
+};
+
+template <>
+struct DTypeOf<std::int32_t> {
+    static constexpr DType value = DType::kInt32;
+};
+
+}  // namespace fathom
+
+#endif  // FATHOM_TENSOR_DTYPE_H

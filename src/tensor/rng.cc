@@ -1,0 +1,124 @@
+#include "tensor/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fathom {
+namespace {
+
+/** splitmix64: used to expand the seed into xoshiro state. */
+std::uint64_t
+SplitMix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+        s = SplitMix64(x);
+    }
+}
+
+std::uint64_t
+Rng::NextU64()
+{
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::Uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::UniformFloat(float lo, float hi)
+{
+    return lo + static_cast<float>(Uniform()) * (hi - lo);
+}
+
+std::int64_t
+Rng::UniformInt(std::int64_t n)
+{
+    if (n <= 0) {
+        throw std::invalid_argument("Rng::UniformInt: n must be > 0");
+    }
+    return static_cast<std::int64_t>(Uniform() * static_cast<double>(n));
+}
+
+float
+Rng::Normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller transform; cache the second sample.
+    double u1 = Uniform();
+    double u2 = Uniform();
+    while (u1 <= 1e-300) {
+        u1 = Uniform();
+    }
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = static_cast<float>(r * std::sin(theta));
+    have_cached_normal_ = true;
+    return static_cast<float>(r * std::cos(theta));
+}
+
+float
+Rng::Normal(float mean, float stddev)
+{
+    return mean + stddev * Normal();
+}
+
+void
+Rng::FillNormal(Tensor* t, float mean, float stddev)
+{
+    float* p = t->data<float>();
+    const std::int64_t n = t->num_elements();
+    for (std::int64_t i = 0; i < n; ++i) {
+        p[i] = Normal(mean, stddev);
+    }
+}
+
+void
+Rng::FillUniform(Tensor* t, float lo, float hi)
+{
+    float* p = t->data<float>();
+    const std::int64_t n = t->num_elements();
+    for (std::int64_t i = 0; i < n; ++i) {
+        p[i] = UniformFloat(lo, hi);
+    }
+}
+
+Rng
+Rng::Split()
+{
+    return Rng(NextU64() ^ 0xa0761d6478bd642full);
+}
+
+}  // namespace fathom

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in Fathom (weight initialization, dropout
+ * masks, the VAE's reparameterization sampling, synthetic datasets, the
+ * MiniAtari environment, epsilon-greedy exploration) draws from Rng so
+ * that every experiment is reproducible from a seed.
+ */
+#ifndef FATHOM_TENSOR_RNG_H
+#define FATHOM_TENSOR_RNG_H
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace fathom {
+
+/**
+ * A small, fast, splittable PRNG (xoshiro256**).
+ *
+ * Not cryptographically secure; statistical quality is more than
+ * adequate for initialization and sampling workloads.
+ */
+class Rng {
+  public:
+    /** Seeds the generator; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t NextU64();
+
+    /** @return a uniform double in [0, 1). */
+    double Uniform();
+
+    /** @return a uniform float in [lo, hi). */
+    float UniformFloat(float lo, float hi);
+
+    /** @return a uniform integer in [0, n). Requires n > 0. */
+    std::int64_t UniformInt(std::int64_t n);
+
+    /** @return a standard normal sample (Box-Muller). */
+    float Normal();
+
+    /** @return a normal sample with the given mean and stddev. */
+    float Normal(float mean, float stddev);
+
+    /** Fills a float32 tensor with N(mean, stddev^2) samples. */
+    void FillNormal(Tensor* t, float mean, float stddev);
+
+    /** Fills a float32 tensor with U[lo, hi) samples. */
+    void FillUniform(Tensor* t, float lo, float hi);
+
+    /**
+     * @return a new generator whose stream is decorrelated from this
+     * one. Used to give each dataset/workload its own stream.
+     */
+    Rng Split();
+
+  private:
+    std::uint64_t s_[4];
+    bool have_cached_normal_ = false;
+    float cached_normal_ = 0.0f;
+};
+
+}  // namespace fathom
+
+#endif  // FATHOM_TENSOR_RNG_H

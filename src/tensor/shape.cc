@@ -1,0 +1,82 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fathom {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims)
+{
+    for (std::int64_t d : dims_) {
+        if (d < 0) {
+            throw std::invalid_argument("Shape dimensions must be >= 0");
+        }
+    }
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims))
+{
+    for (std::int64_t d : dims_) {
+        if (d < 0) {
+            throw std::invalid_argument("Shape dimensions must be >= 0");
+        }
+    }
+}
+
+std::int64_t
+Shape::dim(int axis) const
+{
+    const int r = rank();
+    if (axis < 0) {
+        axis += r;
+    }
+    if (axis < 0 || axis >= r) {
+        throw std::out_of_range("Shape::dim axis " + std::to_string(axis) +
+                                " out of range for rank " + std::to_string(r));
+    }
+    return dims_[static_cast<std::size_t>(axis)];
+}
+
+std::int64_t
+Shape::num_elements() const
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : dims_) {
+        n *= d;
+    }
+    return n;
+}
+
+std::int64_t
+Shape::stride(int axis) const
+{
+    const int r = rank();
+    if (axis < 0) {
+        axis += r;
+    }
+    if (axis < 0 || axis >= r) {
+        throw std::out_of_range("Shape::stride axis out of range");
+    }
+    std::int64_t s = 1;
+    for (int i = axis + 1; i < r; ++i) {
+        s *= dims_[static_cast<std::size_t>(i)];
+    }
+    return s;
+}
+
+std::string
+Shape::ToString() const
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0) {
+            out << ", ";
+        }
+        out << dims_[i];
+    }
+    out << "]";
+    return out.str();
+}
+
+}  // namespace fathom

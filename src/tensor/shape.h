@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dense row-major tensor shapes.
+ */
+#ifndef FATHOM_TENSOR_SHAPE_H
+#define FATHOM_TENSOR_SHAPE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fathom {
+
+/**
+ * The extent of a dense, row-major tensor along each dimension.
+ *
+ * A rank-0 Shape represents a scalar and has one element. Dimensions
+ * must be non-negative; a zero dimension yields an empty tensor.
+ */
+class Shape {
+  public:
+    /** Constructs a scalar (rank-0) shape. */
+    Shape() = default;
+
+    /** Constructs a shape from a dimension list, e.g. Shape({2, 3}). */
+    Shape(std::initializer_list<std::int64_t> dims);
+
+    /** Constructs a shape from a dimension vector. */
+    explicit Shape(std::vector<std::int64_t> dims);
+
+    /** @return the number of dimensions. */
+    int rank() const { return static_cast<int>(dims_.size()); }
+
+    /**
+     * @return the extent of dimension @p axis.
+     * Negative axes count from the end (Python style): dim(-1) is the
+     * innermost dimension.
+     */
+    std::int64_t dim(int axis) const;
+
+    /** @return all dimensions in order. */
+    const std::vector<std::int64_t>& dims() const { return dims_; }
+
+    /** @return the total element count (1 for scalars). */
+    std::int64_t num_elements() const;
+
+    /**
+     * @return the row-major stride of dimension @p axis, i.e. the number
+     * of elements between consecutive entries along that axis.
+     */
+    std::int64_t stride(int axis) const;
+
+    bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+    bool operator!=(const Shape& other) const { return !(*this == other); }
+
+    /** @return e.g. "[2, 3, 4]" ("[]" for scalars). */
+    std::string ToString() const;
+
+  private:
+    std::vector<std::int64_t> dims_;
+};
+
+}  // namespace fathom
+
+#endif  // FATHOM_TENSOR_SHAPE_H

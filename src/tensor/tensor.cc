@@ -1,0 +1,166 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace fathom {
+
+Tensor::Tensor(DType dtype, Shape shape)
+    : dtype_(dtype), shape_(std::move(shape))
+{
+    const std::size_t bytes =
+        static_cast<std::size_t>(shape_.num_elements()) * DTypeSize(dtype_);
+    // Allocate at least one byte so buffer_ is non-null for empty shapes.
+    buffer_ = std::shared_ptr<char[]>(new char[std::max<std::size_t>(bytes, 1)]);
+}
+
+Tensor
+Tensor::Zeros(const Shape& shape, DType dtype)
+{
+    Tensor t(dtype, shape);
+    std::memset(t.buffer_.get(), 0, t.byte_size());
+    return t;
+}
+
+Tensor
+Tensor::Full(const Shape& shape, float value)
+{
+    Tensor t(DType::kFloat32, shape);
+    t.Fill(value);
+    return t;
+}
+
+Tensor
+Tensor::Scalar(float value)
+{
+    Tensor t(DType::kFloat32, Shape{});
+    t.data<float>()[0] = value;
+    return t;
+}
+
+Tensor
+Tensor::ScalarInt(std::int32_t value)
+{
+    Tensor t(DType::kInt32, Shape{});
+    t.data<std::int32_t>()[0] = value;
+    return t;
+}
+
+Tensor
+Tensor::FromVector(const std::vector<float>& values)
+{
+    return FromVector(Shape{static_cast<std::int64_t>(values.size())}, values);
+}
+
+Tensor
+Tensor::FromVector(const Shape& shape, const std::vector<float>& values)
+{
+    if (shape.num_elements() != static_cast<std::int64_t>(values.size())) {
+        throw std::invalid_argument(
+            "Tensor::FromVector: shape " + shape.ToString() + " needs " +
+            std::to_string(shape.num_elements()) + " values, got " +
+            std::to_string(values.size()));
+    }
+    Tensor t(DType::kFloat32, shape);
+    std::memcpy(t.buffer_.get(), values.data(), values.size() * sizeof(float));
+    return t;
+}
+
+Tensor
+Tensor::FromVectorInt(const Shape& shape,
+                      const std::vector<std::int32_t>& values)
+{
+    if (shape.num_elements() != static_cast<std::int64_t>(values.size())) {
+        throw std::invalid_argument("Tensor::FromVectorInt: size mismatch");
+    }
+    Tensor t(DType::kInt32, shape);
+    std::memcpy(t.buffer_.get(), values.data(),
+                values.size() * sizeof(std::int32_t));
+    return t;
+}
+
+float
+Tensor::scalar_value() const
+{
+    if (num_elements() != 1) {
+        throw std::logic_error("scalar_value() on tensor with " +
+                               std::to_string(num_elements()) + " elements");
+    }
+    if (dtype_ == DType::kInt32) {
+        return static_cast<float>(data<std::int32_t>()[0]);
+    }
+    return data<float>()[0];
+}
+
+Tensor
+Tensor::Reshape(const Shape& new_shape) const
+{
+    if (new_shape.num_elements() != shape_.num_elements()) {
+        throw std::invalid_argument(
+            "Tensor::Reshape: cannot reshape " + shape_.ToString() + " to " +
+            new_shape.ToString());
+    }
+    Tensor t;
+    t.dtype_ = dtype_;
+    t.shape_ = new_shape;
+    t.buffer_ = buffer_;
+    return t;
+}
+
+Tensor
+Tensor::Clone() const
+{
+    if (!initialized()) {
+        return Tensor();
+    }
+    Tensor t(dtype_, shape_);
+    std::memcpy(t.buffer_.get(), buffer_.get(), byte_size());
+    return t;
+}
+
+void
+Tensor::CopyFrom(const Tensor& src)
+{
+    if (src.dtype() != dtype_ || src.num_elements() != num_elements()) {
+        throw std::invalid_argument("Tensor::CopyFrom: incompatible source");
+    }
+    std::memcpy(buffer_.get(), src.buffer_.get(), byte_size());
+}
+
+void
+Tensor::Fill(float value)
+{
+    float* p = data<float>();
+    std::fill(p, p + num_elements(), value);
+}
+
+std::string
+Tensor::DebugString() const
+{
+    if (!initialized()) {
+        return "<empty tensor>";
+    }
+    return DTypeName(dtype_) + shape_.ToString();
+}
+
+std::size_t
+Tensor::byte_size() const
+{
+    return static_cast<std::size_t>(num_elements()) * DTypeSize(dtype_);
+}
+
+void
+Tensor::CheckType(DType expected) const
+{
+    if (!initialized()) {
+        throw std::logic_error("access to uninitialized Tensor");
+    }
+    if (dtype_ != expected) {
+        throw std::logic_error("Tensor dtype mismatch: is " +
+                               DTypeName(dtype_) + ", accessed as " +
+                               DTypeName(expected));
+    }
+}
+
+}  // namespace fathom

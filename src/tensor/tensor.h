@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Dense, row-major, reference-counted tensors.
+ *
+ * Tensor is the universal value type flowing along graph edges in the
+ * Fathom runtime. Copies are shallow (they share the underlying buffer),
+ * mirroring TensorFlow's immutable-value convention: kernels allocate
+ * fresh output tensors rather than mutating inputs, except for the
+ * variable-update (Apply*) ops which deliberately write in place.
+ */
+#ifndef FATHOM_TENSOR_TENSOR_H
+#define FATHOM_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace fathom {
+
+/**
+ * A dense row-major n-dimensional array of float32 or int32 elements.
+ *
+ * The default-constructed Tensor is "empty" (no buffer); kernels must
+ * never receive one. Reshape() produces a view sharing the same buffer.
+ */
+class Tensor {
+  public:
+    /** Constructs an empty tensor (no storage). */
+    Tensor() = default;
+
+    /** Allocates an uninitialized tensor of the given type and shape. */
+    Tensor(DType dtype, Shape shape);
+
+    /** @return a zero-filled float32 tensor. */
+    static Tensor Zeros(const Shape& shape, DType dtype = DType::kFloat32);
+
+    /** @return a float32 tensor with every element set to @p value. */
+    static Tensor Full(const Shape& shape, float value);
+
+    /** @return a rank-0 float32 tensor holding @p value. */
+    static Tensor Scalar(float value);
+
+    /** @return a rank-0 int32 tensor holding @p value. */
+    static Tensor ScalarInt(std::int32_t value);
+
+    /** @return a rank-1 float32 tensor copied from @p values. */
+    static Tensor FromVector(const std::vector<float>& values);
+
+    /** @return a float32 tensor of @p shape copied from @p values. */
+    static Tensor FromVector(const Shape& shape,
+                             const std::vector<float>& values);
+
+    /** @return an int32 tensor of @p shape copied from @p values. */
+    static Tensor FromVectorInt(const Shape& shape,
+                                const std::vector<std::int32_t>& values);
+
+    /** @return true if this tensor has storage. */
+    bool initialized() const { return buffer_ != nullptr; }
+
+    DType dtype() const { return dtype_; }
+    const Shape& shape() const { return shape_; }
+    std::int64_t num_elements() const { return shape_.num_elements(); }
+
+    /**
+     * Typed element pointer.
+     * @tparam T float or std::int32_t; must match dtype().
+     */
+    template <typename T>
+    T*
+    data()
+    {
+        CheckType(DTypeOf<T>::value);
+        return reinterpret_cast<T*>(buffer_.get());
+    }
+
+    template <typename T>
+    const T*
+    data() const
+    {
+        CheckType(DTypeOf<T>::value);
+        return reinterpret_cast<const T*>(buffer_.get());
+    }
+
+    /** Convenience scalar read for rank-0/1-element float tensors. */
+    float scalar_value() const;
+
+    /** Element access by flat row-major index. */
+    template <typename T>
+    T&
+    at(std::int64_t index)
+    {
+        return data<T>()[index];
+    }
+
+    template <typename T>
+    const T&
+    at(std::int64_t index) const
+    {
+        return data<T>()[index];
+    }
+
+    /**
+     * @return a tensor of @p new_shape sharing this tensor's buffer.
+     * @p new_shape must have the same element count.
+     */
+    Tensor Reshape(const Shape& new_shape) const;
+
+    /** @return a deep copy with its own buffer. */
+    Tensor Clone() const;
+
+    /** Copies the contents of @p src (same dtype/element count). */
+    void CopyFrom(const Tensor& src);
+
+    /** Fills a float32 tensor with @p value. */
+    void Fill(float value);
+
+    /** @return e.g. "float32[2, 3]". */
+    std::string DebugString() const;
+
+    /** @return buffer size in bytes. */
+    std::size_t byte_size() const;
+
+  private:
+    void CheckType(DType expected) const;
+
+    DType dtype_ = DType::kFloat32;
+    Shape shape_;
+    std::shared_ptr<char[]> buffer_;
+};
+
+}  // namespace fathom
+
+#endif  // FATHOM_TENSOR_TENSOR_H

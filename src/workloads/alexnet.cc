@@ -1,0 +1,172 @@
+/**
+ * @file
+ * alexnet — Krizhevsky et al. 2012, the watershed deep CNN.
+ *
+ * Structure is kept exact: five convolutional layers (with LRN after
+ * conv1/conv2 and max-pooling after conv1/conv2/conv5), followed by
+ * three fully-connected layers with dropout. Dimensions are scaled to
+ * single-core scale: 64x64x3 inputs, channel counts divided by 8, and
+ * 16 synthetic ImageNet-substitute classes. Optimizer: SGD with
+ * momentum, as in the original paper.
+ */
+#include "data/synthetic_image.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace fathom::workloads {
+namespace {
+
+using graph::Output;
+
+class AlexNetWorkload : public Workload {
+  public:
+    std::string name() const override { return "alexnet"; }
+    std::string
+    description() const override
+    {
+        return "Image classifier. Watershed for deep learning by beating "
+               "hand-tuned image systems at ILSVRC 2012.";
+    }
+    std::string neuronal_style() const override { return "Convolutional, Full"; }
+    int num_layers() const override { return 5; }
+    std::string learning_task() const override { return "Supervised"; }
+    std::string dataset() const override { return "synthetic-imagenet"; }
+
+    void
+    Setup(const WorkloadConfig& config) override
+    {
+        batch_ = config.batch_size > 0 ? config.batch_size : 4;
+        session_ = std::make_unique<runtime::Session>(config.seed);
+        session_->SetThreads(config.threads);
+        dataset_ = std::make_unique<data::SyntheticImageDataset>(
+            kInput, 3, kClasses, config.seed ^ 0xA1E);
+
+        Rng init_rng(config.seed * 31 + 1);
+        auto b = session_->MakeBuilder();
+        graph::ScopeGuard scope(b, "alexnet");
+
+        images_ = b.Placeholder("images");
+        labels_ = b.Placeholder("labels");
+
+        // Convolutional trunk (shared by inference and training heads).
+        Output x = images_;
+        x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv1", x, 11, 3, 12,
+                            2, "SAME");
+        x = b.Lrn(x, 2, 2.0f, 1e-4f, 0.75f);
+        x = b.MaxPool(x, 3, 2, "SAME");  // 32 -> 16
+        x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv2", x, 5, 12, 32,
+                            1, "SAME");
+        x = b.Lrn(x, 2, 2.0f, 1e-4f, 0.75f);
+        x = b.MaxPool(x, 3, 2, "SAME");  // 16 -> 8
+        x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv3", x, 3, 32, 48,
+                            1, "SAME");
+        x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv4", x, 3, 48, 48,
+                            1, "SAME");
+        x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv5", x, 3, 48, 32,
+                            1, "SAME");
+        x = b.MaxPool(x, 3, 2, "SAME");  // 8 -> 4
+        const std::int64_t flat = 4 * 4 * 32;
+        const Output features = b.Reshape(x, {-1, flat});
+
+        // FC head parameters, shared between the two heads below.
+        const auto fc6 = nn::MakeDense(b, &trainables_, init_rng, "fc6",
+                                       flat, 256);
+        const auto fc7 =
+            nn::MakeDense(b, &trainables_, init_rng, "fc7", 256, 256);
+        const auto fc8 =
+            nn::MakeDense(b, &trainables_, init_rng, "fc8", 256, kClasses);
+
+        // Inference head: no dropout.
+        {
+            graph::ScopeGuard head(b, "infer");
+            Output h = nn::ApplyDense(b, fc6, features, nn::Activation::kRelu);
+            h = nn::ApplyDense(b, fc7, h, nn::Activation::kRelu);
+            logits_ = nn::ApplyDense(b, fc8, h);
+            predictions_ = b.ArgMax(logits_);
+        }
+
+        // Training head: dropout on fc6/fc7, cross-entropy, momentum SGD.
+        {
+            graph::ScopeGuard head(b, "train_head");
+            Output h = nn::ApplyDense(b, fc6, features, nn::Activation::kRelu);
+            h = nn::Dropout(b, h, 0.5f, /*training=*/true);
+            h = nn::ApplyDense(b, fc7, h, nn::Activation::kRelu);
+            h = nn::Dropout(b, h, 0.5f, /*training=*/true);
+            const Output train_logits = nn::ApplyDense(b, fc8, h);
+            loss_ = b.SoftmaxCrossEntropy(train_logits, labels_)[0];
+        }
+        train_op_ = nn::Minimize(b, loss_, trainables_,
+                                 nn::OptimizerConfig::Momentum(0.01f, 0.9f));
+    }
+
+
+    bool has_accuracy_metric() const override { return true; }
+
+    float
+    EvaluateAccuracy(int batches) override
+    {
+        int correct = 0;
+        int total = 0;
+        for (int i = 0; i < batches; ++i) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            const auto out = session_->Run(feeds, {predictions_});
+            for (std::int64_t j = 0; j < batch_; ++j) {
+                correct += out[0].data<std::int32_t>()[j] ==
+                           batch.labels.data<std::int32_t>()[j];
+                ++total;
+            }
+        }
+        return static_cast<float>(correct) / static_cast<float>(total);
+    }
+
+    StepResult
+    RunInference(int steps) override
+    {
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            session_->Run(feeds, {predictions_});
+            return 0.0f;
+        });
+    }
+
+    StepResult
+    RunTraining(int steps) override
+    {
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            feeds[labels_.node] = batch.labels;
+            const auto out = session_->Run(feeds, {loss_}, {train_op_});
+            return out[0].scalar_value();
+        });
+    }
+
+  private:
+    static constexpr std::int64_t kInput = 64;
+    static constexpr std::int64_t kClasses = 16;
+
+    std::int64_t batch_ = 4;
+    std::unique_ptr<data::SyntheticImageDataset> dataset_;
+    nn::Trainables trainables_;
+    Output images_, labels_, logits_, predictions_, loss_;
+    graph::NodeId train_op_ = -1;
+};
+
+}  // namespace
+
+void
+RegisterAlexNet()
+{
+    WorkloadRegistry::Global().Register("alexnet", [] {
+        return std::make_unique<AlexNetWorkload>();
+    });
+}
+
+}  // namespace fathom::workloads

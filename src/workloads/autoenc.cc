@@ -1,0 +1,142 @@
+/**
+ * @file
+ * autoenc — Kingma & Welling's variational autoencoder.
+ *
+ * Faithful to the original: a fully-connected encoder producing the
+ * mean and log-variance of a Gaussian embedding, the reparameterized
+ * sample z = mu + sigma * eps (so stochastic sampling is part of
+ * *inference*, the trait the paper calls out as unique), a
+ * fully-connected Bernoulli decoder, and the ELBO loss (reconstruction
+ * cross-entropy + KL divergence), optimized with Adam on synthetic
+ * MNIST.
+ */
+#include "data/synthetic_mnist.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace fathom::workloads {
+namespace {
+
+using graph::Output;
+
+class AutoencWorkload : public Workload {
+  public:
+    std::string name() const override { return "autoenc"; }
+    std::string
+    description() const override
+    {
+        return "Variational autoencoder. An efficient, generative model for "
+               "feature learning.";
+    }
+    std::string neuronal_style() const override { return "Full"; }
+    int num_layers() const override { return 3; }
+    std::string learning_task() const override { return "Unsupervised"; }
+    std::string dataset() const override { return "synthetic-mnist"; }
+
+    void
+    Setup(const WorkloadConfig& config) override
+    {
+        batch_ = config.batch_size > 0 ? config.batch_size : 16;
+        session_ = std::make_unique<runtime::Session>(config.seed);
+        session_->SetThreads(config.threads);
+        dataset_ = std::make_unique<data::SyntheticMnistDataset>(
+            config.seed ^ 0xAE);
+
+        Rng init_rng(config.seed * 31 + 4);
+        auto b = session_->MakeBuilder();
+        graph::ScopeGuard scope(b, "autoenc");
+
+        const std::int64_t features = data::SyntheticMnistDataset::kFeatures;
+        inputs_ = b.Placeholder("inputs");
+
+        // Encoder.
+        Output h = nn::Dense(b, &trainables_, init_rng, "enc_fc", inputs_,
+                             features, kHidden, nn::Activation::kRelu);
+        mu_ = nn::Dense(b, &trainables_, init_rng, "enc_mu", h, kHidden,
+                        kLatent);
+        log_var_ = nn::Dense(b, &trainables_, init_rng, "enc_logvar", h,
+                             kHidden, kLatent);
+
+        // Reparameterized sampling: z = mu + exp(logvar / 2) * eps.
+        const Output eps = b.RandomNormal({batch_, kLatent}, 0.0f, 1.0f);
+        const Output sigma = b.Exp(b.Mul(b.ScalarConst(0.5f), log_var_));
+        z_ = b.Add(mu_, b.Mul(sigma, eps));
+
+        // Decoder (Bernoulli likelihood).
+        Output d = nn::Dense(b, &trainables_, init_rng, "dec_fc", z_,
+                             kLatent, kHidden, nn::Activation::kRelu);
+        reconstruction_ = nn::Dense(b, &trainables_, init_rng, "dec_out", d,
+                                    kHidden, features,
+                                    nn::Activation::kSigmoid);
+
+        // ELBO = reconstruction cross-entropy + KL(q(z|x) || N(0, I)).
+        const Output eps_c = b.ScalarConst(1e-7f, "eps");
+        const Output one = b.ScalarConst(1.0f, "one");
+        const Output recon_ll = b.Add(
+            b.Mul(inputs_, b.Log(b.Add(reconstruction_, eps_c))),
+            b.Mul(b.Sub(one, inputs_),
+                  b.Log(b.Add(b.Sub(one, reconstruction_), eps_c))));
+        const Output recon_loss = b.Neg(b.ReduceMean(
+            b.ReduceSum(recon_ll, {1}, /*keep_dims=*/false), {}, false));
+
+        const Output kl_terms =
+            b.Sub(b.Add(one, log_var_),
+                  b.Add(b.Square(mu_), b.Exp(log_var_)));
+        const Output kl = b.Mul(
+            b.ScalarConst(-0.5f),
+            b.ReduceMean(b.ReduceSum(kl_terms, {1}, false), {}, false));
+
+        loss_ = b.Add(recon_loss, kl);
+        train_op_ = nn::Minimize(b, loss_, trainables_,
+                                 nn::OptimizerConfig::Adam(1e-3f));
+    }
+
+    StepResult
+    RunInference(int steps) override
+    {
+        // VAE inference reconstructs through the stochastic embedding.
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[inputs_.node] = batch.images;
+            session_->Run(feeds, {reconstruction_});
+            return 0.0f;
+        });
+    }
+
+    StepResult
+    RunTraining(int steps) override
+    {
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[inputs_.node] = batch.images;
+            const auto out = session_->Run(feeds, {loss_}, {train_op_});
+            return out[0].scalar_value();
+        });
+    }
+
+  private:
+    static constexpr std::int64_t kHidden = 256;
+    static constexpr std::int64_t kLatent = 32;
+
+    std::int64_t batch_ = 16;
+    std::unique_ptr<data::SyntheticMnistDataset> dataset_;
+    nn::Trainables trainables_;
+    Output inputs_, mu_, log_var_, z_, reconstruction_, loss_;
+    graph::NodeId train_op_ = -1;
+};
+
+}  // namespace
+
+void
+RegisterAutoenc()
+{
+    WorkloadRegistry::Global().Register("autoenc", [] {
+        return std::make_unique<AutoencWorkload>();
+    });
+}
+
+}  // namespace fathom::workloads

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared helpers for the workload implementations.
+ */
+#ifndef FATHOM_WORKLOADS_COMMON_H
+#define FATHOM_WORKLOADS_COMMON_H
+
+#include <chrono>
+#include <functional>
+
+#include "workloads/workload.h"
+
+namespace fathom::workloads {
+
+/**
+ * Runs @p step_fn @p steps times, timing the whole loop (data
+ * generation included, mirroring a real training loop) and aggregating
+ * per-step losses.
+ */
+inline StepResult
+TimeSteps(int steps, const std::function<float(int)>& step_fn)
+{
+    StepResult result;
+    result.steps = steps;
+    const auto start = std::chrono::steady_clock::now();
+    double loss_sum = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        result.final_loss = step_fn(i);
+        loss_sum += static_cast<double>(result.final_loss);
+    }
+    result.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    result.mean_loss =
+        steps > 0 ? static_cast<float>(loss_sum / steps) : 0.0f;
+    return result;
+}
+
+}  // namespace fathom::workloads
+
+#endif  // FATHOM_WORKLOADS_COMMON_H

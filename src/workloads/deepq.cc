@@ -1,0 +1,310 @@
+/**
+ * @file
+ * deepq — Mnih et al.'s 2013 deep Q-learning agent.
+ *
+ * Reproduces the full reinforcement-learning loop the paper credits
+ * with "circumventing historical difficulties in extending neural
+ * networks to decoupled feedback": pixel-frame inputs with 4-frame
+ * stacking, an epsilon-greedy behaviour policy, an experience-replay
+ * buffer sampled uniformly for minibatch updates, Q-learning targets
+ * r + gamma * max_a' Q(s', a'), and RMSProp. The Atari emulator is the
+ * MiniAtari substitute (see data/mini_atari.h); the Q network keeps the
+ * 2013 topology (3 conv + 2 dense layers) at reduced width.
+ */
+#include <algorithm>
+#include <deque>
+
+#include "data/mini_atari.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace fathom::workloads {
+namespace {
+
+using graph::Output;
+
+class DeepQWorkload : public Workload {
+  public:
+    std::string name() const override { return "deepq"; }
+    std::string
+    description() const override
+    {
+        return "Atari-playing neural network from DeepMind. Achieves "
+               "superhuman performance on majority of Atari2600 games, "
+               "without any preconceptions.";
+    }
+    std::string neuronal_style() const override { return "Convolutional, Full"; }
+    int num_layers() const override { return 5; }
+    std::string learning_task() const override { return "Reinforcement"; }
+    std::string dataset() const override { return "mini-atari"; }
+
+    void
+    Setup(const WorkloadConfig& config) override
+    {
+        batch_ = config.batch_size > 0 ? config.batch_size : 8;
+        session_ = std::make_unique<runtime::Session>(config.seed);
+        session_->SetThreads(config.threads);
+        env_ = std::make_unique<data::MiniAtari>(kGrid, kScale,
+                                                 config.seed ^ 0xDD);
+        policy_rng_ = Rng(config.seed * 131 + 7);
+
+        Rng init_rng(config.seed * 31 + 5);
+        auto b = session_->MakeBuilder();
+        graph::ScopeGuard scope(b, "deepq");
+
+        states_ = b.Placeholder("states");
+        actions_ = b.Placeholder("actions");
+        targets_ = b.Placeholder("targets");
+
+        // Q network: 3 conv + 2 dense (2013 topology, reduced width).
+        Output x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv1",
+                                   states_, 8, kFrames, 8, 4, "SAME");
+        x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv2", x, 4, 8, 16,
+                            2, "SAME");
+        x = nn::Conv2DLayer(b, &trainables_, init_rng, "conv3", x, 3, 16, 16,
+                            1, "SAME");
+        // 42 -> 11 -> 6 -> 6 spatial.
+        const std::int64_t flat = 6 * 6 * 16;
+        const Output features = b.Reshape(x, {-1, flat});
+        Output h = nn::Dense(b, &trainables_, init_rng, "fc4", features,
+                             flat, 128, nn::Activation::kRelu);
+        q_values_ = nn::Dense(b, &trainables_, init_rng, "fc5", h, 128,
+                              data::MiniAtari::kNumActions);
+        greedy_action_ = b.ArgMax(q_values_);
+
+        // Bellman regression loss on the taken actions.
+        const Output mask =
+            b.OneHot(actions_, data::MiniAtari::kNumActions);
+        const Output q_taken =
+            b.ReduceSum(b.Mul(q_values_, mask), {1}, /*keep_dims=*/false);
+        loss_ = b.ReduceMean(b.Square(b.Sub(q_taken, targets_)), {}, false);
+
+        train_op_ = nn::Minimize(
+            b, loss_, trainables_,
+            nn::OptimizerConfig::RmsProp(2.5e-4f, 0.95f, 0.01f));
+
+        ResetFrameStack();
+    }
+
+    StepResult
+    RunInference(int steps) override
+    {
+        // Forward-only play: greedy policy, no learning.
+        return TimeSteps(steps, [this](int) {
+            const Tensor state = CurrentState(1);
+            runtime::FeedMap feeds;
+            feeds[states_.node] = state;
+            const auto out = session_->Run(feeds, {greedy_action_});
+            StepEnv(out[0].data<std::int32_t>()[0]);
+            return 0.0f;
+        });
+    }
+
+    StepResult
+    RunTraining(int steps) override
+    {
+        // Seed the replay buffer with random play before updating.
+        while (static_cast<std::int64_t>(replay_.size()) < batch_ * 4) {
+            ActAndRecord(/*epsilon=*/1.0f);
+        }
+        return TimeSteps(steps, [this](int step) {
+            // Annealed epsilon-greedy exploration.
+            const float epsilon =
+                std::max(0.1f, 1.0f - static_cast<float>(total_updates_) /
+                                          500.0f);
+            ActAndRecord(epsilon);
+            (void)step;
+            return TrainOnMinibatch();
+        });
+    }
+
+    /** @return the environment's completed-episode count (for examples). */
+    std::int64_t episodes() const { return env_->episodes(); }
+
+    /**
+     * Plays @p episodes greedily and returns the mean reward — used by
+     * the example/tests to demonstrate actual learning.
+     */
+    float
+    EvaluateGreedy(int episodes)
+    {
+        float total = 0.0f;
+        int done = 0;
+        ResetFrameStack();
+        while (done < episodes) {
+            const Tensor state = CurrentState(1);
+            runtime::FeedMap feeds;
+            feeds[states_.node] = state;
+            const auto out = session_->Run(feeds, {greedy_action_});
+            const auto result = StepEnv(out[0].data<std::int32_t>()[0]);
+            if (result.episode_done) {
+                total += result.reward;
+                ++done;
+            }
+        }
+        return total / static_cast<float>(episodes);
+    }
+
+  private:
+    struct Transition {
+        Tensor state;      ///< [size, size, frames].
+        std::int32_t action;
+        float reward;
+        Tensor next_state;
+        bool done;
+    };
+
+    void
+    ResetFrameStack()
+    {
+        frames_.clear();
+        const Tensor first = env_->Reset();
+        for (int i = 0; i < kFrames; ++i) {
+            frames_.push_back(first);
+        }
+    }
+
+    /** Stacks the last kFrames frames into [n=1, size, size, kFrames]. */
+    Tensor
+    CurrentState(std::int64_t batch) const
+    {
+        const std::int64_t size = env_->frame_size();
+        Tensor state = Tensor::Zeros(Shape{batch, size, size, kFrames});
+        float* p = state.data<float>();
+        for (int f = 0; f < kFrames; ++f) {
+            const float* src = frames_[static_cast<std::size_t>(f)]
+                                   .data<float>();
+            for (std::int64_t i = 0; i < size * size; ++i) {
+                p[i * kFrames + f] = src[i];
+            }
+        }
+        return state;
+    }
+
+    data::EnvStep
+    StepEnv(std::int32_t action)
+    {
+        const auto result = env_->Step(
+            static_cast<data::MiniAtari::Action>(action));
+        frames_.pop_front();
+        frames_.push_back(result.frame);
+        if (result.episode_done) {
+            ResetFrameStack();
+        }
+        return result;
+    }
+
+    void
+    ActAndRecord(float epsilon)
+    {
+        const Tensor state = CurrentState(1);
+        std::int32_t action;
+        if (policy_rng_.Uniform() < epsilon) {
+            action = static_cast<std::int32_t>(
+                policy_rng_.UniformInt(data::MiniAtari::kNumActions));
+        } else {
+            runtime::FeedMap feeds;
+            feeds[states_.node] = state;
+            const auto out = session_->Run(feeds, {greedy_action_});
+            action = out[0].data<std::int32_t>()[0];
+        }
+        const auto result = StepEnv(action);
+
+        Transition t;
+        t.state = state.Reshape(Shape{env_->frame_size(), env_->frame_size(),
+                                      kFrames});
+        t.action = action;
+        t.reward = result.reward;
+        t.next_state = CurrentState(1).Reshape(
+            Shape{env_->frame_size(), env_->frame_size(), kFrames});
+        t.done = result.episode_done;
+        replay_.push_back(std::move(t));
+        if (replay_.size() > kReplayCapacity) {
+            replay_.pop_front();
+        }
+    }
+
+    float
+    TrainOnMinibatch()
+    {
+        const std::int64_t size = env_->frame_size();
+        Tensor states = Tensor::Zeros(Shape{batch_, size, size, kFrames});
+        Tensor next_states =
+            Tensor::Zeros(Shape{batch_, size, size, kFrames});
+        Tensor actions = Tensor::Zeros(Shape{batch_}, DType::kInt32);
+        std::vector<float> rewards(static_cast<std::size_t>(batch_));
+        std::vector<bool> done(static_cast<std::size_t>(batch_));
+
+        const std::int64_t frame_elems = size * size * kFrames;
+        for (std::int64_t i = 0; i < batch_; ++i) {
+            const auto& t = replay_[static_cast<std::size_t>(
+                policy_rng_.UniformInt(
+                    static_cast<std::int64_t>(replay_.size())))];
+            std::copy(t.state.data<float>(),
+                      t.state.data<float>() + frame_elems,
+                      states.data<float>() + i * frame_elems);
+            std::copy(t.next_state.data<float>(),
+                      t.next_state.data<float>() + frame_elems,
+                      next_states.data<float>() + i * frame_elems);
+            actions.data<std::int32_t>()[i] = t.action;
+            rewards[static_cast<std::size_t>(i)] = t.reward;
+            done[static_cast<std::size_t>(i)] = t.done;
+        }
+
+        // Bellman targets from the current network (2013-style, no
+        // separate target network).
+        runtime::FeedMap next_feeds;
+        next_feeds[states_.node] = next_states;
+        const Tensor q_next = session_->Run(next_feeds, {q_values_})[0];
+        Tensor targets = Tensor::Zeros(Shape{batch_});
+        for (std::int64_t i = 0; i < batch_; ++i) {
+            float best = q_next.data<float>()[i * data::MiniAtari::kNumActions];
+            for (int a = 1; a < data::MiniAtari::kNumActions; ++a) {
+                best = std::max(
+                    best,
+                    q_next.data<float>()[i * data::MiniAtari::kNumActions + a]);
+            }
+            targets.data<float>()[i] =
+                rewards[static_cast<std::size_t>(i)] +
+                (done[static_cast<std::size_t>(i)] ? 0.0f : kGamma * best);
+        }
+
+        runtime::FeedMap feeds;
+        feeds[states_.node] = states;
+        feeds[actions_.node] = actions;
+        feeds[targets_.node] = targets;
+        const auto out = session_->Run(feeds, {loss_}, {train_op_});
+        ++total_updates_;
+        return out[0].scalar_value();
+    }
+
+    static constexpr std::int64_t kGrid = 21;
+    static constexpr std::int64_t kScale = 2;
+    static constexpr int kFrames = 4;
+    static constexpr float kGamma = 0.95f;
+    static constexpr std::size_t kReplayCapacity = 500;
+
+    std::int64_t batch_ = 8;
+    std::unique_ptr<data::MiniAtari> env_;
+    Rng policy_rng_{0};
+    std::deque<Tensor> frames_;
+    std::deque<Transition> replay_;
+    std::int64_t total_updates_ = 0;
+
+    nn::Trainables trainables_;
+    Output states_, actions_, targets_, q_values_, greedy_action_, loss_;
+    graph::NodeId train_op_ = -1;
+};
+
+}  // namespace
+
+void
+RegisterDeepQ()
+{
+    WorkloadRegistry::Global().Register(
+        "deepq", [] { return std::make_unique<DeepQWorkload>(); });
+}
+
+}  // namespace fathom::workloads

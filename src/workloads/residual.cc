@@ -1,0 +1,254 @@
+/**
+ * @file
+ * residual — He et al.'s ResNet-34, the ILSVRC 2015 winner.
+ *
+ * The 34-weight-layer structure is exact: one stem convolution, four
+ * stages of [3, 4, 6, 3] two-convolution residual blocks (identity
+ * shortcuts, with 1x1 projections at stage boundaries), batch
+ * normalization after every convolution, global average pooling, and a
+ * single fully-connected classifier — the near-elimination of FC
+ * layers the paper's Sec. V-B highlights. Widths are divided for
+ * single-core scale; inputs are 32x32.
+ *
+ * Batch normalization is implemented with the full training/inference
+ * split: the training path normalizes with batch statistics and
+ * maintains exponential moving averages; the inference path (shared
+ * parameters, separate subgraph) normalizes with the running
+ * statistics, exactly as a deployed ResNet does.
+ */
+#include "data/synthetic_image.h"
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace fathom::workloads {
+namespace {
+
+using graph::Output;
+
+class ResidualWorkload : public Workload {
+  public:
+    std::string name() const override { return "residual"; }
+    std::string
+    description() const override
+    {
+        return "Image classifier from Microsoft Research Asia. Dramatically "
+               "increased the practical depth of convolutional networks. "
+               "ILSVRC 2015 winner.";
+    }
+    std::string neuronal_style() const override { return "Convolutional"; }
+    int num_layers() const override { return 34; }
+    std::string learning_task() const override { return "Supervised"; }
+    std::string dataset() const override { return "synthetic-imagenet"; }
+
+    void
+    Setup(const WorkloadConfig& config) override
+    {
+        batch_ = config.batch_size > 0 ? config.batch_size : 4;
+        session_ = std::make_unique<runtime::Session>(config.seed);
+        session_->SetThreads(config.threads);
+        dataset_ = std::make_unique<data::SyntheticImageDataset>(
+            kInput, 3, kClasses, config.seed ^ 0x2E5);
+
+        Rng init_rng(config.seed * 31 + 3);
+        auto b = session_->MakeBuilder();
+        graph::ScopeGuard scope(b, "residual");
+
+        images_ = b.Placeholder("images");
+        labels_ = b.Placeholder("labels");
+
+        // ---- shared parameters ------------------------------------------
+        stem_ = nn::MakeConv2D(b, &trainables_, init_rng, "conv1", 3, 3, 8);
+        stem_bn_ = nn::MakeBatchNorm(b, &trainables_, "bn1", 8);
+
+        const struct {
+            int blocks;
+            std::int64_t channels;
+        } stages[] = {{3, 8}, {4, 16}, {6, 32}, {3, 64}};
+
+        std::int64_t in_c = 8;
+        int block_index = 0;
+        for (const auto& stage : stages) {
+            for (int blk = 0; blk < stage.blocks; ++blk) {
+                const std::int64_t out_c = stage.channels;
+                const std::int64_t stride =
+                    (in_c != out_c && blk == 0) ? 2 : 1;
+                blocks_.push_back(MakeBlock(
+                    b, init_rng, "block" + std::to_string(block_index++),
+                    in_c, out_c, stride));
+                in_c = out_c;
+            }
+        }
+        fc_ = nn::MakeDense(b, &trainables_, init_rng, "fc", in_c, kClasses);
+
+        // ---- training path (batch statistics + EMA updates) --------------
+        std::vector<graph::NodeId> stat_updates;
+        const Output train_logits =
+            BuildPath(b, images_, /*training=*/true, &stat_updates);
+        loss_ = b.SoftmaxCrossEntropy(train_logits, labels_)[0];
+        const graph::NodeId optimize = nn::Minimize(
+            b, loss_, trainables_, nn::OptimizerConfig::Momentum(0.05f, 0.9f));
+        std::vector<graph::NodeId> all_updates = {optimize};
+        all_updates.insert(all_updates.end(), stat_updates.begin(),
+                           stat_updates.end());
+        train_op_ = b.Group(all_updates, "train_and_update_stats");
+
+        // ---- inference path (running statistics) --------------------------
+        logits_ = BuildPath(b, images_, /*training=*/false, nullptr);
+        predictions_ = b.ArgMax(logits_);
+    }
+
+
+    bool has_accuracy_metric() const override { return true; }
+
+    float
+    EvaluateAccuracy(int batches) override
+    {
+        int correct = 0;
+        int total = 0;
+        for (int i = 0; i < batches; ++i) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            const auto out = session_->Run(feeds, {predictions_});
+            for (std::int64_t j = 0; j < batch_; ++j) {
+                correct += out[0].data<std::int32_t>()[j] ==
+                           batch.labels.data<std::int32_t>()[j];
+                ++total;
+            }
+        }
+        return static_cast<float>(correct) / static_cast<float>(total);
+    }
+
+    StepResult
+    RunInference(int steps) override
+    {
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            session_->Run(feeds, {predictions_});
+            return 0.0f;
+        });
+    }
+
+    StepResult
+    RunTraining(int steps) override
+    {
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            feeds[labels_.node] = batch.labels;
+            const auto out = session_->Run(feeds, {loss_}, {train_op_});
+            return out[0].scalar_value();
+        });
+    }
+
+  private:
+    /** Shared parameters of one two-conv residual block. */
+    struct BlockParams {
+        bool has_projection = false;
+        std::int64_t stride = 1;
+        nn::ConvParams proj;
+        nn::BatchNormParams proj_bn;
+        nn::ConvParams conv_a;
+        nn::BatchNormParams bn_a;
+        nn::ConvParams conv_b;
+        nn::BatchNormParams bn_b;
+    };
+
+    BlockParams
+    MakeBlock(graph::GraphBuilder& b, Rng& rng, const std::string& name,
+              std::int64_t in_c, std::int64_t out_c, std::int64_t stride)
+    {
+        graph::ScopeGuard scope(b, name);
+        BlockParams block;
+        block.stride = stride;
+        if (stride != 1 || in_c != out_c) {
+            block.has_projection = true;
+            block.proj =
+                nn::MakeConv2D(b, &trainables_, rng, "proj", 1, in_c, out_c);
+            block.proj_bn = nn::MakeBatchNorm(b, &trainables_, "proj_bn",
+                                              out_c);
+        }
+        block.conv_a =
+            nn::MakeConv2D(b, &trainables_, rng, "conv_a", 3, in_c, out_c);
+        block.bn_a = nn::MakeBatchNorm(b, &trainables_, "bn_a", out_c);
+        block.conv_b =
+            nn::MakeConv2D(b, &trainables_, rng, "conv_b", 3, out_c, out_c);
+        block.bn_b = nn::MakeBatchNorm(b, &trainables_, "bn_b", out_c);
+        return block;
+    }
+
+    /** Applies batch norm in the requested mode. */
+    Output
+    Normalize(graph::GraphBuilder& b, const nn::BatchNormParams& bn,
+              Output x, bool training, std::vector<graph::NodeId>* updates)
+    {
+        if (training) {
+            auto result = nn::ApplyBatchNormTraining(b, bn, x, kBnMomentum);
+            updates->insert(updates->end(), result.stat_updates.begin(),
+                            result.stat_updates.end());
+            return result.y;
+        }
+        return nn::ApplyBatchNormInference(b, bn, x);
+    }
+
+    /** Builds the full 34-layer forward pass over the shared params. */
+    Output
+    BuildPath(graph::GraphBuilder& b, Output x, bool training,
+              std::vector<graph::NodeId>* updates)
+    {
+        graph::ScopeGuard scope(b, training ? "train_path" : "infer_path");
+        Output h = nn::ApplyConv2D(b, stem_, x, 1, "SAME");
+        h = b.Relu(Normalize(b, stem_bn_, h, training, updates));
+
+        for (const BlockParams& block : blocks_) {
+            Output shortcut = h;
+            if (block.has_projection) {
+                shortcut = nn::ApplyConv2D(b, block.proj, h, block.stride,
+                                           "SAME");
+                shortcut =
+                    Normalize(b, block.proj_bn, shortcut, training, updates);
+            }
+            Output y = nn::ApplyConv2D(b, block.conv_a, h, block.stride,
+                                       "SAME");
+            y = b.Relu(Normalize(b, block.bn_a, y, training, updates));
+            y = nn::ApplyConv2D(b, block.conv_b, y, 1, "SAME");
+            y = Normalize(b, block.bn_b, y, training, updates);
+            h = b.Relu(b.Add(y, shortcut));
+        }
+
+        const Output pooled = b.ReduceMean(h, {1, 2}, /*keep_dims=*/false);
+        return nn::ApplyDense(b, fc_, pooled);
+    }
+
+    static constexpr std::int64_t kInput = 32;
+    static constexpr std::int64_t kClasses = 16;
+    static constexpr float kBnMomentum = 0.9f;
+
+    std::int64_t batch_ = 4;
+    std::unique_ptr<data::SyntheticImageDataset> dataset_;
+    nn::Trainables trainables_;
+    nn::ConvParams stem_;
+    nn::BatchNormParams stem_bn_;
+    std::vector<BlockParams> blocks_;
+    nn::DenseParams fc_;
+    Output images_, labels_, logits_, predictions_, loss_;
+    graph::NodeId train_op_ = -1;
+};
+
+}  // namespace
+
+void
+RegisterResidual()
+{
+    WorkloadRegistry::Global().Register("residual", [] {
+        return std::make_unique<ResidualWorkload>();
+    });
+}
+
+}  // namespace fathom::workloads

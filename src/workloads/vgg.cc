@@ -1,0 +1,168 @@
+/**
+ * @file
+ * vgg — Simonyan & Zisserman's 19-layer network (VGG-19).
+ *
+ * The defining property — sixteen 3x3 convolutional layers in five
+ * blocks plus three fully-connected layers — is preserved exactly;
+ * channel widths are divided by 8 and inputs are 32x32 so the five
+ * pooling stages land on a 1x1 spatial output, mirroring the original
+ * 224 -> 7 reduction at small scale.
+ */
+#include "data/synthetic_image.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "workloads/common.h"
+#include "workloads/workload.h"
+
+namespace fathom::workloads {
+namespace {
+
+using graph::Output;
+
+class VggWorkload : public Workload {
+  public:
+    std::string name() const override { return "vgg"; }
+    std::string
+    description() const override
+    {
+        return "Image classifier demonstrating the power of small "
+               "convolutional filters. ILSVRC 2014 winner.";
+    }
+    std::string neuronal_style() const override { return "Convolutional, Full"; }
+    int num_layers() const override { return 19; }
+    std::string learning_task() const override { return "Supervised"; }
+    std::string dataset() const override { return "synthetic-imagenet"; }
+
+    void
+    Setup(const WorkloadConfig& config) override
+    {
+        batch_ = config.batch_size > 0 ? config.batch_size : 4;
+        session_ = std::make_unique<runtime::Session>(config.seed);
+        session_->SetThreads(config.threads);
+        dataset_ = std::make_unique<data::SyntheticImageDataset>(
+            kInput, 3, kClasses, config.seed ^ 0x1667);
+
+        Rng init_rng(config.seed * 31 + 2);
+        auto b = session_->MakeBuilder();
+        graph::ScopeGuard scope(b, "vgg");
+
+        images_ = b.Placeholder("images");
+        labels_ = b.Placeholder("labels");
+
+        // VGG-19 conv configuration: blocks of (count, channels).
+        const struct {
+            int convs;
+            std::int64_t channels;
+        } blocks[] = {{2, 8}, {2, 16}, {4, 32}, {4, 64}, {4, 64}};
+
+        Output x = images_;
+        std::int64_t in_c = 3;
+        int conv_index = 1;
+        for (const auto& block : blocks) {
+            for (int i = 0; i < block.convs; ++i) {
+                x = nn::Conv2DLayer(b, &trainables_, init_rng,
+                                    "conv" + std::to_string(conv_index++), x,
+                                    3, in_c, block.channels, 1, "SAME");
+                in_c = block.channels;
+            }
+            x = b.MaxPool(x, 2, 2, "SAME");
+        }
+        // 32 -> 16 -> 8 -> 4 -> 2 -> 1 spatial.
+        const std::int64_t flat = in_c;
+        const Output features = b.Reshape(x, {-1, flat});
+
+        const auto fc1 =
+            nn::MakeDense(b, &trainables_, init_rng, "fc1", flat, 64);
+        const auto fc2 = nn::MakeDense(b, &trainables_, init_rng, "fc2", 64,
+                                       64);
+        const auto fc3 =
+            nn::MakeDense(b, &trainables_, init_rng, "fc3", 64, kClasses);
+
+        {
+            graph::ScopeGuard head(b, "infer");
+            Output h = nn::ApplyDense(b, fc1, features, nn::Activation::kRelu);
+            h = nn::ApplyDense(b, fc2, h, nn::Activation::kRelu);
+            logits_ = nn::ApplyDense(b, fc3, h);
+            predictions_ = b.ArgMax(logits_);
+        }
+        {
+            graph::ScopeGuard head(b, "train_head");
+            Output h = nn::ApplyDense(b, fc1, features, nn::Activation::kRelu);
+            h = nn::Dropout(b, h, 0.5f, /*training=*/true);
+            h = nn::ApplyDense(b, fc2, h, nn::Activation::kRelu);
+            h = nn::Dropout(b, h, 0.5f, /*training=*/true);
+            const Output train_logits = nn::ApplyDense(b, fc3, h);
+            loss_ = b.SoftmaxCrossEntropy(train_logits, labels_)[0];
+        }
+        train_op_ = nn::Minimize(b, loss_, trainables_,
+                                 nn::OptimizerConfig::Momentum(0.01f, 0.9f));
+    }
+
+
+    bool has_accuracy_metric() const override { return true; }
+
+    float
+    EvaluateAccuracy(int batches) override
+    {
+        int correct = 0;
+        int total = 0;
+        for (int i = 0; i < batches; ++i) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            const auto out = session_->Run(feeds, {predictions_});
+            for (std::int64_t j = 0; j < batch_; ++j) {
+                correct += out[0].data<std::int32_t>()[j] ==
+                           batch.labels.data<std::int32_t>()[j];
+                ++total;
+            }
+        }
+        return static_cast<float>(correct) / static_cast<float>(total);
+    }
+
+    StepResult
+    RunInference(int steps) override
+    {
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            session_->Run(feeds, {predictions_});
+            return 0.0f;
+        });
+    }
+
+    StepResult
+    RunTraining(int steps) override
+    {
+        return TimeSteps(steps, [this](int) {
+            const auto batch = dataset_->NextBatch(batch_);
+            runtime::FeedMap feeds;
+            feeds[images_.node] = batch.images;
+            feeds[labels_.node] = batch.labels;
+            const auto out = session_->Run(feeds, {loss_}, {train_op_});
+            return out[0].scalar_value();
+        });
+    }
+
+  private:
+    static constexpr std::int64_t kInput = 32;
+    static constexpr std::int64_t kClasses = 16;
+
+    std::int64_t batch_ = 4;
+    std::unique_ptr<data::SyntheticImageDataset> dataset_;
+    nn::Trainables trainables_;
+    Output images_, labels_, logits_, predictions_, loss_;
+    graph::NodeId train_op_ = -1;
+};
+
+}  // namespace
+
+void
+RegisterVgg()
+{
+    WorkloadRegistry::Global().Register(
+        "vgg", [] { return std::make_unique<VggWorkload>(); });
+}
+
+}  // namespace fathom::workloads

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The standard Fathom model interface.
+ *
+ * The paper's key logistical contribution is that "all Fathom models
+ * are wrapped in a standard interface which exposes the same functions
+ * for every model. Thus, evaluating training, inference, or simply
+ * inspecting the model's dataflow graph is straightforward." This
+ * class is that interface.
+ */
+#ifndef FATHOM_WORKLOADS_WORKLOAD_H
+#define FATHOM_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/session.h"
+
+namespace fathom::workloads {
+
+/** Configuration common to all workloads. */
+struct WorkloadConfig {
+    std::uint64_t seed = 1;
+
+    /** Minibatch size; 0 selects the model default. */
+    std::int64_t batch_size = 0;
+
+    /** Intra-op thread count (the Fig. 6 knob). */
+    int threads = 1;
+};
+
+/** Aggregate result of a timed run of steps. */
+struct StepResult {
+    int steps = 0;
+    double wall_seconds = 0.0;  ///< total wall time across steps.
+    float final_loss = 0.0f;    ///< last step's loss (training only).
+    float mean_loss = 0.0f;     ///< mean loss across steps (training only).
+};
+
+/**
+ * Base class of the eight Fathom models.
+ *
+ * Lifecycle: construct, Setup() once, then any mix of RunInference()
+ * and RunTraining(). The session (graph, variables, tracer) is exposed
+ * for the profiling tools.
+ */
+class Workload {
+  public:
+    virtual ~Workload() = default;
+
+    /** Canonical short name, e.g. "alexnet". */
+    virtual std::string name() const = 0;
+
+    /** One-line description (Table II's "purpose" column). */
+    virtual std::string description() const = 0;
+
+    // ---- Table II metadata ------------------------------------------------
+
+    /** Neuronal style, e.g. "Convolutional, Full". */
+    virtual std::string neuronal_style() const = 0;
+
+    /** Weight-layer count as reported in Table II. */
+    virtual int num_layers() const = 0;
+
+    /** Learning task: Supervised/Unsupervised/Reinforcement. */
+    virtual std::string learning_task() const = 0;
+
+    /** Dataset (the synthetic substitute's name). */
+    virtual std::string dataset() const = 0;
+
+    // ---- lifecycle --------------------------------------------------------
+
+    /** Builds graphs and initializes parameters. Call exactly once. */
+    virtual void Setup(const WorkloadConfig& config) = 0;
+
+    /** Runs forward-only steps on fresh input batches. */
+    virtual StepResult RunInference(int steps) = 0;
+
+    /** Runs full forward+backward+update steps. */
+    virtual StepResult RunTraining(int steps) = 0;
+
+    /**
+     * Task-level quality metric on fresh data, in [0, 1]: classification
+     * accuracy for the supervised classifiers, answer accuracy for
+     * memnet. Workloads without a natural accuracy (generative,
+     * sequence-loss, reinforcement models) throw std::logic_error.
+     * Part of the "verified reference implementation" contract: tests
+     * assert this rises above chance with training.
+     */
+    virtual float EvaluateAccuracy(int batches);
+
+    /** @return true if EvaluateAccuracy is meaningful for this model. */
+    virtual bool has_accuracy_metric() const { return false; }
+
+    /** @return the session (graph, variables, trace). Valid after Setup. */
+    runtime::Session& session();
+    const runtime::Session& session() const;
+
+    /** @return total trainable parameter count. Valid after Setup. */
+    std::int64_t num_parameters() const;
+
+  protected:
+    std::unique_ptr<runtime::Session> session_;
+};
+
+/** Factory registry over the eight models. */
+class WorkloadRegistry {
+  public:
+    using Factory = std::function<std::unique_ptr<Workload>()>;
+
+    static WorkloadRegistry& Global();
+
+    void Register(const std::string& name, Factory factory);
+
+    /** @return a fresh workload; throws std::out_of_range if unknown. */
+    std::unique_ptr<Workload> Create(const std::string& name) const;
+
+    /** @return all names in the paper's Table II order. */
+    std::vector<std::string> Names() const;
+
+  private:
+    std::map<std::string, Factory> factories_;
+    std::vector<std::string> order_;
+};
+
+/** Registers the standard ops and all eight workloads. Idempotent. */
+void RegisterAllWorkloads();
+
+}  // namespace fathom::workloads
+
+#endif  // FATHOM_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Numerical gradient checks for the autodiff system across the full op
+ * set, plus structural tests of the gradient builder.
+ */
+#include <gtest/gtest.h>
+
+#include "autodiff/gradients.h"
+#include "ops/register.h"
+#include "runtime/session.h"
+#include "test_util.h"
+
+namespace fathom::autodiff {
+namespace {
+
+using graph::GraphBuilder;
+using graph::Output;
+using test::CheckGradient;
+using test::RandomTensor;
+
+class AutodiffTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() { ops::RegisterStandardOps(); }
+};
+
+// Every builder must reduce to a scalar loss; ReduceSum with random
+// weighting makes the check sensitive to every element.
+Output
+WeightedSum(GraphBuilder& b, Output x, std::uint64_t seed, const Shape& shape)
+{
+    const Output w = b.Const(RandomTensor(shape, seed), "weights");
+    return b.ReduceSum(b.Mul(x, w), {}, false);
+}
+
+TEST_F(AutodiffTest, AddGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output c = b.Const(RandomTensor(Shape{3, 4}, 1));
+            return WeightedSum(b, b.Add(x, c), 2, Shape{3, 4});
+        },
+        RandomTensor(Shape{3, 4}, 3));
+}
+
+TEST_F(AutodiffTest, AddBroadcastGradient)
+{
+    // x is a [4] bias broadcast over [3, 4]; grad must reduce back.
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output c = b.Const(RandomTensor(Shape{3, 4}, 4));
+            return WeightedSum(b, b.Add(c, x), 5, Shape{3, 4});
+        },
+        RandomTensor(Shape{4}, 6));
+}
+
+TEST_F(AutodiffTest, MulDivSubGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output c = b.Const(
+                RandomTensor(Shape{2, 3}, 7, 0.5f), "c");
+            const Output offset = b.ScalarConst(3.0f);
+            // (x * c - c) / (x^2 + 3)
+            const Output num = b.Sub(b.Mul(x, c), c);
+            const Output den = b.Add(b.Square(x), offset);
+            return WeightedSum(b, b.Div(num, den), 8, Shape{2, 3});
+        },
+        RandomTensor(Shape{2, 3}, 9));
+}
+
+TEST_F(AutodiffTest, UnaryChainGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            // log(exp(tanh(x)) + sqrt(exp(x)))
+            const Output t = b.Tanh(x);
+            const Output e = b.Exp(t);
+            const Output s = b.Sqrt(b.Exp(x));
+            return WeightedSum(b, b.Log(b.Add(e, s)), 10, Shape{5});
+        },
+        RandomTensor(Shape{5}, 11, 0.5f));
+}
+
+TEST_F(AutodiffTest, SigmoidReluGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.Sigmoid(b.Relu(x)), 12, Shape{8});
+        },
+        // Keep values away from the ReLU kink where the numerical
+        // derivative is undefined.
+        Tensor::FromVector({-2.0f, -1.0f, -0.5f, 0.4f, 0.8f, 1.5f, 2.0f,
+                            -3.0f}));
+}
+
+TEST_F(AutodiffTest, PowNegGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.Neg(b.Pow(x, 3.0f)), 13, Shape{4});
+        },
+        Tensor::FromVector({0.5f, 1.0f, 1.5f, 2.0f}));
+}
+
+TEST_F(AutodiffTest, MatMulGradientAllTransposes)
+{
+    for (const bool ta : {false, true}) {
+        for (const bool tb : {false, true}) {
+            CheckGradient(
+                [ta, tb](GraphBuilder& b, Output x) {
+                    const Shape b_shape = tb ? Shape{4, 3} : Shape{3, 4};
+                    const Output w =
+                        b.Const(RandomTensor(b_shape, 14), "w");
+                    const Output y = b.MatMul(x, w, ta, tb);
+                    return WeightedSum(b, y, 15, Shape{2, 4});
+                },
+                RandomTensor(ta ? Shape{3, 2} : Shape{2, 3}, 16));
+        }
+    }
+}
+
+TEST_F(AutodiffTest, MatMulGradientSecondOperand)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output a = b.Const(RandomTensor(Shape{3, 2}, 17), "a");
+            return WeightedSum(b, b.MatMul(a, x), 18, Shape{3, 4});
+        },
+        RandomTensor(Shape{2, 4}, 19));
+}
+
+TEST_F(AutodiffTest, Conv2DGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output w =
+                b.Const(RandomTensor(Shape{3, 3, 2, 3}, 20, 0.4f), "w");
+            const Output y = b.Conv2D(x, w, 1, "SAME");
+            return WeightedSum(b, y, 21, Shape{1, 4, 4, 3});
+        },
+        RandomTensor(Shape{1, 4, 4, 2}, 22));
+}
+
+TEST_F(AutodiffTest, Conv2DFilterGradientStride2)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output input =
+                b.Const(RandomTensor(Shape{1, 6, 6, 2}, 23), "input");
+            const Output y = b.Conv2D(input, x, 2, "SAME");
+            return WeightedSum(b, y, 24, Shape{1, 3, 3, 4});
+        },
+        RandomTensor(Shape{3, 3, 2, 4}, 25, 0.4f));
+}
+
+TEST_F(AutodiffTest, MaxPoolGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.MaxPool(x, 2, 2, "VALID"), 26,
+                               Shape{1, 2, 2, 2});
+        },
+        // Distinct values so the argmax is stable under perturbation.
+        Tensor::FromVector(
+            Shape{1, 4, 4, 2},
+            {1,  17, 2,  18, 3,  19, 4,  20, 5,  21, 6,  22, 7,  23, 8,  24,
+             9,  25, 10, 26, 11, 27, 12, 28, 13, 29, 14, 30, 15, 31, 16, 32}));
+}
+
+TEST_F(AutodiffTest, AvgPoolGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.AvgPool(x, 2, 2, "SAME"), 27,
+                               Shape{1, 2, 2, 1});
+        },
+        RandomTensor(Shape{1, 4, 4, 1}, 28));
+}
+
+TEST_F(AutodiffTest, LrnGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.Lrn(x, 2, 1.0f, 0.3f, 0.75f), 29,
+                               Shape{2, 6});
+        },
+        RandomTensor(Shape{2, 6}, 30));
+}
+
+TEST_F(AutodiffTest, BatchNormGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output gamma =
+                b.Const(RandomTensor(Shape{3}, 31, 0.5f), "gamma");
+            const Output beta =
+                b.Const(RandomTensor(Shape{3}, 32, 0.5f), "beta");
+            const auto bn = b.BatchNorm(x, gamma, beta, 1e-2f);
+            return WeightedSum(b, bn[0], 33, Shape{8, 3});
+        },
+        RandomTensor(Shape{8, 3}, 34), /*tolerance=*/5e-2f);
+}
+
+TEST_F(AutodiffTest, BatchNormParamGradients)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output input =
+                b.Const(RandomTensor(Shape{8, 2}, 35), "input");
+            const Output beta = b.Const(RandomTensor(Shape{2}, 36), "beta");
+            const auto bn = b.BatchNorm(input, x, beta, 1e-2f);
+            return WeightedSum(b, bn[0], 37, Shape{8, 2});
+        },
+        RandomTensor(Shape{2}, 38, 0.5f));
+}
+
+TEST_F(AutodiffTest, ReduceSumGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output partial = b.ReduceSum(x, {1}, false);
+            return WeightedSum(b, partial, 39, Shape{3});
+        },
+        RandomTensor(Shape{3, 4}, 40));
+}
+
+TEST_F(AutodiffTest, ReduceMeanKeepDimsGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output m = b.ReduceMean(x, {0}, true);
+            return WeightedSum(b, m, 41, Shape{1, 4});
+        },
+        RandomTensor(Shape{3, 4}, 42));
+}
+
+TEST_F(AutodiffTest, SoftmaxGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.Softmax(x), 43, Shape{2, 5});
+        },
+        RandomTensor(Shape{2, 5}, 44));
+}
+
+TEST_F(AutodiffTest, LogSoftmaxGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.LogSoftmax(x), 45, Shape{2, 5});
+        },
+        RandomTensor(Shape{2, 5}, 46));
+}
+
+TEST_F(AutodiffTest, ReshapeTransposeGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output r = b.Reshape(x, {4, 3});
+            const Output t = b.Transpose(r, {1, 0});
+            return WeightedSum(b, t, 47, Shape{3, 4});
+        },
+        RandomTensor(Shape{2, 6}, 48));
+}
+
+TEST_F(AutodiffTest, ConcatGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output c = b.Const(RandomTensor(Shape{2, 3}, 49), "c");
+            const Output cat = b.Concat({x, c, x}, 1);
+            return WeightedSum(b, cat, 50, Shape{2, 7});
+        },
+        RandomTensor(Shape{2, 2}, 51), /*tolerance=*/2e-2f, /*delta=*/5e-3f);
+}
+
+TEST_F(AutodiffTest, SliceGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output s = b.Slice(x, {1, 0}, {2, 2});
+            return WeightedSum(b, s, 52, Shape{2, 2});
+        },
+        RandomTensor(Shape{4, 3}, 53));
+}
+
+TEST_F(AutodiffTest, GatherGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output idx = b.Const(
+                Tensor::FromVectorInt(Shape{4}, {2, 0, 2, 1}), "idx");
+            const Output g = b.Gather(x, idx);
+            return WeightedSum(b, g, 54, Shape{4, 3});
+        },
+        RandomTensor(Shape{3, 3}, 55));
+}
+
+TEST_F(AutodiffTest, TilePadGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output tiled = b.Tile(x, {2, 3});
+            const Output padded = b.Pad(tiled, {1, 0, 0, 2});
+            return WeightedSum(b, padded, 56, Shape{5, 8});
+        },
+        RandomTensor(Shape{2, 2}, 57));
+}
+
+TEST_F(AutodiffTest, SoftmaxCrossEntropyGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output labels = b.Const(
+                Tensor::FromVectorInt(Shape{3}, {1, 0, 3}), "labels");
+            return b.SoftmaxCrossEntropy(x, labels)[0];
+        },
+        RandomTensor(Shape{3, 4}, 58));
+}
+
+TEST_F(AutodiffTest, CtcLossGradientThroughGraph)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const Output labels = b.Const(
+                Tensor::FromVectorInt(Shape{2}, {1, 2}), "labels");
+            return b.CtcLoss(x, labels, 0)[0];
+        },
+        RandomTensor(Shape{5, 3}, 59));
+}
+
+TEST_F(AutodiffTest, SplitGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const auto parts = b.Split(x, 1, 3);
+            // Use the parts asymmetrically so each grad path matters.
+            const Output combined = b.Add(
+                b.Mul(parts[0], b.ScalarConst(2.0f)),
+                b.Sub(parts[2], parts[1]));
+            return WeightedSum(b, combined, 70, Shape{2, 2});
+        },
+        RandomTensor(Shape{2, 6}, 71));
+}
+
+TEST_F(AutodiffTest, SplitWithUnusedOutputGradient)
+{
+    // One part never reaches the loss; its gradient contribution must
+    // be zero, not an error.
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            const auto parts = b.Split(x, 1, 2);
+            return WeightedSum(b, parts[0], 72, Shape{3, 2});
+        },
+        RandomTensor(Shape{3, 4}, 73));
+}
+
+TEST_F(AutodiffTest, ClipByValueGradient)
+{
+    CheckGradient(
+        [](GraphBuilder& b, Output x) {
+            return WeightedSum(b, b.ClipByValue(x, -0.5f, 0.5f), 60,
+                               Shape{6});
+        },
+        // Values away from the clip boundaries (kinks).
+        Tensor::FromVector({-2.0f, -0.8f, -0.2f, 0.1f, 0.3f, 1.5f}));
+}
+
+TEST_F(AutodiffTest, StopGradientBlocksFlow)
+{
+    ops::RegisterStandardOps();
+    runtime::Session session;
+    auto b = session.MakeBuilder();
+    const Output x = b.Placeholder("x");
+    const Output blocked = b.StopGradient(b.Square(x));
+    const Output loss = b.ReduceSum(b.Mul(blocked, x), {}, false);
+    const auto grads = BuildGradients(b, loss, {x});
+
+    runtime::FeedMap feeds;
+    feeds[x.node] = Tensor::FromVector({2.0f});
+    const auto out = session.Run(feeds, {grads[0]});
+    // d/dx [stop(x^2) * x] = x^2 = 4 (no flow through the stop branch).
+    EXPECT_FLOAT_EQ(out[0].data<float>()[0], 4.0f);
+}
+
+TEST_F(AutodiffTest, DisconnectedTargetGetsZeros)
+{
+    ops::RegisterStandardOps();
+    runtime::Session session;
+    auto b = session.MakeBuilder();
+    const Output x = b.Placeholder("x");
+    const Output unrelated = b.Placeholder("unrelated");
+    const Output loss = b.ReduceSum(b.Square(x), {}, false);
+    const auto grads = BuildGradients(b, loss, {unrelated});
+
+    runtime::FeedMap feeds;
+    feeds[x.node] = Tensor::FromVector({1.0f});
+    feeds[unrelated.node] = Tensor::FromVector({5.0f, 6.0f});
+    const auto out = session.Run(feeds, {grads[0]});
+    EXPECT_EQ(out[0].shape(), Shape({2}));
+    EXPECT_FLOAT_EQ(out[0].data<float>()[0], 0.0f);
+}
+
+TEST_F(AutodiffTest, FanOutAccumulatesGradients)
+{
+    ops::RegisterStandardOps();
+    runtime::Session session;
+    auto b = session.MakeBuilder();
+    const Output x = b.Placeholder("x");
+    // loss = x*x + 3x + x => dloss/dx = 2x + 4
+    const Output loss = b.ReduceSum(
+        b.Add(b.Add(b.Square(x), b.Mul(b.ScalarConst(3.0f), x)), x), {},
+        false);
+    const auto grads = BuildGradients(b, loss, {x});
+
+    runtime::FeedMap feeds;
+    feeds[x.node] = Tensor::FromVector({5.0f});
+    const auto out = session.Run(feeds, {grads[0]});
+    EXPECT_FLOAT_EQ(out[0].data<float>()[0], 14.0f);
+}
+
+TEST_F(AutodiffTest, MissingGradientFunctionThrows)
+{
+    ops::RegisterStandardOps();
+    runtime::Session session;
+    auto b = session.MakeBuilder();
+    const Output x = b.Placeholder("x");
+    // ArgMax has no gradient; routing loss through it must fail loudly
+    // ... but only if gradient actually flows into it. Build a loss
+    // whose only path is through ArgMax-as-float (via a hack op chain
+    // is impossible since ArgMax yields int32), so instead verify the
+    // registry lookup directly.
+    EXPECT_EQ(GradientRegistry::Global().Lookup("ArgMax"), nullptr);
+    EXPECT_NE(GradientRegistry::Global().Lookup("MatMul"), nullptr);
+    (void)x;
+}
+
+}  // namespace
+}  // namespace fathom::autodiff

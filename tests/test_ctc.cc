@@ -1,0 +1,206 @@
+/**
+ * @file
+ * CTC loss tests: validated against brute-force alignment enumeration
+ * and finite-difference gradients.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/ctc.h"
+#include "test_util.h"
+
+namespace fathom::kernels {
+namespace {
+
+using test::RandomTensor;
+
+class CtcBruteForceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::vector<std::int32_t>>> {
+};
+
+TEST_P(CtcBruteForceTest, MatchesBruteForce)
+{
+    const auto [time, classes, labels] = GetParam();
+    const Tensor logits =
+        RandomTensor(Shape{time, classes}, 100 + time * 7 + classes, 1.5f);
+    const auto result = CtcLoss(logits, labels, /*blank=*/0);
+    const float brute = CtcLossBruteForce(logits, labels, /*blank=*/0);
+    EXPECT_NEAR(result.loss, brute, 1e-3f * std::max(1.0f, brute));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CtcBruteForceTest,
+    ::testing::Values(
+        std::make_tuple(3, 3, std::vector<std::int32_t>{1}),
+        std::make_tuple(4, 3, std::vector<std::int32_t>{1, 2}),
+        std::make_tuple(5, 3, std::vector<std::int32_t>{1, 1}),
+        std::make_tuple(5, 4, std::vector<std::int32_t>{2, 3, 1}),
+        std::make_tuple(6, 3, std::vector<std::int32_t>{1, 2, 1}),
+        std::make_tuple(4, 4, std::vector<std::int32_t>{}),
+        std::make_tuple(6, 4, std::vector<std::int32_t>{3})));
+
+TEST(CtcTest, GradientMatchesFiniteDifference)
+{
+    const Tensor logits = RandomTensor(Shape{6, 4}, 55);
+    const std::vector<std::int32_t> labels = {1, 3, 2};
+    const auto result = CtcLoss(logits, labels, 0);
+
+    const float delta = 1e-2f;
+    Tensor probe = logits.Clone();
+    for (std::int64_t i = 0; i < logits.num_elements(); ++i) {
+        const float saved = probe.data<float>()[i];
+        probe.data<float>()[i] = saved + delta;
+        const float up = CtcLoss(probe, labels, 0).loss;
+        probe.data<float>()[i] = saved - delta;
+        const float down = CtcLoss(probe, labels, 0).loss;
+        probe.data<float>()[i] = saved;
+        const float numeric = (up - down) / (2.0f * delta);
+        EXPECT_NEAR(result.grad_logits.data<float>()[i], numeric, 5e-3f)
+            << "at index " << i;
+    }
+}
+
+TEST(CtcTest, PerfectAlignmentHasLowLoss)
+{
+    // Logits strongly favoring the path b,1,b,2,b.
+    Tensor logits = Tensor::Full(Shape{5, 3}, -10.0f);
+    const std::int32_t path[5] = {0, 1, 0, 2, 0};
+    for (int t = 0; t < 5; ++t) {
+        logits.data<float>()[t * 3 + path[t]] = 10.0f;
+    }
+    const auto result = CtcLoss(logits, {1, 2}, 0);
+    EXPECT_LT(result.loss, 0.1f);
+}
+
+TEST(CtcTest, RepeatedLabelNeedsSeparator)
+{
+    // "aa" needs at least 3 frames (a, blank, a).
+    const Tensor logits2 = RandomTensor(Shape{2, 3}, 60);
+    EXPECT_THROW(CtcLoss(logits2, {1, 1}, 0), std::invalid_argument);
+    const Tensor logits3 = RandomTensor(Shape{3, 3}, 61);
+    EXPECT_NO_THROW(CtcLoss(logits3, {1, 1}, 0));
+}
+
+TEST(CtcTest, TooManyLabelsThrows)
+{
+    const Tensor logits = RandomTensor(Shape{2, 4}, 62);
+    EXPECT_THROW(CtcLoss(logits, {1, 2, 3}, 0), std::invalid_argument);
+}
+
+TEST(CtcTest, InvalidLabelValuesThrow)
+{
+    const Tensor logits = RandomTensor(Shape{4, 3}, 63);
+    EXPECT_THROW(CtcLoss(logits, {0}, 0), std::invalid_argument);  // blank.
+    EXPECT_THROW(CtcLoss(logits, {5}, 0), std::invalid_argument);  // range.
+    EXPECT_THROW(CtcLoss(logits, {1}, 7), std::invalid_argument);  // blank idx.
+}
+
+TEST(CtcTest, EmptyLabelSequence)
+{
+    // All-blank paths only: loss = -sum log p(blank).
+    const Tensor logits = RandomTensor(Shape{3, 3}, 64);
+    const auto result = CtcLoss(logits, {}, 0);
+    const float brute = CtcLossBruteForce(logits, {}, 0);
+    EXPECT_NEAR(result.loss, brute, 1e-4f);
+}
+
+TEST(CtcTest, GradientRowsSumToZero)
+{
+    // Each row of d(loss)/d(logits) = softmax - posterior; both are
+    // distributions, so rows sum to ~0.
+    const Tensor logits = RandomTensor(Shape{7, 5}, 65);
+    const auto result = CtcLoss(logits, {1, 4, 2}, 0);
+    for (std::int64_t t = 0; t < 7; ++t) {
+        float row = 0.0f;
+        for (std::int64_t c = 0; c < 5; ++c) {
+            row += result.grad_logits.data<float>()[t * 5 + c];
+        }
+        EXPECT_NEAR(row, 0.0f, 1e-4f);
+    }
+}
+
+TEST(CtcTest, BeamSearchFindsMostProbableLabeling)
+{
+    // Classic case where best-path (greedy) decoding is wrong: the
+    // single most probable alignment is all-blank, but the *summed*
+    // probability of label "1" over its alignments is higher.
+    //   frame probs: blank 0.4, one 0.6 ... per frame (2 frames)
+    //   P(empty) = 0.4*0.4 = 0.16
+    //   P("1")   = 0.6*0.6 + 0.6*0.4 + 0.4*0.6 = 0.84
+    Tensor logits(DType::kFloat32, Shape{2, 2});
+    for (int t = 0; t < 2; ++t) {
+        logits.data<float>()[t * 2 + 0] = std::log(0.4f);
+        logits.data<float>()[t * 2 + 1] = std::log(0.6f);
+    }
+    const auto beam = CtcBeamSearchDecode(logits, 0, 4);
+    ASSERT_EQ(beam.size(), 1u);
+    EXPECT_EQ(beam[0], 1);
+}
+
+TEST(CtcTest, BeamSearchPrefersSummedProbabilityOverBestPath)
+{
+    // Three frames: blank 0.5, a 0.3, b 0.2 each frame. Greedy gives
+    // the empty string (all-blank path, p = 0.125) but P("a") sums to
+    // a larger mass across its many alignments.
+    Tensor logits(DType::kFloat32, Shape{3, 3});
+    for (int t = 0; t < 3; ++t) {
+        logits.data<float>()[t * 3 + 0] = std::log(0.50f);
+        logits.data<float>()[t * 3 + 1] = std::log(0.34f);
+        logits.data<float>()[t * 3 + 2] = std::log(0.16f);
+    }
+    const auto greedy = CtcGreedyDecode(logits, 0);
+    EXPECT_TRUE(greedy.empty());
+    const auto beam = CtcBeamSearchDecode(logits, 0, 8);
+    ASSERT_EQ(beam.size(), 1u);  // P("a") = 0.398 > P("") = 0.125.
+    EXPECT_EQ(beam[0], 1);
+}
+
+TEST(CtcTest, BeamSearchMatchesGreedyOnPeakedDistributions)
+{
+    // With near-one-hot frames the two decoders must agree.
+    Tensor logits = Tensor::Full(Shape{8, 4}, -8.0f);
+    const std::int32_t path[8] = {1, 1, 0, 2, 0, 3, 3, 0};
+    for (int t = 0; t < 8; ++t) {
+        logits.data<float>()[t * 4 + path[t]] = 8.0f;
+    }
+    EXPECT_EQ(CtcBeamSearchDecode(logits, 0, 4),
+              CtcGreedyDecode(logits, 0));
+}
+
+TEST(CtcTest, BeamSearchHandlesRepeatedLabels)
+{
+    // Path 1 blank 1 decodes to "1 1" only via the blank separator.
+    Tensor logits = Tensor::Full(Shape{3, 2}, -8.0f);
+    logits.data<float>()[0 * 2 + 1] = 8.0f;
+    logits.data<float>()[1 * 2 + 0] = 8.0f;
+    logits.data<float>()[2 * 2 + 1] = 8.0f;
+    const auto decoded = CtcBeamSearchDecode(logits, 0, 4);
+    ASSERT_EQ(decoded.size(), 2u);
+    EXPECT_EQ(decoded[0], 1);
+    EXPECT_EQ(decoded[1], 1);
+}
+
+TEST(CtcTest, BeamSearchRejectsBadWidth)
+{
+    const Tensor logits = test::RandomTensor(Shape{3, 3}, 70);
+    EXPECT_THROW(CtcBeamSearchDecode(logits, 0, 0), std::invalid_argument);
+}
+
+TEST(CtcTest, GreedyDecodeCollapses)
+{
+    // Path: 1 1 0 2 2 0 1  -> decode 1, 2, 1
+    Tensor logits = Tensor::Full(Shape{7, 3}, -5.0f);
+    const std::int32_t path[7] = {1, 1, 0, 2, 2, 0, 1};
+    for (int t = 0; t < 7; ++t) {
+        logits.data<float>()[t * 3 + path[t]] = 5.0f;
+    }
+    const auto decoded = CtcGreedyDecode(logits, 0);
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0], 1);
+    EXPECT_EQ(decoded[1], 2);
+    EXPECT_EQ(decoded[2], 1);
+}
+
+}  // namespace
+}  // namespace fathom::kernels

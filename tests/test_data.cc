@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators and the MiniAtari
+ * environment: shapes, value ranges, determinism, and — critically —
+ * that the generated tasks are actually solvable (labels are
+ * consistent with the data-generating process).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/mini_atari.h"
+#include "data/synthetic_babi.h"
+#include "data/synthetic_image.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_timit.h"
+#include "data/synthetic_translation.h"
+
+namespace fathom::data {
+namespace {
+
+TEST(SyntheticImageTest, ShapesAndLabels)
+{
+    SyntheticImageDataset dataset(16, 3, 5, 1);
+    const auto batch = dataset.NextBatch(4);
+    EXPECT_EQ(batch.images.shape(), Shape({4, 16, 16, 3}));
+    EXPECT_EQ(batch.labels.shape(), Shape({4}));
+    for (std::int64_t i = 0; i < 4; ++i) {
+        const std::int32_t label = batch.labels.data<std::int32_t>()[i];
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 5);
+    }
+}
+
+TEST(SyntheticImageTest, DeterministicGivenSeed)
+{
+    SyntheticImageDataset a(16, 1, 4, 7);
+    SyntheticImageDataset b(16, 1, 4, 7);
+    const auto ba = a.NextBatch(2);
+    const auto bb = b.NextBatch(2);
+    for (std::int64_t i = 0; i < ba.images.num_elements(); ++i) {
+        EXPECT_EQ(ba.images.data<float>()[i], bb.images.data<float>()[i]);
+    }
+}
+
+TEST(SyntheticImageTest, ClassesAreStatisticallySeparable)
+{
+    // Mean image of class 0 differs from mean image of class 1 much
+    // more than within-class noise: otherwise the classifier tests
+    // upstream could not work.
+    SyntheticImageDataset dataset(16, 1, 2, 9);
+    std::vector<double> mean0(256, 0.0);
+    std::vector<double> mean1(256, 0.0);
+    int n0 = 0;
+    int n1 = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto batch = dataset.NextBatch(1);
+        const float* img = batch.images.data<float>();
+        auto& mean = batch.labels.data<std::int32_t>()[0] == 0 ? mean0 : mean1;
+        (batch.labels.data<std::int32_t>()[0] == 0 ? n0 : n1)++;
+        for (int p = 0; p < 256; ++p) {
+            mean[static_cast<std::size_t>(p)] += img[p];
+        }
+    }
+    ASSERT_GT(n0, 10);
+    ASSERT_GT(n1, 10);
+    double diff = 0.0;
+    for (int p = 0; p < 256; ++p) {
+        diff += std::fabs(mean0[static_cast<std::size_t>(p)] / n0 -
+                          mean1[static_cast<std::size_t>(p)] / n1);
+    }
+    EXPECT_GT(diff / 256.0, 0.01);
+}
+
+TEST(SyntheticMnistTest, RangeAndShape)
+{
+    SyntheticMnistDataset dataset(3);
+    const auto batch = dataset.NextBatch(8);
+    EXPECT_EQ(batch.images.shape(), Shape({8, 784}));
+    double total = 0.0;
+    for (std::int64_t i = 0; i < batch.images.num_elements(); ++i) {
+        const float v = batch.images.data<float>()[i];
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+        total += v;
+    }
+    EXPECT_GT(total, 0.0);  // strokes were actually drawn.
+}
+
+TEST(SyntheticTimitTest, UtteranceStructure)
+{
+    SyntheticTimitDataset dataset(24, 10, 30, 5);
+    for (int i = 0; i < 10; ++i) {
+        const auto utt = dataset.Next();
+        EXPECT_EQ(utt.frames.shape(), Shape({30, 24}));
+        EXPECT_FALSE(utt.labels.empty());
+        EXPECT_LE(static_cast<std::int64_t>(utt.labels.size()), 15);
+        for (std::int32_t l : utt.labels) {
+            EXPECT_GE(l, 1);   // 0 is reserved for the CTC blank.
+            EXPECT_LE(l, 10);
+        }
+        // No adjacent repeats (segments were merged): the generator's
+        // collapse-repeat convention.
+        for (std::size_t j = 1; j < utt.labels.size(); ++j) {
+            EXPECT_NE(utt.labels[j], utt.labels[j - 1]);
+        }
+    }
+}
+
+TEST(SyntheticTimitTest, FormantsAreClassConditioned)
+{
+    // The same phoneme must produce similar spectra across draws.
+    SyntheticTimitDataset a(32, 5, 20, 11);
+    // Frames belonging to the same label (taken from one utterance)
+    // should correlate more within a phoneme than across phonemes,
+    // which we approximate by checking energy concentration: each
+    // frame has a dominant peak.
+    const auto utt = a.Next();
+    for (std::int64_t t = 0; t < 20; ++t) {
+        float peak = 0.0f;
+        float total = 0.0f;
+        for (std::int64_t f = 0; f < 32; ++f) {
+            const float v = std::fabs(utt.frames.data<float>()[t * 32 + f]);
+            peak = std::max(peak, v);
+            total += v;
+        }
+        EXPECT_GT(peak, total / 32.0f * 2.0f);  // clearly peaked.
+    }
+}
+
+TEST(SyntheticTranslationTest, TargetIsPermutedReversal)
+{
+    SyntheticTranslationDataset dataset(64, 8, 13);
+    const auto batch = dataset.NextBatch(4);
+    EXPECT_EQ(batch.source.shape(), Shape({4, 8}));
+    EXPECT_EQ(batch.target.shape(), Shape({4, 10}));
+
+    for (std::int64_t i = 0; i < 4; ++i) {
+        const std::int32_t* src = batch.source.data<std::int32_t>() + i * 8;
+        const std::int32_t* tgt = batch.target.data<std::int32_t>() + i * 10;
+        EXPECT_EQ(tgt[0], kGoToken);
+        // Collect source words (non-pad).
+        std::vector<std::int32_t> words;
+        for (int w = 0; w < 8; ++w) {
+            if (src[w] != kPadToken) {
+                words.push_back(src[w]);
+            }
+        }
+        // Verify target = GO + translate(reverse(words)) + EOS.
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            EXPECT_EQ(tgt[1 + w],
+                      dataset.Translate(words[words.size() - 1 - w]));
+        }
+        EXPECT_EQ(tgt[1 + words.size()], kEosToken);
+    }
+}
+
+TEST(SyntheticTranslationTest, PermutationIsBijective)
+{
+    SyntheticTranslationDataset dataset(32, 6, 17);
+    std::set<std::int32_t> images;
+    for (std::int32_t t = kFirstWordToken; t < 32; ++t) {
+        const std::int32_t out = dataset.Translate(t);
+        EXPECT_GE(out, kFirstWordToken);
+        EXPECT_LT(out, 32);
+        images.insert(out);
+    }
+    EXPECT_EQ(images.size(),
+              static_cast<std::size_t>(32 - kFirstWordToken));
+    // Special tokens map to themselves.
+    EXPECT_EQ(dataset.Translate(kPadToken), kPadToken);
+    EXPECT_EQ(dataset.Translate(kGoToken), kGoToken);
+    EXPECT_EQ(dataset.Translate(kEosToken), kEosToken);
+}
+
+TEST(SyntheticBabiTest, OneHopAnswersFollowFromStory)
+{
+    SyntheticBabiDataset dataset(10, 4, /*two_hop=*/false, 19);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto sample = dataset.NextSample();
+        const std::int32_t* story = sample.story.data<std::int32_t>();
+        const std::int32_t* q = sample.question.data<std::int32_t>();
+        // Replay the story to find the queried actor's last location.
+        std::int32_t expected = -1;
+        for (std::int64_t s = 0; s < 10; ++s) {
+            const std::int32_t* sent = story + s * 4;
+            if (sent[0] == q[1] && sent[1] == 1 /* moved */) {
+                expected = sent[2];
+            }
+        }
+        ASSERT_NE(expected, -1) << "question about an actor who never moved";
+        EXPECT_EQ(sample.answer, expected);
+    }
+}
+
+TEST(SyntheticBabiTest, TwoHopAnswersRequireChaining)
+{
+    SyntheticBabiDataset dataset(16, 4, /*two_hop=*/true, 23);
+    int object_questions = 0;
+    for (int trial = 0; trial < 80; ++trial) {
+        const auto sample = dataset.NextSample();
+        const std::int32_t* story = sample.story.data<std::int32_t>();
+        const std::int32_t* q = sample.question.data<std::int32_t>();
+        // World replay.
+        std::map<std::int32_t, std::int32_t> actor_loc;
+        std::map<std::int32_t, std::int32_t> holder;
+        for (std::int64_t s = 0; s < 16; ++s) {
+            const std::int32_t* sent = story + s * 4;
+            if (sent[1] == 1) {
+                actor_loc[sent[0]] = sent[2];
+            } else if (sent[1] == 2) {
+                holder[sent[2]] = sent[0];
+            }
+        }
+        if (holder.count(q[1])) {
+            ++object_questions;
+            EXPECT_EQ(sample.answer, actor_loc.at(holder.at(q[1])));
+        } else {
+            // One-hop fallback question about an actor.
+            EXPECT_EQ(sample.answer, actor_loc.at(q[1]));
+        }
+    }
+    EXPECT_GT(object_questions, 10);  // two-hop mode asks about objects.
+}
+
+TEST(SyntheticBabiTest, VocabularyAndTokenNames)
+{
+    SyntheticBabiDataset dataset(4, 3, false, 29);
+    EXPECT_EQ(dataset.vocab(),
+              4 + SyntheticBabiDataset::kNumActors +
+                  SyntheticBabiDataset::kNumObjects +
+                  SyntheticBabiDataset::kNumLocations);
+    EXPECT_EQ(dataset.TokenName(0), "<pad>");
+    // Every token in range has a non-<unk> name.
+    for (std::int32_t t = 1; t < dataset.vocab(); ++t) {
+        EXPECT_NE(dataset.TokenName(t), "<unk>") << "token " << t;
+    }
+    EXPECT_THROW(dataset.AnswerClass(0), std::invalid_argument);
+}
+
+TEST(SyntheticBabiTest, BatchShapes)
+{
+    SyntheticBabiDataset dataset(6, 5, false, 31);
+    const auto batch = dataset.NextBatch(3);
+    EXPECT_EQ(batch.stories.shape(), Shape({3, 6, 5}));
+    EXPECT_EQ(batch.questions.shape(), Shape({3, 5}));
+    EXPECT_EQ(batch.answers.shape(), Shape({3}));
+    for (std::int64_t i = 0; i < 3; ++i) {
+        EXPECT_GE(batch.answers.data<std::int32_t>()[i], 0);
+        EXPECT_LT(batch.answers.data<std::int32_t>()[i],
+                  SyntheticBabiDataset::kNumLocations);
+    }
+}
+
+TEST(MiniAtariTest, FrameContentsAndGeometry)
+{
+    MiniAtari env(10, 2, 37);
+    const Tensor frame = env.Reset();
+    EXPECT_EQ(frame.shape(), Shape({20, 20}));
+    // Exactly one ball (2x2 block of 1.0) and a paddle (0.8 cells).
+    int ball_px = 0;
+    int paddle_px = 0;
+    for (std::int64_t i = 0; i < frame.num_elements(); ++i) {
+        const float v = frame.data<float>()[i];
+        ball_px += v == 1.0f;
+        paddle_px += v == 0.8f;
+    }
+    EXPECT_EQ(ball_px, 4);          // scale 2 => 2x2 pixels.
+    EXPECT_GE(paddle_px, 2 * 2 * 2);  // 3-wide paddle, possibly clipped.
+}
+
+TEST(MiniAtariTest, EpisodeTerminatesWithUnitReward)
+{
+    MiniAtari env(8, 1, 41);
+    env.Reset();
+    int steps = 0;
+    for (;;) {
+        const auto result = env.Step(MiniAtari::Action::kStay);
+        ++steps;
+        if (result.episode_done) {
+            EXPECT_TRUE(result.reward == 1.0f || result.reward == -1.0f);
+            break;
+        }
+        EXPECT_EQ(result.reward, 0.0f);
+        ASSERT_LT(steps, 20) << "episode failed to terminate";
+    }
+    EXPECT_EQ(env.episodes(), 1);
+}
+
+TEST(MiniAtariTest, TrackingPolicyCatchesEverything)
+{
+    // An oracle that tracks the ball always catches it: the game is
+    // winnable, so a learning agent has headroom.
+    MiniAtari env(12, 1, 43);
+    Tensor frame = env.Reset();
+    auto column_of = [](const Tensor& f, float v) {
+        for (std::int64_t i = 0; i < f.num_elements(); ++i) {
+            if (std::fabs(f.data<float>()[i] - v) < 1e-4f) {
+                return i % 12;
+            }
+        }
+        return static_cast<std::int64_t>(-1);
+    };
+    float total = 0.0f;
+    int done = 0;
+    while (done < 50) {
+        const std::int64_t ball = column_of(frame, 1.0f);
+        const std::int64_t paddle = column_of(frame, 0.8f) + 1;  // center.
+        MiniAtari::Action action = MiniAtari::Action::kStay;
+        if (ball >= 0) {
+            if (ball < paddle) {
+                action = MiniAtari::Action::kLeft;
+            } else if (ball > paddle) {
+                action = MiniAtari::Action::kRight;
+            }
+        }
+        const auto result = env.Step(action);
+        if (result.episode_done) {
+            total += result.reward;
+            ++done;
+            frame = env.CurrentFrame();
+        } else {
+            frame = result.frame;
+        }
+    }
+    EXPECT_FLOAT_EQ(total / 50.0f, 1.0f);
+}
+
+TEST(MiniAtariTest, RejectsDegenerateConfig)
+{
+    EXPECT_THROW(MiniAtari(2, 1, 1), std::invalid_argument);
+    EXPECT_THROW(MiniAtari(8, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fathom::data

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for checkpointing and the DOT / Chrome-trace exporters.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "analysis/export.h"
+#include "autodiff/gradients.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "ops/register.h"
+#include "runtime/checkpoint.h"
+#include "runtime/session.h"
+#include "test_util.h"
+
+namespace fathom {
+namespace {
+
+class ExportTest : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() { ops::RegisterStandardOps(); }
+
+    std::string
+    TempPath(const std::string& name)
+    {
+        return (std::filesystem::temp_directory_path() / name).string();
+    }
+};
+
+TEST_F(ExportTest, CheckpointRoundTrip)
+{
+    graph::VariableStore store;
+    store.Set("w", test::RandomTensor(Shape{3, 4}, 1));
+    store.Set("b", Tensor::Full(Shape{4}, 0.5f));
+    store.Set("steps", Tensor::FromVectorInt(Shape{2}, {7, 9}));
+
+    const std::string path = TempPath("fathom_ckpt_test.bin");
+    runtime::SaveCheckpoint(store, path);
+
+    graph::VariableStore restored;
+    restored.Set("keepme", Tensor::Scalar(1.0f));
+    runtime::RestoreCheckpoint(&restored, path);
+
+    test::ExpectTensorNear(store.Get("w"), restored.Get("w"));
+    test::ExpectTensorNear(store.Get("b"), restored.Get("b"));
+    EXPECT_EQ(restored.Get("steps").data<std::int32_t>()[1], 9);
+    EXPECT_TRUE(restored.Contains("keepme"));  // untouched.
+    std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, CheckpointRejectsGarbage)
+{
+    const std::string path = TempPath("fathom_ckpt_garbage.bin");
+    analysis::WriteFile(path, "not a checkpoint at all");
+    graph::VariableStore store;
+    EXPECT_THROW(runtime::RestoreCheckpoint(&store, path),
+                 std::runtime_error);
+    EXPECT_THROW(runtime::RestoreCheckpoint(&store, "/nonexistent/x"),
+                 std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, CheckpointResumesTraining)
+{
+    // Train, save, build a fresh session, restore, verify the loss
+    // continues from the trained level (the adoption-critical flow).
+    const std::string path = TempPath("fathom_ckpt_resume.bin");
+    float trained_loss = 0.0f;
+    {
+        runtime::Session session(5);
+        auto b = session.MakeBuilder();
+        nn::Trainables params;
+        Rng rng(6);
+        const graph::Output x = b.Placeholder("x");
+        const graph::Output y = nn::Dense(b, &params, rng, "fc", x, 2, 1);
+        const graph::Output target = b.Placeholder("t");
+        const graph::Output loss =
+            b.ReduceMean(b.Square(b.Sub(y, target)), {}, false);
+        const auto train = nn::Minimize(b, loss, params,
+                                        nn::OptimizerConfig::Sgd(0.1f));
+        runtime::FeedMap feeds;
+        feeds[x.node] = Tensor::FromVector(Shape{4, 2},
+                                           {1, 0, 0, 1, 1, 1, 0, 0});
+        feeds[target.node] = Tensor::FromVector(Shape{4, 1}, {2, 3, 5, 0});
+        for (int i = 0; i < 200; ++i) {
+            trained_loss =
+                session.Run(feeds, {loss}, {train})[0].scalar_value();
+        }
+        runtime::SaveCheckpoint(session.variables(), path);
+    }
+    {
+        runtime::Session session(99);  // different seed, fresh weights.
+        auto b = session.MakeBuilder();
+        nn::Trainables params;
+        Rng rng(77);
+        const graph::Output x = b.Placeholder("x");
+        const graph::Output y = nn::Dense(b, &params, rng, "fc", x, 2, 1);
+        const graph::Output target = b.Placeholder("t");
+        const graph::Output loss =
+            b.ReduceMean(b.Square(b.Sub(y, target)), {}, false);
+        runtime::RestoreCheckpoint(&session.variables(), path);
+
+        runtime::FeedMap feeds;
+        feeds[x.node] = Tensor::FromVector(Shape{4, 2},
+                                           {1, 0, 0, 1, 1, 1, 0, 0});
+        feeds[target.node] = Tensor::FromVector(Shape{4, 1}, {2, 3, 5, 0});
+        const float resumed = session.Run(feeds, {loss})[0].scalar_value();
+        EXPECT_NEAR(resumed, trained_loss, 1e-4f);
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, DotContainsNodesAndEdges)
+{
+    runtime::Session session;
+    auto b = session.MakeBuilder();
+    const graph::Output x = b.Placeholder("input");
+    const graph::Output y = b.Relu(b.Add(x, b.ScalarConst(1.0f)));
+    (void)y;
+
+    const std::string dot = analysis::GraphToDot(session.graph());
+    EXPECT_NE(dot.find("digraph fathom"), std::string::npos);
+    EXPECT_NE(dot.find("input"), std::string::npos);
+    EXPECT_NE(dot.find("Relu"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST_F(ExportTest, DotTruncatesLargeGraphs)
+{
+    runtime::Session session;
+    auto b = session.MakeBuilder();
+    graph::Output x = b.ScalarConst(1.0f);
+    for (int i = 0; i < 50; ++i) {
+        x = b.Add(x, x);
+    }
+    const std::string dot = analysis::GraphToDot(session.graph(), 10);
+    EXPECT_NE(dot.find("more nodes"), std::string::npos);
+}
+
+TEST_F(ExportTest, ChromeTraceIsWellFormedJson)
+{
+    runtime::Session session;
+    auto b = session.MakeBuilder();
+    const graph::Output x = b.Placeholder("x");
+    const graph::Output y = b.MatMul(x, x);
+    runtime::FeedMap feeds;
+    feeds[x.node] = test::RandomTensor(Shape{8, 8});
+    session.Run(feeds, {y});
+    session.Run(feeds, {y});
+
+    const std::string json = analysis::TraceToChromeJson(session.tracer());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_NE(json.find("\"name\": \"MatMul\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"MatrixOps\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    // Two steps -> two distinct tracks.
+    EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+    // Balanced braces (cheap well-formedness proxy).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace fathom

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for graph construction, topological ordering, and the builder.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/op_class.h"
+#include "graph/op_registry.h"
+
+namespace fathom::graph {
+namespace {
+
+TEST(GraphTest, AddNodeAndLookup)
+{
+    Graph g;
+    const NodeId a = g.AddNode("a", "Placeholder", {});
+    const NodeId b = g.AddNode("b", "Identity", {{a, 0}});
+    EXPECT_EQ(g.num_nodes(), 2);
+    EXPECT_EQ(g.node(b).inputs[0].node, a);
+    EXPECT_EQ(g.node_by_name("a").id, a);
+    EXPECT_THROW(g.node_by_name("missing"), std::out_of_range);
+}
+
+TEST(GraphTest, NameCollisionGetsSuffix)
+{
+    Graph g;
+    g.AddNode("x", "Placeholder", {});
+    const NodeId second = g.AddNode("x", "Placeholder", {});
+    EXPECT_EQ(g.node(second).name, "x_1");
+}
+
+TEST(GraphTest, RejectsForwardReferences)
+{
+    Graph g;
+    EXPECT_THROW(g.AddNode("bad", "Identity", {{5, 0}}),
+                 std::invalid_argument);
+}
+
+TEST(GraphTest, RejectsBadOutputIndex)
+{
+    Graph g;
+    const NodeId a = g.AddNode("a", "Placeholder", {}, {}, 1);
+    EXPECT_THROW(g.AddNode("b", "Identity", {{a, 1}}),
+                 std::invalid_argument);
+}
+
+TEST(GraphTest, TopologicalOrderRespectsDeps)
+{
+    Graph g;
+    const NodeId a = g.AddNode("a", "Placeholder", {});
+    const NodeId b = g.AddNode("b", "Identity", {{a, 0}});
+    const NodeId c = g.AddNode("c", "Identity", {{b, 0}});
+    const NodeId unrelated = g.AddNode("u", "Placeholder", {});
+    (void)unrelated;
+
+    const auto order = g.TopologicalOrder({c});
+    ASSERT_EQ(order.size(), 3u);  // pruned: 'u' not included.
+    const auto pos = [&](NodeId id) {
+        return std::find(order.begin(), order.end(), id) - order.begin();
+    };
+    EXPECT_LT(pos(a), pos(b));
+    EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(GraphTest, TopologicalOrderIncludesControlDeps)
+{
+    Graph g;
+    const NodeId a = g.AddNode("a", "Placeholder", {});
+    const NodeId b = g.AddNode("b", "NoOp", {}, {}, 0);
+    g.AddControlEdge(a, b);
+    const auto order = g.TopologicalOrder({b});
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], a);
+}
+
+TEST(GraphTest, CycleViaControlEdgeDetected)
+{
+    Graph g;
+    const NodeId a = g.AddNode("a", "NoOp", {}, {}, 0);
+    const NodeId b = g.AddNode("b", "NoOp", {}, {}, 0);
+    g.AddControlEdge(a, b);
+    g.AddControlEdge(b, a);
+    EXPECT_THROW(g.TopologicalOrder({b}), std::logic_error);
+}
+
+TEST(GraphTest, MultiTargetOrderDeduplicates)
+{
+    Graph g;
+    const NodeId a = g.AddNode("a", "Placeholder", {});
+    const NodeId b = g.AddNode("b", "Identity", {{a, 0}});
+    const NodeId c = g.AddNode("c", "Identity", {{a, 0}});
+    const auto order = g.TopologicalOrder({b, c, b});
+    EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(AttrValueTest, TypedAccess)
+{
+    AttrValue i(std::int64_t{42});
+    EXPECT_EQ(i.AsInt(), 42);
+    EXPECT_FLOAT_EQ(i.AsFloat(), 42.0f);  // int widens to float.
+    EXPECT_THROW(i.AsString(), std::logic_error);
+
+    AttrValue f(1.5f);
+    EXPECT_FLOAT_EQ(f.AsFloat(), 1.5f);
+    EXPECT_THROW(f.AsInt(), std::logic_error);
+
+    AttrValue s("SAME");
+    EXPECT_EQ(s.AsString(), "SAME");
+
+    AttrValue list(std::vector<std::int64_t>{1, 2, 3});
+    EXPECT_EQ(list.AsIntList().size(), 3u);
+
+    AttrValue flag(true);
+    EXPECT_TRUE(flag.AsBool());
+}
+
+TEST(NodeTest, AttrAccessors)
+{
+    Graph g;
+    const NodeId id = g.AddNode("n", "Test", {},
+                                {{"stride", AttrValue(std::int64_t{2})}});
+    const Node& n = g.node(id);
+    EXPECT_EQ(n.attr("stride").AsInt(), 2);
+    EXPECT_EQ(n.attr_int("stride", 1), 2);
+    EXPECT_EQ(n.attr_int("missing", 7), 7);
+    EXPECT_THROW(n.attr("missing"), std::out_of_range);
+}
+
+TEST(GraphBuilderTest, ScopedNames)
+{
+    Graph g;
+    VariableStore vars;
+    GraphBuilder b(&g, &vars);
+    b.PushScope("model");
+    b.PushScope("layer1");
+    const Output x = b.Placeholder("input");
+    b.PopScope();
+    b.PopScope();
+    EXPECT_EQ(g.node(x.node).name, "model/layer1/input");
+    EXPECT_THROW(b.PopScope(), std::logic_error);
+}
+
+TEST(GraphBuilderTest, VariableRegistersInitialValue)
+{
+    Graph g;
+    VariableStore vars;
+    GraphBuilder b(&g, &vars);
+    std::string var_name;
+    b.Variable("w", Tensor::Full(Shape{2, 2}, 3.0f), &var_name);
+    EXPECT_EQ(var_name, "w");
+    EXPECT_TRUE(vars.Contains("w"));
+    EXPECT_FLOAT_EQ(vars.Get("w").data<float>()[0], 3.0f);
+}
+
+TEST(GraphBuilderTest, ConstStoresCopy)
+{
+    Graph g;
+    VariableStore vars;
+    GraphBuilder b(&g, &vars);
+    Tensor original = Tensor::Full(Shape{2}, 1.0f);
+    b.Const(original, "c");
+    original.Fill(9.0f);  // must not affect the stored constant.
+    EXPECT_FLOAT_EQ(vars.Get("__const/c").data<float>()[0], 1.0f);
+}
+
+TEST(GraphBuilderTest, AddNReturnsSingleInputUnchanged)
+{
+    Graph g;
+    VariableStore vars;
+    GraphBuilder b(&g, &vars);
+    const Output x = b.Placeholder("x");
+    const Output same = b.AddN({x});
+    EXPECT_EQ(same.node, x.node);
+}
+
+TEST(GraphBuilderTest, GroupDependsOnAll)
+{
+    Graph g;
+    VariableStore vars;
+    GraphBuilder b(&g, &vars);
+    const Output x = b.Placeholder("x");
+    const Output y = b.Placeholder("y");
+    const NodeId group = b.Group({x.node, y.node});
+    EXPECT_EQ(g.node(group).control_inputs.size(), 2u);
+}
+
+TEST(VariableStoreTest, SetGetContains)
+{
+    VariableStore vars;
+    vars.Set("a", Tensor::Full(Shape{3}, 1.0f));
+    EXPECT_TRUE(vars.Contains("a"));
+    EXPECT_FALSE(vars.Contains("b"));
+    EXPECT_THROW(vars.Get("b"), std::out_of_range);
+    EXPECT_EQ(vars.TotalParameters(), 3);
+    vars.Set("ints", Tensor::FromVectorInt(Shape{2}, {1, 2}));
+    EXPECT_EQ(vars.TotalParameters(), 3);  // int tensors not counted.
+}
+
+TEST(OpClassTest, NamesAreStable)
+{
+    EXPECT_EQ(OpClassName(OpClass::kConvolution), "Convolution");
+    EXPECT_EQ(OpClassName(OpClass::kMatrixOps), "MatrixOps");
+    EXPECT_EQ(AllOpClasses().size(), static_cast<std::size_t>(kNumOpClasses));
+}
+
+TEST(OpRegistryTest, DuplicateRegistrationThrows)
+{
+    OpRegistry registry;
+    OpDef def;
+    def.name = "TestOp";
+    def.kernel = [](OpContext&) {};
+    registry.Register(def);
+    EXPECT_THROW(registry.Register(def), std::logic_error);
+    EXPECT_TRUE(registry.Contains("TestOp"));
+    EXPECT_THROW(registry.Lookup("Nope"), std::out_of_range);
+}
+
+TEST(OpRegistryTest, KernellessOpRejected)
+{
+    OpRegistry registry;
+    OpDef def;
+    def.name = "Broken";
+    EXPECT_THROW(registry.Register(def), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fathom::graph

@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Unit and property tests for the math kernels, checked against naive
+ * reference implementations.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "kernels/conv2d.h"
+#include "kernels/data_movement.h"
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
+#include "kernels/normalization.h"
+#include "kernels/pooling.h"
+#include "kernels/reduction.h"
+#include "parallel/thread_pool.h"
+#include "test_util.h"
+
+namespace fathom::kernels {
+namespace {
+
+using test::ExpectTensorNear;
+using test::RandomTensor;
+
+parallel::ThreadPool&
+Pool()
+{
+    static parallel::ThreadPool pool(1);
+    return pool;
+}
+
+/** Naive O(mnk) reference matmul. */
+Tensor
+NaiveMatMul(const Tensor& a, const Tensor& b, bool ta, bool tb)
+{
+    const std::int64_t m = ta ? a.shape().dim(1) : a.shape().dim(0);
+    const std::int64_t k = ta ? a.shape().dim(0) : a.shape().dim(1);
+    const std::int64_t n = tb ? b.shape().dim(0) : b.shape().dim(1);
+    Tensor c = Tensor::Zeros(Shape{m, n});
+    auto a_at = [&](std::int64_t i, std::int64_t kk) {
+        return ta ? a.data<float>()[kk * m + i] : a.data<float>()[i * k + kk];
+    };
+    auto b_at = [&](std::int64_t kk, std::int64_t j) {
+        return tb ? b.data<float>()[j * k + kk] : b.data<float>()[kk * n + j];
+    };
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                acc += a_at(i, kk) * b_at(kk, j);
+            }
+            c.data<float>()[i * n + j] = acc;
+        }
+    }
+    return c;
+}
+
+class MatMulParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {
+};
+
+TEST_P(MatMulParamTest, MatchesNaive)
+{
+    const auto [m, k, n, ta, tb] = GetParam();
+    const Tensor a = RandomTensor(ta ? Shape{k, m} : Shape{m, k}, 1);
+    const Tensor b = RandomTensor(tb ? Shape{n, k} : Shape{k, n}, 2);
+    ExpectTensorNear(NaiveMatMul(a, b, ta, tb), MatMul(a, b, ta, tb, Pool()),
+                     1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulParamTest,
+    ::testing::Values(std::make_tuple(1, 1, 1, false, false),
+                      std::make_tuple(4, 7, 3, false, false),
+                      std::make_tuple(4, 7, 3, true, false),
+                      std::make_tuple(4, 7, 3, false, true),
+                      std::make_tuple(4, 7, 3, true, true),
+                      std::make_tuple(16, 16, 16, false, false),
+                      std::make_tuple(33, 17, 9, true, true),
+                      std::make_tuple(1, 64, 1, false, false),
+                      std::make_tuple(64, 1, 64, false, true)));
+
+TEST(MatMulTest, RejectsBadShapes)
+{
+    const Tensor a = RandomTensor(Shape{2, 3});
+    const Tensor b = RandomTensor(Shape{4, 5});
+    EXPECT_THROW(MatMul(a, b, false, false, Pool()), std::invalid_argument);
+    const Tensor v = RandomTensor(Shape{3});
+    EXPECT_THROW(MatMul(v, b, false, false, Pool()), std::invalid_argument);
+}
+
+TEST(MatMulTest, ParallelMatchesSerial)
+{
+    parallel::ThreadPool pool4(4);
+    const Tensor a = RandomTensor(Shape{37, 19}, 3);
+    const Tensor b = RandomTensor(Shape{19, 23}, 4);
+    ExpectTensorNear(MatMul(a, b, false, false, Pool()),
+                     MatMul(a, b, false, false, pool4), 1e-4f);
+}
+
+/** Naive reference convolution. */
+Tensor
+NaiveConv2D(const Tensor& input, const Tensor& filter, std::int64_t stride,
+            Padding padding)
+{
+    const auto g =
+        ResolveConv2D(input.shape(), filter.shape(), stride, padding);
+    Tensor out = Tensor::Zeros(Shape{g.batch, g.out_h, g.out_w, g.out_c});
+    const float* in = input.data<float>();
+    const float* w = filter.data<float>();
+    float* o = out.data<float>();
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+            for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+                for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                    float acc = 0.0f;
+                    for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+                        for (std::int64_t kw = 0; kw < g.k_w; ++kw) {
+                            const std::int64_t ih =
+                                oh * stride - g.pad_top + kh;
+                            const std::int64_t iw =
+                                ow * stride - g.pad_left + kw;
+                            if (ih < 0 || ih >= g.in_h || iw < 0 ||
+                                iw >= g.in_w) {
+                                continue;
+                            }
+                            for (std::int64_t c = 0; c < g.in_c; ++c) {
+                                acc += in[((n * g.in_h + ih) * g.in_w + iw) *
+                                              g.in_c +
+                                          c] *
+                                       w[((kh * g.k_w + kw) * g.in_c + c) *
+                                             g.out_c +
+                                         oc];
+                            }
+                        }
+                    }
+                    o[((n * g.out_h + oh) * g.out_w + ow) * g.out_c + oc] =
+                        acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+class Conv2DParamTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int, int, Padding>> {};
+
+TEST_P(Conv2DParamTest, MatchesNaive)
+{
+    const auto [n, hw, ic, k, oc, stride, padding] = GetParam();
+    const Tensor input = RandomTensor(Shape{n, hw, hw, ic}, 5);
+    const Tensor filter = RandomTensor(Shape{k, k, ic, oc}, 6, 0.5f);
+    ExpectTensorNear(NaiveConv2D(input, filter, stride, padding),
+                     Conv2D(input, filter, stride, padding, Pool()), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Conv2DParamTest,
+    ::testing::Values(
+        std::make_tuple(1, 5, 1, 3, 1, 1, Padding::kSame),
+        std::make_tuple(2, 8, 3, 3, 4, 1, Padding::kSame),
+        std::make_tuple(2, 8, 3, 3, 4, 2, Padding::kSame),
+        std::make_tuple(1, 9, 2, 5, 3, 2, Padding::kSame),
+        std::make_tuple(2, 8, 3, 3, 4, 1, Padding::kValid),
+        std::make_tuple(1, 9, 2, 5, 3, 2, Padding::kValid),
+        std::make_tuple(1, 7, 4, 1, 8, 1, Padding::kSame),
+        std::make_tuple(3, 6, 2, 3, 2, 3, Padding::kValid)));
+
+TEST(Conv2DTest, GeometrySame)
+{
+    const auto g = ResolveConv2D(Shape{1, 8, 8, 3}, Shape{3, 3, 3, 16}, 2,
+                                 Padding::kSame);
+    EXPECT_EQ(g.out_h, 4);
+    EXPECT_EQ(g.out_w, 4);
+}
+
+TEST(Conv2DTest, GeometryValid)
+{
+    const auto g = ResolveConv2D(Shape{1, 8, 8, 3}, Shape{3, 3, 3, 16}, 1,
+                                 Padding::kValid);
+    EXPECT_EQ(g.out_h, 6);
+    EXPECT_EQ(g.pad_top, 0);
+}
+
+TEST(Conv2DTest, ChannelMismatchThrows)
+{
+    EXPECT_THROW(ResolveConv2D(Shape{1, 8, 8, 3}, Shape{3, 3, 4, 16}, 1,
+                               Padding::kSame),
+                 std::invalid_argument);
+}
+
+/**
+ * Backprop kernels are validated against the definition of the
+ * adjoint: <Conv(x, w), g> = <x, ConvBackInput(g)> = <w, ConvBackFilter(g)>.
+ */
+TEST(Conv2DTest, BackpropInputIsAdjoint)
+{
+    const Shape in_shape{2, 6, 6, 3};
+    const Tensor w = RandomTensor(Shape{3, 3, 3, 4}, 7, 0.5f);
+    const Tensor x = RandomTensor(in_shape, 8);
+    const Tensor y = Conv2D(x, w, 2, Padding::kSame, Pool());
+    const Tensor g = RandomTensor(y.shape(), 9);
+    const Tensor gx =
+        Conv2DBackpropInput(in_shape, w, g, 2, Padding::kSame, Pool());
+
+    double lhs = 0.0;
+    for (std::int64_t i = 0; i < y.num_elements(); ++i) {
+        lhs += static_cast<double>(y.data<float>()[i] * g.data<float>()[i]);
+    }
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < x.num_elements(); ++i) {
+        rhs += static_cast<double>(x.data<float>()[i] * gx.data<float>()[i]);
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST(Conv2DTest, BackpropFilterIsAdjoint)
+{
+    const Shape w_shape{3, 3, 3, 4};
+    const Tensor w = RandomTensor(w_shape, 10, 0.5f);
+    const Tensor x = RandomTensor(Shape{2, 6, 6, 3}, 11);
+    const Tensor y = Conv2D(x, w, 1, Padding::kValid, Pool());
+    const Tensor g = RandomTensor(y.shape(), 12);
+    const Tensor gw =
+        Conv2DBackpropFilter(x, w_shape, g, 1, Padding::kValid, Pool());
+
+    double lhs = 0.0;
+    for (std::int64_t i = 0; i < y.num_elements(); ++i) {
+        lhs += static_cast<double>(y.data<float>()[i] * g.data<float>()[i]);
+    }
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < w.num_elements(); ++i) {
+        rhs += static_cast<double>(w.data<float>()[i] * gw.data<float>()[i]);
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST(PoolingTest, MaxPoolBasic)
+{
+    const Tensor x = Tensor::FromVector(
+        Shape{1, 4, 4, 1},
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+    const Tensor y = MaxPool(x, 2, 2, Padding::kValid, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{1, 2, 2, 1}, {6, 8, 14, 16}),
+                     y);
+}
+
+TEST(PoolingTest, AvgPoolBasic)
+{
+    const Tensor x = Tensor::FromVector(Shape{1, 2, 2, 1}, {1, 3, 5, 7});
+    const Tensor y = AvgPool(x, 2, 2, Padding::kValid, Pool());
+    EXPECT_FLOAT_EQ(y.data<float>()[0], 4.0f);
+}
+
+TEST(PoolingTest, MaxPoolGradRoutesToArgmax)
+{
+    const Tensor x = Tensor::FromVector(Shape{1, 2, 2, 1}, {1, 9, 3, 2});
+    const Tensor g = Tensor::FromVector(Shape{1, 1, 1, 1}, {5});
+    const Tensor gx = MaxPoolGrad(x, g, 2, 2, Padding::kValid, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{1, 2, 2, 1}, {0, 5, 0, 0}), gx);
+}
+
+TEST(PoolingTest, AvgPoolGradSpreadsEvenly)
+{
+    const Tensor g = Tensor::FromVector(Shape{1, 1, 1, 1}, {8});
+    const Tensor gx =
+        AvgPoolGrad(Shape{1, 2, 2, 1}, g, 2, 2, Padding::kValid, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{1, 2, 2, 1}, {2, 2, 2, 2}), gx);
+}
+
+TEST(PoolingTest, SamePaddingCountsOnlyValidCells)
+{
+    // 3x3 input, 2x2 window, stride 2, SAME: corner windows are clipped.
+    const Tensor x = Tensor::Full(Shape{1, 3, 3, 1}, 1.0f);
+    const Tensor y = AvgPool(x, 2, 2, Padding::kSame, Pool());
+    for (std::int64_t i = 0; i < y.num_elements(); ++i) {
+        EXPECT_FLOAT_EQ(y.data<float>()[i], 1.0f);
+    }
+}
+
+TEST(ElementwiseTest, BroadcastShapes)
+{
+    EXPECT_EQ(BroadcastShape(Shape{2, 3}, Shape{2, 3}), Shape({2, 3}));
+    EXPECT_EQ(BroadcastShape(Shape{2, 1}, Shape{1, 3}), Shape({2, 3}));
+    EXPECT_EQ(BroadcastShape(Shape{3}, Shape{2, 3}), Shape({2, 3}));
+    EXPECT_EQ(BroadcastShape(Shape{}, Shape{4, 5}), Shape({4, 5}));
+    EXPECT_THROW(BroadcastShape(Shape{2, 3}, Shape{2, 4}),
+                 std::invalid_argument);
+}
+
+TEST(ElementwiseTest, BinaryMapSameShape)
+{
+    const Tensor a = Tensor::FromVector({1, 2, 3});
+    const Tensor b = Tensor::FromVector({10, 20, 30});
+    const Tensor c =
+        BinaryMap(a, b, [](float x, float y) { return x + y; }, Pool());
+    ExpectTensorNear(Tensor::FromVector({11, 22, 33}), c);
+}
+
+TEST(ElementwiseTest, BinaryMapBroadcastRow)
+{
+    const Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor b = Tensor::FromVector(Shape{3}, {10, 20, 30});
+    const Tensor c =
+        BinaryMap(a, b, [](float x, float y) { return x + y; }, Pool());
+    ExpectTensorNear(
+        Tensor::FromVector(Shape{2, 3}, {11, 22, 33, 14, 25, 36}), c);
+}
+
+TEST(ElementwiseTest, BinaryMapBroadcastColumn)
+{
+    const Tensor a = Tensor::FromVector(Shape{2, 1}, {1, 2});
+    const Tensor b = Tensor::FromVector(Shape{1, 3}, {10, 20, 30});
+    const Tensor c =
+        BinaryMap(a, b, [](float x, float y) { return x * y; }, Pool());
+    ExpectTensorNear(
+        Tensor::FromVector(Shape{2, 3}, {10, 20, 30, 20, 40, 60}), c);
+}
+
+TEST(ElementwiseTest, BinaryMapScalarBroadcast)
+{
+    const Tensor a = Tensor::Scalar(2.0f);
+    const Tensor b = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+    const Tensor c =
+        BinaryMap(a, b, [](float x, float y) { return x * y; }, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{2, 2}, {2, 4, 6, 8}), c);
+}
+
+TEST(ElementwiseTest, ReduceToShapeSumsBroadcastAxes)
+{
+    const Tensor t =
+        Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    ExpectTensorNear(Tensor::FromVector(Shape{3}, {5, 7, 9}),
+                     ReduceToShape(t, Shape{3}, Pool()));
+    ExpectTensorNear(Tensor::FromVector(Shape{2, 1}, {6, 15}),
+                     ReduceToShape(t, Shape{2, 1}, Pool()));
+    ExpectTensorNear(Tensor::Scalar(21.0f),
+                     ReduceToShape(t, Shape{}, Pool()));
+}
+
+TEST(ElementwiseTest, ReduceToShapeIdentity)
+{
+    const Tensor t = Tensor::FromVector({1, 2});
+    ExpectTensorNear(t, ReduceToShape(t, t.shape(), Pool()));
+}
+
+TEST(ReductionTest, ReduceSumAxes)
+{
+    const Tensor t =
+        Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    ExpectTensorNear(Tensor::FromVector(Shape{3}, {5, 7, 9}),
+                     Reduce(t, ReduceOp::kSum, {0}, false, Pool()));
+    ExpectTensorNear(Tensor::FromVector(Shape{2}, {6, 15}),
+                     Reduce(t, ReduceOp::kSum, {1}, false, Pool()));
+    ExpectTensorNear(Tensor::FromVector(Shape{2, 1}, {6, 15}),
+                     Reduce(t, ReduceOp::kSum, {1}, true, Pool()));
+    ExpectTensorNear(Tensor::Scalar(21.0f),
+                     Reduce(t, ReduceOp::kSum, {}, false, Pool()));
+}
+
+TEST(ReductionTest, ReduceMeanAndMax)
+{
+    const Tensor t =
+        Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    ExpectTensorNear(Tensor::FromVector(Shape{2}, {2, 5}),
+                     Reduce(t, ReduceOp::kMean, {1}, false, Pool()));
+    ExpectTensorNear(Tensor::FromVector(Shape{2}, {3, 6}),
+                     Reduce(t, ReduceOp::kMax, {-1}, false, Pool()));
+}
+
+TEST(ReductionTest, NegativeAxisNormalization)
+{
+    const Tensor t = RandomTensor(Shape{2, 3, 4}, 20);
+    ExpectTensorNear(Reduce(t, ReduceOp::kSum, {2}, false, Pool()),
+                     Reduce(t, ReduceOp::kSum, {-1}, false, Pool()));
+    EXPECT_THROW(Reduce(t, ReduceOp::kSum, {3}, false, Pool()),
+                 std::invalid_argument);
+}
+
+TEST(ReductionTest, SoftmaxRowsSumToOne)
+{
+    const Tensor t = RandomTensor(Shape{4, 7}, 21, 3.0f);
+    const Tensor s = Softmax(t, Pool());
+    for (std::int64_t r = 0; r < 4; ++r) {
+        float sum = 0.0f;
+        for (std::int64_t c = 0; c < 7; ++c) {
+            const float v = s.data<float>()[r * 7 + c];
+            EXPECT_GT(v, 0.0f);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(ReductionTest, SoftmaxNumericallyStable)
+{
+    const Tensor t = Tensor::FromVector(Shape{1, 3}, {1000, 1001, 1002});
+    const Tensor s = Softmax(t, Pool());
+    EXPECT_FALSE(std::isnan(s.data<float>()[0]));
+    EXPECT_NEAR(s.data<float>()[0] + s.data<float>()[1] + s.data<float>()[2],
+                1.0f, 1e-5f);
+}
+
+TEST(ReductionTest, LogSoftmaxMatchesLogOfSoftmax)
+{
+    const Tensor t = RandomTensor(Shape{3, 5}, 22);
+    const Tensor ls = LogSoftmax(t, Pool());
+    const Tensor s = Softmax(t, Pool());
+    for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+        EXPECT_NEAR(ls.data<float>()[i], std::log(s.data<float>()[i]), 1e-4f);
+    }
+}
+
+TEST(ReductionTest, ArgMaxLastDim)
+{
+    const Tensor t =
+        Tensor::FromVector(Shape{2, 3}, {1, 9, 2, 7, 3, 5});
+    const Tensor a = ArgMaxLastDim(t, Pool());
+    EXPECT_EQ(a.dtype(), DType::kInt32);
+    EXPECT_EQ(a.data<std::int32_t>()[0], 1);
+    EXPECT_EQ(a.data<std::int32_t>()[1], 0);
+}
+
+TEST(ReductionTest, TileAndGradRoundTrip)
+{
+    const Tensor t = Tensor::FromVector(Shape{1, 2}, {1, 2});
+    const Tensor tiled = Tile(t, {3, 2}, Pool());
+    EXPECT_EQ(tiled.shape(), Shape({3, 4}));
+    EXPECT_FLOAT_EQ(tiled.data<float>()[2], 1.0f);  // repeat along cols.
+    EXPECT_FLOAT_EQ(tiled.data<float>()[4], 1.0f);  // repeat along rows.
+
+    const Tensor g = Tensor::Full(Shape{3, 4}, 1.0f);
+    const Tensor gt = TileGrad(g, Shape{1, 2}, {3, 2}, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{1, 2}, {6, 6}), gt);
+}
+
+TEST(DataMovementTest, Transpose2D)
+{
+    const Tensor t =
+        Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    const Tensor tr = Transpose(t, {1, 0}, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{3, 2}, {1, 4, 2, 5, 3, 6}),
+                     tr);
+}
+
+TEST(DataMovementTest, Transpose3D)
+{
+    const Tensor t = RandomTensor(Shape{2, 3, 4}, 23);
+    const Tensor tr = Transpose(t, {2, 0, 1}, Pool());
+    EXPECT_EQ(tr.shape(), Shape({4, 2, 3}));
+    // spot-check: tr[d, a, b] == t[a, b, d]
+    EXPECT_EQ(tr.data<float>()[(1 * 2 + 1) * 3 + 2],
+              t.data<float>()[(1 * 3 + 2) * 4 + 1]);
+}
+
+TEST(DataMovementTest, TransposeRejectsBadPerm)
+{
+    const Tensor t = RandomTensor(Shape{2, 3}, 24);
+    EXPECT_THROW(Transpose(t, {0, 0}, Pool()), std::invalid_argument);
+    EXPECT_THROW(Transpose(t, {0}, Pool()), std::invalid_argument);
+}
+
+TEST(DataMovementTest, ConcatAxis0And1)
+{
+    const Tensor a = Tensor::FromVector(Shape{1, 2}, {1, 2});
+    const Tensor b = Tensor::FromVector(Shape{1, 2}, {3, 4});
+    ExpectTensorNear(Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4}),
+                     Concat({a, b}, 0, Pool()));
+    ExpectTensorNear(Tensor::FromVector(Shape{1, 4}, {1, 2, 3, 4}),
+                     Concat({a, b}, 1, Pool()));
+}
+
+TEST(DataMovementTest, ConcatValidation)
+{
+    const Tensor a = Tensor::FromVector(Shape{1, 2}, {1, 2});
+    const Tensor b = Tensor::FromVector(Shape{1, 3}, {3, 4, 5});
+    EXPECT_THROW(Concat({a, b}, 0, Pool()), std::invalid_argument);
+    EXPECT_NO_THROW(Concat({a, b}, 1, Pool()));
+    EXPECT_THROW(Concat({}, 0, Pool()), std::invalid_argument);
+}
+
+TEST(DataMovementTest, SliceBasicAndToEnd)
+{
+    const Tensor t =
+        Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    ExpectTensorNear(Tensor::FromVector(Shape{1, 2}, {5, 6}),
+                     Slice(t, {1, 1}, {1, 2}, Pool()));
+    ExpectTensorNear(Tensor::FromVector(Shape{2, 2}, {2, 3, 5, 6}),
+                     Slice(t, {0, 1}, {-1, -1}, Pool()));
+    EXPECT_THROW(Slice(t, {1, 2}, {1, 3}, Pool()), std::invalid_argument);
+}
+
+TEST(DataMovementTest, GatherRows)
+{
+    const Tensor params =
+        Tensor::FromVector(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+    const Tensor idx = Tensor::FromVectorInt(Shape{2}, {2, 0});
+    const Tensor out = Gather(params, idx, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{2, 2}, {5, 6, 1, 2}), out);
+    const Tensor bad = Tensor::FromVectorInt(Shape{1}, {3});
+    EXPECT_THROW(Gather(params, bad, Pool()), std::out_of_range);
+}
+
+TEST(DataMovementTest, GatherGradAccumulatesDuplicates)
+{
+    const Tensor idx = Tensor::FromVectorInt(Shape{3}, {1, 1, 0});
+    const Tensor g =
+        Tensor::FromVector(Shape{3, 2}, {1, 1, 2, 2, 3, 3});
+    const Tensor gp = GatherGrad(Shape{2, 2}, idx, g, Pool());
+    ExpectTensorNear(Tensor::FromVector(Shape{2, 2}, {3, 3, 3, 3}), gp);
+}
+
+TEST(DataMovementTest, OneHot)
+{
+    const Tensor idx = Tensor::FromVectorInt(Shape{3}, {0, 2, 5});
+    const Tensor out = OneHot(idx, 3, 1.0f, 0.0f, Pool());
+    ExpectTensorNear(
+        Tensor::FromVector(Shape{3, 3}, {1, 0, 0, 0, 0, 1, 0, 0, 0}), out);
+}
+
+TEST(DataMovementTest, PadAndGradRoundTrip)
+{
+    const Tensor t = Tensor::FromVector(Shape{1, 2}, {7, 8});
+    const Tensor padded = Pad(t, {{1, 0}, {1, 1}}, Pool());
+    ExpectTensorNear(
+        Tensor::FromVector(Shape{2, 4}, {0, 0, 0, 0, 0, 7, 8, 0}), padded);
+    ExpectTensorNear(t, PadGrad(padded, {{1, 0}, {1, 1}}, Pool()));
+}
+
+TEST(NormalizationTest, LrnMatchesFormula)
+{
+    const Tensor x = Tensor::FromVector(Shape{1, 4}, {1, 2, 3, 4});
+    LrnParams p;
+    p.depth_radius = 1;
+    p.bias = 2.0f;
+    p.alpha = 0.5f;
+    p.beta = 1.0f;
+    const Tensor y = Lrn(x, p, Pool());
+    // channel 0: denom = 2 + 0.5*(1+4) = 4.5
+    EXPECT_NEAR(y.data<float>()[0], 1.0f / 4.5f, 1e-5f);
+    // channel 1: denom = 2 + 0.5*(1+4+9) = 9
+    EXPECT_NEAR(y.data<float>()[1], 2.0f / 9.0f, 1e-5f);
+}
+
+TEST(NormalizationTest, LrnGradMatchesFiniteDifference)
+{
+    const Tensor x = RandomTensor(Shape{2, 5}, 30);
+    const Tensor g = RandomTensor(Shape{2, 5}, 31);
+    LrnParams p;
+    const Tensor analytic = LrnGrad(x, g, p, Pool());
+
+    const float delta = 1e-3f;
+    Tensor probe = x.Clone();
+    for (std::int64_t i = 0; i < x.num_elements(); ++i) {
+        const float saved = probe.data<float>()[i];
+        probe.data<float>()[i] = saved + delta;
+        const Tensor up = Lrn(probe, p, Pool());
+        probe.data<float>()[i] = saved - delta;
+        const Tensor down = Lrn(probe, p, Pool());
+        probe.data<float>()[i] = saved;
+        double numeric = 0.0;
+        for (std::int64_t j = 0; j < x.num_elements(); ++j) {
+            numeric += static_cast<double>(g.data<float>()[j]) *
+                       (up.data<float>()[j] - down.data<float>()[j]) /
+                       (2.0 * delta);
+        }
+        EXPECT_NEAR(analytic.data<float>()[i], numeric, 2e-3)
+            << "at index " << i;
+    }
+}
+
+TEST(NormalizationTest, BatchNormNormalizes)
+{
+    const Tensor x = RandomTensor(Shape{64, 4}, 32, 3.0f);
+    const Tensor gamma = Tensor::Full(Shape{4}, 1.0f);
+    const Tensor beta = Tensor::Zeros(Shape{4});
+    const auto result = BatchNorm(x, gamma, beta, 1e-5f, Pool());
+    // Per-channel output mean ~0, variance ~1.
+    for (std::int64_t c = 0; c < 4; ++c) {
+        double mean = 0.0;
+        double var = 0.0;
+        for (std::int64_t r = 0; r < 64; ++r) {
+            mean += result.output.data<float>()[r * 4 + c];
+        }
+        mean /= 64.0;
+        for (std::int64_t r = 0; r < 64; ++r) {
+            const double d = result.output.data<float>()[r * 4 + c] - mean;
+            var += d * d;
+        }
+        var /= 64.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-2);
+    }
+}
+
+TEST(NormalizationTest, BatchNormScaleShift)
+{
+    const Tensor x = RandomTensor(Shape{32, 2}, 33);
+    const Tensor gamma = Tensor::FromVector({2.0f, 0.5f});
+    const Tensor beta = Tensor::FromVector({1.0f, -1.0f});
+    const auto result = BatchNorm(x, gamma, beta, 1e-5f, Pool());
+    double mean0 = 0.0;
+    for (std::int64_t r = 0; r < 32; ++r) {
+        mean0 += result.output.data<float>()[r * 2];
+    }
+    EXPECT_NEAR(mean0 / 32.0, 1.0, 1e-4);  // beta shifts the mean.
+}
+
+TEST(NormalizationTest, BatchNormGradMatchesFiniteDifference)
+{
+    const Tensor x = RandomTensor(Shape{8, 3}, 34);
+    const Tensor gamma = RandomTensor(Shape{3}, 35, 0.5f);
+    const Tensor beta = RandomTensor(Shape{3}, 36, 0.5f);
+    const Tensor g = RandomTensor(Shape{8, 3}, 37);
+
+    const auto fwd = BatchNorm(x, gamma, beta, 1e-3f, Pool());
+    const auto grads =
+        BatchNormGrad(x, gamma, fwd.mean, fwd.inv_std, g, Pool());
+
+    auto loss_at = [&](const Tensor& xx) {
+        const auto r = BatchNorm(xx, gamma, beta, 1e-3f, Pool());
+        double loss = 0.0;
+        for (std::int64_t j = 0; j < r.output.num_elements(); ++j) {
+            loss += static_cast<double>(g.data<float>()[j]) *
+                    r.output.data<float>()[j];
+        }
+        return loss;
+    };
+
+    const float delta = 1e-3f;
+    Tensor probe = x.Clone();
+    for (std::int64_t i = 0; i < x.num_elements(); ++i) {
+        const float saved = probe.data<float>()[i];
+        probe.data<float>()[i] = saved + delta;
+        const double up = loss_at(probe);
+        probe.data<float>()[i] = saved - delta;
+        const double down = loss_at(probe);
+        probe.data<float>()[i] = saved;
+        const double numeric = (up - down) / (2.0 * delta);
+        EXPECT_NEAR(grads.grad_input.data<float>()[i], numeric, 5e-3)
+            << "at index " << i;
+    }
+}
+
+}  // namespace
+}  // namespace fathom::kernels

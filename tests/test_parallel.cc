@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the intra-op thread pool.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace fathom::parallel {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.num_threads(), 1);
+    std::vector<int> hits(100, 0);
+    pool.ParallelFor(100, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            hits[static_cast<std::size_t>(i)]++;
+        }
+    });
+    for (int h : hits) {
+        EXPECT_EQ(h, 1);
+    }
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnceMultiThreaded)
+{
+    ThreadPool pool(4);
+    constexpr std::int64_t kN = 100000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "index " << i;
+    }
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerial)
+{
+    ThreadPool pool(3);
+    constexpr std::int64_t kN = 10000;
+    std::atomic<long long> total{0};
+    pool.ParallelFor(kN, 64, [&](std::int64_t b, std::int64_t e) {
+        long long local = 0;
+        for (std::int64_t i = b; i < e; ++i) {
+            local += i;
+        }
+        total.fetch_add(local);
+    });
+    EXPECT_EQ(total.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPoolTest, GrainKeepsSmallRangesInline)
+{
+    ThreadPool pool(8);
+    // total <= grain must run as one inline chunk.
+    int chunks = 0;
+    pool.ParallelFor(100, 1000, [&](std::int64_t b, std::int64_t e) {
+        ++chunks;
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 100);
+    });
+    EXPECT_EQ(chunks, 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndNegativeRangesAreNoOps)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.ParallelFor(0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+    pool.ParallelFor(-5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.ParallelFor(1000, 1,
+                         [](std::int64_t b, std::int64_t) {
+                             if (b == 0) {
+                                 throw std::runtime_error("boom");
+                             }
+                         }),
+        std::runtime_error);
+    // The pool must still be usable afterwards.
+    std::atomic<int> ran{0};
+    pool.ParallelFor(100, 1, [&](std::int64_t b, std::int64_t e) {
+        ran.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ManyMoreChunksThanThreads)
+{
+    ThreadPool pool(2);
+    std::atomic<int> covered{0};
+    pool.ParallelFor(977, 10, [&](std::int64_t b, std::int64_t e) {
+        covered.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(covered.load(), 977);
+}
+
+TEST(ThreadPoolTest, GlobalPoolReconfiguration)
+{
+    ThreadPool::SetGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
+    ThreadPool::SetGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace fathom::parallel

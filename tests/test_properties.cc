@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property-style tests: randomized shape sweeps checking algebraic
+ * invariants of kernels and the runtime (roundtrips, adjoints,
+ * determinism), complementing the example-based tests.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "kernels/data_movement.h"
+#include "kernels/elementwise.h"
+#include "kernels/matmul.h"
+#include "kernels/reduction.h"
+#include "autodiff/gradients.h"
+#include "ops/register.h"
+#include "runtime/session.h"
+#include "test_util.h"
+
+namespace fathom {
+namespace {
+
+using test::ExpectTensorNear;
+using test::RandomTensor;
+
+parallel::ThreadPool&
+Pool()
+{
+    static parallel::ThreadPool pool(1);
+    return pool;
+}
+
+/** Draws a random shape with rank in [1, max_rank], dims in [1, 5]. */
+Shape
+RandomShape(Rng& rng, int max_rank)
+{
+    const int rank = 1 + static_cast<int>(rng.UniformInt(max_rank));
+    std::vector<std::int64_t> dims;
+    for (int i = 0; i < rank; ++i) {
+        dims.push_back(1 + rng.UniformInt(5));
+    }
+    return Shape(dims);
+}
+
+class RandomizedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedTest, TransposeIsAnInvolutionUnderInversePerm)
+{
+    Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+    const Shape shape = RandomShape(rng, 4);
+    const Tensor t = RandomTensor(shape, 77 + GetParam());
+
+    // Random permutation and its inverse.
+    std::vector<int> perm(static_cast<std::size_t>(shape.rank()));
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = perm.size(); i > 1; --i) {
+        std::swap(perm[i - 1],
+                  perm[static_cast<std::size_t>(rng.UniformInt(
+                      static_cast<std::int64_t>(i)))]);
+    }
+    std::vector<int> inverse(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        inverse[static_cast<std::size_t>(perm[i])] = static_cast<int>(i);
+    }
+
+    const Tensor round_trip = kernels::Transpose(
+        kernels::Transpose(t, perm, Pool()), inverse, Pool());
+    ExpectTensorNear(t, round_trip);
+}
+
+TEST_P(RandomizedTest, PadThenPadGradIsIdentity)
+{
+    Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+    const Shape shape = RandomShape(rng, 3);
+    const Tensor t = RandomTensor(shape, 88 + GetParam());
+    std::vector<std::pair<std::int64_t, std::int64_t>> paddings;
+    for (int d = 0; d < shape.rank(); ++d) {
+        paddings.emplace_back(rng.UniformInt(3), rng.UniformInt(3));
+    }
+    const Tensor padded = kernels::Pad(t, paddings, Pool());
+    ExpectTensorNear(t, kernels::PadGrad(padded, paddings, Pool()));
+}
+
+TEST_P(RandomizedTest, TileGradIsAdjointOfTile)
+{
+    // <Tile(x), g> == <x, TileGrad(g)> for random shapes/multiples.
+    Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+    const Shape shape = RandomShape(rng, 3);
+    std::vector<std::int64_t> multiples;
+    for (int d = 0; d < shape.rank(); ++d) {
+        multiples.push_back(1 + rng.UniformInt(3));
+    }
+    const Tensor x = RandomTensor(shape, 99 + GetParam());
+    const Tensor tiled = kernels::Tile(x, multiples, Pool());
+    const Tensor g = RandomTensor(tiled.shape(), 111 + GetParam());
+    const Tensor gx = kernels::TileGrad(g, shape, multiples, Pool());
+
+    double lhs = 0.0;
+    for (std::int64_t i = 0; i < tiled.num_elements(); ++i) {
+        lhs += static_cast<double>(tiled.data<float>()[i]) *
+               g.data<float>()[i];
+    }
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < x.num_elements(); ++i) {
+        rhs += static_cast<double>(x.data<float>()[i]) *
+               gx.data<float>()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST_P(RandomizedTest, BroadcastAddCommutes)
+{
+    Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+    const Shape a_shape = RandomShape(rng, 3);
+    // b: drop leading dims and/or squash random dims to 1.
+    std::vector<std::int64_t> b_dims;
+    const int drop = static_cast<int>(rng.UniformInt(a_shape.rank()));
+    for (int d = drop; d < a_shape.rank(); ++d) {
+        b_dims.push_back(rng.Uniform() < 0.4 ? 1 : a_shape.dim(d));
+    }
+    if (b_dims.empty()) {
+        b_dims.push_back(1);
+    }
+    const Tensor a = RandomTensor(a_shape, 121 + GetParam());
+    const Tensor b = RandomTensor(Shape(b_dims), 131 + GetParam());
+    auto add = [](float x, float y) { return x + y; };
+    ExpectTensorNear(kernels::BinaryMap(a, b, add, Pool()),
+                     kernels::BinaryMap(b, a, add, Pool()));
+}
+
+TEST_P(RandomizedTest, ReduceToShapeIsAdjointOfBroadcast)
+{
+    // <broadcast(b, shape(a)), g> == <b, ReduceToShape(g, shape(b))>
+    Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+    const Shape a_shape = RandomShape(rng, 3);
+    std::vector<std::int64_t> b_dims;
+    for (int d = 0; d < a_shape.rank(); ++d) {
+        b_dims.push_back(rng.Uniform() < 0.5 ? 1 : a_shape.dim(d));
+    }
+    const Shape b_shape(b_dims);
+    const Tensor b = RandomTensor(b_shape, 141 + GetParam());
+    const Tensor g = RandomTensor(a_shape, 151 + GetParam());
+
+    // broadcast(b) realized via BinaryMap(+0).
+    const Tensor zeros = Tensor::Zeros(a_shape);
+    const Tensor broadcast = kernels::BinaryMap(
+        b, zeros, [](float x, float y) { return x + y; }, Pool());
+
+    double lhs = 0.0;
+    for (std::int64_t i = 0; i < g.num_elements(); ++i) {
+        lhs += static_cast<double>(broadcast.data<float>()[i]) *
+               g.data<float>()[i];
+    }
+    const Tensor reduced = kernels::ReduceToShape(g, b_shape, Pool());
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < b.num_elements(); ++i) {
+        rhs += static_cast<double>(b.data<float>()[i]) *
+               reduced.data<float>()[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST_P(RandomizedTest, ReduceSumOverAllAxesMatchesAccumulate)
+{
+    Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+    const Shape shape = RandomShape(rng, 4);
+    const Tensor t = RandomTensor(shape, 161 + GetParam());
+    double expected = 0.0;
+    for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+        expected += t.data<float>()[i];
+    }
+    const Tensor sum =
+        kernels::Reduce(t, kernels::ReduceOp::kSum, {}, false, Pool());
+    EXPECT_NEAR(sum.scalar_value(), expected,
+                1e-3 * std::max(1.0, std::fabs(expected)));
+}
+
+TEST_P(RandomizedTest, MatMulIdentityIsIdentity)
+{
+    Rng rng(7000 + static_cast<std::uint64_t>(GetParam()));
+    const std::int64_t n = 1 + rng.UniformInt(8);
+    const std::int64_t m = 1 + rng.UniformInt(8);
+    const Tensor a = RandomTensor(Shape{m, n}, 171 + GetParam());
+    Tensor eye = Tensor::Zeros(Shape{n, n});
+    for (std::int64_t i = 0; i < n; ++i) {
+        eye.data<float>()[i * n + i] = 1.0f;
+    }
+    ExpectTensorNear(a, kernels::MatMul(a, eye, false, false, Pool()),
+                     1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, RandomizedTest, ::testing::Range(0, 8));
+
+TEST(DeterminismTest, SameSeedSameTrainingTrajectory)
+{
+    ops::RegisterStandardOps();
+    auto run = [](std::uint64_t seed) {
+        runtime::Session session(seed);
+        auto b = session.MakeBuilder();
+        std::string var;
+        const graph::Output w =
+            b.Variable("w", Tensor::FromVector({1.0f, -1.0f}), &var);
+        const graph::Output noise = b.RandomNormal({2}, 0.0f, 0.1f);
+        const graph::Output loss = b.ReduceSum(
+            b.Square(b.Add(w, noise)), {}, false);
+        const auto grads = autodiff::BuildGradients(b, loss, {w});
+        const auto update = b.ApplyGradientDescent(var, grads[0], 0.05f);
+        float last = 0.0f;
+        for (int i = 0; i < 20; ++i) {
+            last = session.Run({}, {loss}, {update})[0].scalar_value();
+        }
+        return last;
+    };
+    EXPECT_EQ(run(42), run(42));
+    EXPECT_NE(run(42), run(43));
+}
+
+}  // namespace
+}  // namespace fathom

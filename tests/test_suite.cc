@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Integration tests of the suite harness and the end-to-end analysis
+ * pipeline (the paths the figure benches exercise), on fast configs.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/op_profile.h"
+#include "analysis/scaling.h"
+#include "analysis/similarity.h"
+#include "analysis/stationarity.h"
+#include "core/suite.h"
+#include "core/table.h"
+
+namespace fathom::core {
+namespace {
+
+TEST(SuiteTest, NamesAreTableTwoOrder)
+{
+    const auto names = SuiteNames();
+    ASSERT_EQ(names.size(), 8u);
+    EXPECT_EQ(names.front(), "seq2seq");
+    EXPECT_EQ(names.back(), "deepq");
+}
+
+TEST(SuiteTest, RunAndTraceCollectsBothPhases)
+{
+    SuiteRunOptions options;
+    options.warmup_steps = 1;
+    options.train_steps = 2;
+    options.infer_steps = 2;
+    const auto traces = RunAndTrace("autoenc", options);
+
+    EXPECT_EQ(traces.name, "autoenc");
+    EXPECT_EQ(traces.learning_task, "Unsupervised");
+    EXPECT_GT(traces.parameters, 0);
+    EXPECT_EQ(traces.training.steps().size(), 3u);   // warmup + 2.
+    EXPECT_EQ(traces.inference.steps().size(), 3u);
+    EXPECT_FALSE(traces.training.steps()[0].records.empty());
+}
+
+TEST(SuiteTest, TrainingTraceHasBackwardOpsInferenceDoesNot)
+{
+    SuiteRunOptions options;
+    options.warmup_steps = 0;
+    options.train_steps = 1;
+    options.infer_steps = 1;
+    const auto traces = RunAndTrace("vgg", options);
+
+    auto has_op = [](const runtime::Tracer& tracer, const std::string& type) {
+        for (const auto& step : tracer.steps()) {
+            for (const auto& r : step.records) {
+                if (r.op_type == type) {
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+    EXPECT_TRUE(has_op(traces.training, "Conv2DBackpropFilter"));
+    EXPECT_TRUE(has_op(traces.training, "ApplyMomentum"));
+    EXPECT_FALSE(has_op(traces.inference, "Conv2DBackpropFilter"));
+    EXPECT_FALSE(has_op(traces.inference, "ApplyMomentum"));
+    // The VAE's defining trait: sampling during inference. Verify the
+    // contrast on autoenc.
+    const auto vae = RunAndTrace("autoenc", options);
+    EXPECT_TRUE(has_op(vae.inference, "RandomNormal"));
+}
+
+TEST(SuiteTest, EndToEndAnalysisPipeline)
+{
+    // The full Fig. 2-4 pipeline over two cheap workloads.
+    SuiteRunOptions options;
+    options.warmup_steps = 1;
+    options.train_steps = 2;
+    options.infer_steps = 0;
+
+    std::vector<std::string> names = {"memnet", "autoenc"};
+    std::vector<analysis::OpProfile> profiles;
+    for (const auto& name : names) {
+        const auto traces = RunAndTrace(name, options);
+        profiles.push_back(
+            analysis::WallProfile(traces.training, traces.warmup_steps));
+        EXPECT_GT(profiles.back().total_seconds(), 0.0);
+        EXPECT_GE(profiles.back().TypesToCover(0.9), 1);
+    }
+    const auto matrix = analysis::ProfileMatrix(profiles);
+    const auto merges = analysis::AgglomerativeCluster(matrix);
+    ASSERT_EQ(merges.size(), 1u);
+    EXPECT_GT(merges[0].distance, 0.0);  // different models differ.
+    const auto render = analysis::RenderDendrogram(names, merges);
+    EXPECT_NE(render.find("memnet"), std::string::npos);
+}
+
+TEST(SuiteTest, ThreadSweepTotalsAreMonotone)
+{
+    SuiteRunOptions options;
+    options.warmup_steps = 0;
+    options.train_steps = 1;
+    options.infer_steps = 0;
+    const auto traces = RunAndTrace("alexnet", options);
+    const auto sweep =
+        analysis::SweepThreads(traces.training, 0, {1, 2, 4, 8});
+    double prev = 1e30;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double total = sweep.TotalAt(i);
+        EXPECT_LE(total, prev + 1e-12);
+        prev = total;
+    }
+    // Conv-heavy alexnet must show meaningful simulated scaling.
+    EXPECT_GT(sweep.TotalAt(0) / sweep.TotalAt(3), 2.0);
+}
+
+TEST(ConsoleTableTest, AlignsColumns)
+{
+    ConsoleTable table;
+    table.SetHeader({"a", "long-header", "c"});
+    table.AddRow({"wide-cell", "x", "y"});
+    const std::string rendered = table.Render();
+    // Header and separator present; rows aligned (separator spans
+    // full width).
+    EXPECT_NE(rendered.find("long-header"), std::string::npos);
+    EXPECT_NE(rendered.find("----"), std::string::npos);
+    EXPECT_NE(rendered.find("wide-cell"), std::string::npos);
+}
+
+TEST(ConsoleTableTest, Formatters)
+{
+    EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(FormatPercent(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace fathom::core

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the tensor substrate: Shape, Tensor, Rng.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "tensor/rng.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace fathom {
+namespace {
+
+TEST(ShapeTest, ScalarShape)
+{
+    Shape s;
+    EXPECT_EQ(s.rank(), 0);
+    EXPECT_EQ(s.num_elements(), 1);
+    EXPECT_EQ(s.ToString(), "[]");
+}
+
+TEST(ShapeTest, BasicDims)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.num_elements(), 24);
+    EXPECT_EQ(s.dim(0), 2);
+    EXPECT_EQ(s.dim(2), 4);
+    EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, NegativeAxisIndexing)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.dim(-1), 4);
+    EXPECT_EQ(s.dim(-3), 2);
+    EXPECT_THROW(s.dim(3), std::out_of_range);
+    EXPECT_THROW(s.dim(-4), std::out_of_range);
+}
+
+TEST(ShapeTest, Strides)
+{
+    Shape s{2, 3, 4};
+    EXPECT_EQ(s.stride(0), 12);
+    EXPECT_EQ(s.stride(1), 4);
+    EXPECT_EQ(s.stride(2), 1);
+    EXPECT_EQ(s.stride(-1), 1);
+}
+
+TEST(ShapeTest, RejectsNegativeDims)
+{
+    EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(ShapeTest, ZeroDimShapeIsEmpty)
+{
+    Shape s{2, 0, 4};
+    EXPECT_EQ(s.num_elements(), 0);
+}
+
+TEST(ShapeTest, Equality)
+{
+    EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+    EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+    EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(TensorTest, ZerosAndFill)
+{
+    Tensor t = Tensor::Zeros(Shape{3, 2});
+    for (std::int64_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(t.at<float>(i), 0.0f);
+    }
+    t.Fill(2.5f);
+    EXPECT_EQ(t.at<float>(5), 2.5f);
+}
+
+TEST(TensorTest, ScalarRoundTrip)
+{
+    EXPECT_FLOAT_EQ(Tensor::Scalar(3.25f).scalar_value(), 3.25f);
+    EXPECT_FLOAT_EQ(Tensor::ScalarInt(7).scalar_value(), 7.0f);
+}
+
+TEST(TensorTest, FromVectorChecksSize)
+{
+    EXPECT_NO_THROW(Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4}));
+    EXPECT_THROW(Tensor::FromVector(Shape{2, 2}, {1, 2, 3}),
+                 std::invalid_argument);
+}
+
+TEST(TensorTest, DTypeMismatchThrows)
+{
+    Tensor t = Tensor::Zeros(Shape{2});
+    EXPECT_THROW(t.data<std::int32_t>(), std::logic_error);
+    Tensor ti = Tensor::FromVectorInt(Shape{2}, {1, 2});
+    EXPECT_THROW(ti.data<float>(), std::logic_error);
+}
+
+TEST(TensorTest, UninitializedAccessThrows)
+{
+    Tensor t;
+    EXPECT_FALSE(t.initialized());
+    EXPECT_THROW(t.data<float>(), std::logic_error);
+}
+
+TEST(TensorTest, ReshapeSharesBuffer)
+{
+    Tensor t = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor r = t.Reshape(Shape{3, 2});
+    r.at<float>(0) = 99.0f;
+    EXPECT_EQ(t.at<float>(0), 99.0f);  // same underlying buffer.
+    EXPECT_THROW(t.Reshape(Shape{4}), std::invalid_argument);
+}
+
+TEST(TensorTest, CloneIsDeep)
+{
+    Tensor t = Tensor::FromVector({1, 2, 3});
+    Tensor c = t.Clone();
+    c.at<float>(0) = -1.0f;
+    EXPECT_EQ(t.at<float>(0), 1.0f);
+}
+
+TEST(TensorTest, CopyFromChecksCompatibility)
+{
+    Tensor a = Tensor::Zeros(Shape{4});
+    Tensor b = Tensor::FromVector({1, 2, 3, 4});
+    a.CopyFrom(b);
+    EXPECT_EQ(a.at<float>(3), 4.0f);
+    Tensor c = Tensor::Zeros(Shape{3});
+    EXPECT_THROW(a.CopyFrom(c), std::invalid_argument);
+}
+
+TEST(TensorTest, DebugString)
+{
+    EXPECT_EQ(Tensor::Zeros(Shape{2, 3}).DebugString(), "float32[2, 3]");
+    EXPECT_EQ(Tensor().DebugString(), "<empty tensor>");
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.NextU64(), b.NextU64());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += (a.NextU64() == b.NextU64());
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.Uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformIntRange)
+{
+    Rng rng(6);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.UniformInt(10);
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 10);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // all buckets hit.
+    EXPECT_THROW(rng.UniformInt(0), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(7);
+    const int n = 20000;
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.Normal();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.05);
+    EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, FillNormalMatchesParams)
+{
+    Rng rng(8);
+    Tensor t(DType::kFloat32, Shape{10000});
+    rng.FillNormal(&t, 3.0f, 0.5f);
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < t.num_elements(); ++i) {
+        sum += t.at<float>(i);
+    }
+    EXPECT_NEAR(sum / static_cast<double>(t.num_elements()), 3.0, 0.05);
+}
+
+TEST(RngTest, SplitDecorrelates)
+{
+    Rng a(9);
+    Rng b = a.Split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        same += (a.NextU64() == b.NextU64());
+    }
+    EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace fathom
