@@ -149,8 +149,9 @@ BM_CtcLoss(benchmark::State& state)
     for (std::int64_t i = 0; i < time / 3; ++i) {
         labels.push_back(static_cast<std::int32_t>(1 + (i % 27)));
     }
+    parallel::ThreadPool pool(1);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(kernels::CtcLoss(logits, labels, 0));
+        benchmark::DoNotOptimize(kernels::CtcLoss(logits, labels, 0, pool));
     }
 }
 BENCHMARK(BM_CtcLoss)->Arg(30)->Arg(60)->Arg(120);

@@ -48,6 +48,7 @@ class MlpWorkload : public workloads::Workload {
         batch_ = config.batch_size > 0 ? config.batch_size : 32;
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
+        session_->SetInterOpThreads(config.inter_op_threads);
         dataset_ = std::make_unique<data::SyntheticMnistDataset>(
             config.seed ^ 0x31337);
 

@@ -126,7 +126,9 @@ main()
     feeds[frames.node] = utt.frames;
     const Tensor out = session.Run(feeds, {logits})[0];
     const auto greedy = kernels::CtcGreedyDecode(out, 0);
-    const auto beam = kernels::CtcBeamSearchDecode(out, 0, /*beam_width=*/8);
+    parallel::ThreadPool decode_pool(1);
+    const auto beam =
+        kernels::CtcBeamSearchDecode(out, 0, /*beam_width=*/8, decode_pool);
     std::printf("reference:    ");
     for (std::int32_t l : utt.labels) {
         std::printf("%d ", l);

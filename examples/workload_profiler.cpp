@@ -30,7 +30,8 @@ void
 Usage()
 {
     std::printf("usage: workload_profiler <name> [--mode train|infer] "
-                "[--steps N] [--threads T]\n\nworkloads:\n");
+                "[--steps N] [--threads T] [--inter-op-threads T]\n\n"
+                "workloads:\n");
     for (const auto& name : core::SuiteNames()) {
         auto w = workloads::WorkloadRegistry::Global().Create(name);
         std::printf("  %-9s %s\n", name.c_str(), w->description().c_str());
@@ -53,6 +54,7 @@ main(int argc, char** argv)
     std::string trace_path;
     int steps = 6;
     int threads = 1;
+    int inter_op_threads = 1;
     for (int i = 2; i + 1 < argc; i += 2) {
         if (std::strcmp(argv[i], "--mode") == 0) {
             mode = argv[i + 1];
@@ -60,6 +62,8 @@ main(int argc, char** argv)
             steps = std::atoi(argv[i + 1]);
         } else if (std::strcmp(argv[i], "--threads") == 0) {
             threads = std::atoi(argv[i + 1]);
+        } else if (std::strcmp(argv[i], "--inter-op-threads") == 0) {
+            inter_op_threads = std::atoi(argv[i + 1]);
         } else if (std::strcmp(argv[i], "--dot") == 0) {
             dot_path = argv[i + 1];
         } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -82,6 +86,7 @@ main(int argc, char** argv)
     workloads::WorkloadConfig config;
     config.seed = 1;
     config.threads = threads;
+    config.inter_op_threads = inter_op_threads;
     workload->Setup(config);
     std::printf("%s: %s\n", workload->name().c_str(),
                 workload->description().c_str());

@@ -11,6 +11,8 @@ RunAndTrace(const std::string& name, const SuiteRunOptions& options)
     workloads::WorkloadConfig config;
     config.seed = options.seed;
     config.batch_size = options.batch_size;
+    config.threads = options.threads;
+    config.inter_op_threads = options.inter_op_threads;
     workload->Setup(config);
 
     WorkloadTraces traces;

@@ -23,6 +23,8 @@ struct SuiteRunOptions {
     int infer_steps = 4;   ///< traced inference steps.
     std::uint64_t seed = 1;
     std::int64_t batch_size = 0;  ///< 0 = model default.
+    int threads = 1;              ///< intra-op pool width (Fig. 6 knob).
+    int inter_op_threads = 1;     ///< concurrent independent ops per step.
 };
 
 /** The traces and metadata captured from one workload. */

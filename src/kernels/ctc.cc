@@ -33,7 +33,7 @@ LogAdd(float a, float b)
 
 CtcResult
 CtcLoss(const Tensor& logits, const std::vector<std::int32_t>& labels,
-        std::int32_t blank)
+        std::int32_t blank, parallel::ThreadPool& pool)
 {
     if (logits.shape().rank() != 2) {
         throw std::invalid_argument("CtcLoss: logits must be [time, classes]");
@@ -73,8 +73,7 @@ CtcLoss(const Tensor& logits, const std::vector<std::int32_t>& labels,
             " frames");
     }
 
-    parallel::ThreadPool inline_pool(1);
-    const Tensor log_probs = LogSoftmax(logits, inline_pool);
+    const Tensor log_probs = LogSoftmax(logits, pool);
     const float* lprob = log_probs.data<float>();
     auto lp_at = [&](std::int64_t t, std::int64_t s) {
         return lprob[t * classes + lp[static_cast<std::size_t>(s)]];
@@ -172,12 +171,11 @@ CtcLoss(const Tensor& logits, const std::vector<std::int32_t>& labels,
 float
 CtcLossBruteForce(const Tensor& logits,
                   const std::vector<std::int32_t>& labels,
-                  std::int32_t blank)
+                  std::int32_t blank, parallel::ThreadPool& pool)
 {
     const std::int64_t time = logits.shape().dim(0);
     const std::int64_t classes = logits.shape().dim(1);
-    parallel::ThreadPool inline_pool(1);
-    const Tensor log_probs = LogSoftmax(logits, inline_pool);
+    const Tensor log_probs = LogSoftmax(logits, pool);
     const float* lprob = log_probs.data<float>();
 
     // Enumerate every alignment pi in {0..classes-1}^time, collapse it,
@@ -220,15 +218,15 @@ CtcLossBruteForce(const Tensor& logits,
 }
 
 std::vector<std::int32_t>
-CtcBeamSearchDecode(const Tensor& logits, std::int32_t blank, int beam_width)
+CtcBeamSearchDecode(const Tensor& logits, std::int32_t blank, int beam_width,
+                    parallel::ThreadPool& pool)
 {
     const std::int64_t time = logits.shape().dim(0);
     const std::int64_t classes = logits.shape().dim(1);
     if (beam_width < 1) {
         throw std::invalid_argument("CtcBeamSearchDecode: beam_width >= 1");
     }
-    parallel::ThreadPool inline_pool(1);
-    const Tensor log_probs = LogSoftmax(logits, inline_pool);
+    const Tensor log_probs = LogSoftmax(logits, pool);
     const float* lp = log_probs.data<float>();
 
     // Each beam entry tracks a prefix with two scores: probability of

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parallel/thread_pool.h"
 #include "tensor/tensor.h"
 
 namespace fathom::kernels {
@@ -31,6 +32,9 @@ struct CtcResult {
  * @param labels  target label sequence (values in [0, num_classes),
  *                excluding the blank); may be empty.
  * @param blank   index of the blank symbol.
+ * @param pool    thread pool for the log-softmax over the logits (the
+ *                executor's intra-op pool, so CTC honors the Fig. 6
+ *                thread knob); the lattice recursion itself is serial.
  *
  * The gradient uses the classical identity
  *   dL/dy(t,k) = softmax(y)(t,k) - sum_{s : l'_s = k} gamma(t,s)
@@ -41,7 +45,7 @@ struct CtcResult {
  */
 CtcResult CtcLoss(const Tensor& logits,
                   const std::vector<std::int32_t>& labels,
-                  std::int32_t blank);
+                  std::int32_t blank, parallel::ThreadPool& pool);
 
 /**
  * Reference implementation by explicit enumeration of all alignments.
@@ -49,7 +53,7 @@ CtcResult CtcLoss(const Tensor& logits,
  */
 float CtcLossBruteForce(const Tensor& logits,
                         const std::vector<std::int32_t>& labels,
-                        std::int32_t blank);
+                        std::int32_t blank, parallel::ThreadPool& pool);
 
 /**
  * Greedy (best-path) CTC decoding: per-frame argmax, collapse repeats,
@@ -70,7 +74,8 @@ std::vector<std::int32_t> CtcGreedyDecode(const Tensor& logits,
  */
 std::vector<std::int32_t> CtcBeamSearchDecode(const Tensor& logits,
                                               std::int32_t blank,
-                                              int beam_width);
+                                              int beam_width,
+                                              parallel::ThreadPool& pool);
 
 }  // namespace fathom::kernels
 

@@ -110,7 +110,8 @@ RegisterLossOps()
             }
             auto result = kernels::CtcLoss(
                 ctx.input(0), label_vec,
-                static_cast<std::int32_t>(ctx.node().attr("blank").AsInt()));
+                static_cast<std::int32_t>(ctx.node().attr("blank").AsInt()),
+                ctx.pool());
             ctx.set_output(0, Tensor::Scalar(result.loss));
             ctx.set_output(1, std::move(result.grad_logits));
         },

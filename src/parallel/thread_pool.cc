@@ -59,6 +59,74 @@ ThreadPool::WorkerLoop()
 }
 
 void
+CountdownLatch::CountDown()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ <= 0) {
+        cv_.notify_all();
+    }
+}
+
+void
+CountdownLatch::Wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+}
+
+void
+ThreadPool::RunTasks(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty()) {
+        return;
+    }
+    if (num_threads_ == 1 || tasks.size() == 1) {
+        for (auto& task : tasks) {
+            task();
+        }
+        return;
+    }
+
+    struct SharedState {
+        explicit SharedState(std::int64_t n) : latch(n) {}
+        CountdownLatch latch;
+        std::mutex error_mu;
+        std::size_t error_task = SIZE_MAX;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<SharedState>(
+        static_cast<std::int64_t>(tasks.size()) - 1);
+
+    auto run_guarded = [state](std::function<void()>& task,
+                               std::size_t index) {
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state->error_mu);
+            // Lowest task index wins so reruns fail deterministically.
+            if (index < state->error_task) {
+                state->error_task = index;
+                state->error = std::current_exception();
+            }
+        }
+    };
+
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+        auto task = std::make_shared<std::function<void()>>(
+            std::move(tasks[i]));
+        Schedule([run_guarded, task, i, state] {
+            run_guarded(*task, i);
+            state->latch.CountDown();
+        });
+    }
+    run_guarded(tasks[0], 0);
+    state->latch.Wait();
+    if (state->error) {
+        std::rethrow_exception(state->error);
+    }
+}
+
+void
 ThreadPool::ParallelFor(std::int64_t total, std::int64_t grain,
                         const std::function<void(std::int64_t,
                                                  std::int64_t)>& fn)

@@ -21,6 +21,33 @@
 namespace fathom::parallel {
 
 /**
+ * A counter that threads can wait on until it reaches zero.
+ *
+ * The fan-out-with-completion-wait primitive behind ThreadPool::RunTasks
+ * and the inter-op executor: the dispatcher initializes the latch to the
+ * number of outstanding tasks, each task counts down once, and Wait()
+ * returns when all of them have.
+ */
+class CountdownLatch {
+  public:
+    explicit CountdownLatch(std::int64_t count) : count_(count) {}
+
+    CountdownLatch(const CountdownLatch&) = delete;
+    CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+    /** Decrements the counter; wakes waiters when it reaches zero. */
+    void CountDown();
+
+    /** Blocks until the counter reaches zero. */
+    void Wait();
+
+  private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::int64_t count_;
+};
+
+/**
  * A fixed-size pool of worker threads executing submitted closures.
  *
  * The pool with num_threads == 1 runs everything inline on the calling
@@ -47,6 +74,18 @@ class ThreadPool {
      * one thread; single-threaded pools run tasks inline via ParallelFor.
      */
     void Schedule(std::function<void()> task);
+
+    /**
+     * Runs every task in @p tasks and blocks until all of them finish.
+     *
+     * Tasks run concurrently across the pool: the calling thread
+     * executes the first task itself while workers drain the rest, so a
+     * pool of width N runs up to N tasks at once (tasks beyond the pool
+     * width queue behind the others). A single-threaded pool runs the
+     * tasks sequentially inline. The first exception (by task order) is
+     * rethrown on the caller after all tasks complete.
+     */
+    void RunTasks(std::vector<std::function<void()>> tasks);
 
     /**
      * Runs fn(begin, end) over [0, total) split into contiguous chunks

@@ -1,6 +1,10 @@
 #include "runtime/session.h"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -29,6 +33,16 @@ void
 Session::SetThreads(int threads)
 {
     pool_ = std::make_unique<parallel::ThreadPool>(threads);
+}
+
+void
+Session::SetInterOpThreads(int threads)
+{
+    inter_op_threads_ = std::max(threads, 1);
+    inter_op_pool_ =
+        inter_op_threads_ > 1
+            ? std::make_unique<parallel::ThreadPool>(inter_op_threads_)
+            : nullptr;
 }
 
 const Session::Plan&
@@ -82,9 +96,234 @@ Session::GetPlan(const std::vector<graph::Output>& fetches,
                                       : &registry.Lookup(node.op_type);
         plan.steps.push_back({id, def});
     }
+
+    // Dependency structure for the inter-op executor. Data and control
+    // edges become counter increments; stateful steps become barriers
+    // (they wait for everything earlier and gate everything later), so
+    // RNG draws and variable writes keep their sequential order.
+    const std::size_t n = plan.steps.size();
+    plan.dependents.assign(n, {});
+    plan.initial_pending.assign(n, 0);
+    std::unordered_map<graph::NodeId, std::int32_t> step_of;
+    step_of.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        step_of[plan.steps[i].node] = static_cast<std::int32_t>(i);
+    }
+    auto resolve = [&plan](graph::NodeId id) {
+        auto r = plan.replacements.find(id);
+        return r == plan.replacements.end() ? id : r->second;
+    };
+    std::int32_t prev_barrier = -1;
+    std::vector<std::int32_t> deps;
+    for (std::size_t i = 0; i < n; ++i) {
+        deps.clear();
+        const graph::Node& node = graph_.node(plan.steps[i].node);
+        for (const graph::Output& in : node.inputs) {
+            auto d = step_of.find(resolve(in.node));
+            if (d != step_of.end()) {  // absent = folded, already valued.
+                deps.push_back(d->second);
+            }
+        }
+        for (graph::NodeId c : node.control_inputs) {
+            auto d = step_of.find(resolve(c));
+            if (d != step_of.end()) {
+                deps.push_back(d->second);
+            }
+        }
+        const bool barrier =
+            plan.steps[i].def != nullptr && plan.steps[i].def->stateful;
+        if (barrier) {
+            // Steps in (prev_barrier, i) already wait on prev_barrier,
+            // so edges from that range (plus prev_barrier itself, for
+            // back-to-back barriers) order this step after everything.
+            for (std::int32_t j = prev_barrier + 1;
+                 j < static_cast<std::int32_t>(i); ++j) {
+                deps.push_back(j);
+            }
+            if (prev_barrier >= 0) {
+                deps.push_back(prev_barrier);
+            }
+            prev_barrier = static_cast<std::int32_t>(i);
+        } else if (prev_barrier >= 0) {
+            deps.push_back(prev_barrier);
+        }
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        plan.initial_pending[i] = static_cast<std::int32_t>(deps.size());
+        for (std::int32_t d : deps) {
+            plan.dependents[static_cast<std::size_t>(d)].push_back(
+                static_cast<std::int32_t>(i));
+        }
+    }
+
     auto [inserted, ok] = plan_cache_.emplace(key.str(), std::move(plan));
     (void)ok;
     return inserted->second;
+}
+
+void
+Session::RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
+                     std::vector<std::vector<Tensor>>& values)
+{
+    const PlanStep& step = plan.steps[seq];
+    const graph::NodeId id = step.node;
+    const graph::Node& node = graph_.node(id);
+
+    if (step.def == nullptr) {  // Placeholder.
+        auto fed = feeds.find(id);
+        if (fed == feeds.end()) {
+            throw std::invalid_argument(
+                "Session::Run: placeholder '" + node.name + "' not fed");
+        }
+        values[static_cast<std::size_t>(id)] = {fed->second};
+        return;
+    }
+
+    auto resolve = [&plan](graph::NodeId in) {
+        auto it = plan.replacements.find(in);
+        return it == plan.replacements.end() ? in : it->second;
+    };
+
+    std::vector<Tensor> inputs;
+    inputs.reserve(node.inputs.size());
+    for (const graph::Output& in : node.inputs) {
+        const auto& produced =
+            values[static_cast<std::size_t>(resolve(in.node))];
+        if (static_cast<std::size_t>(in.index) >= produced.size() ||
+            !produced[static_cast<std::size_t>(in.index)].initialized()) {
+            throw std::logic_error("Session::Run: node '" + node.name +
+                                   "' input from '" +
+                                   graph_.node(in.node).name +
+                                   "' was not produced");
+        }
+        inputs.push_back(produced[static_cast<std::size_t>(in.index)]);
+    }
+
+    const graph::OpDef& def = *step.def;
+    graph::OpContext ctx(node, &inputs, *pool_, rng_, variables_);
+
+    const auto op_start = Clock::now();
+    try {
+        def.kernel(ctx);
+    } catch (const std::exception& e) {
+        throw std::runtime_error("Session::Run: op '" + node.name + "' (" +
+                                 node.op_type + ") failed: " + e.what());
+    }
+    const double op_seconds = SecondsSince(op_start);
+
+    if (tracer_.enabled()) {
+        OpExecRecord record;
+        record.node = id;
+        record.op_type = node.op_type;
+        record.op_class = def.op_class;
+        record.wall_seconds = op_seconds;
+        record.seq = static_cast<std::int64_t>(seq);
+        if (def.cost) {
+            record.cost = def.cost(node, inputs, ctx.outputs());
+        } else {
+            // Default: bytes-only cost from the outputs.
+            graph::OpCost cost;
+            for (const Tensor& out : ctx.outputs()) {
+                if (out.initialized()) {
+                    cost.bytes += static_cast<double>(out.byte_size());
+                }
+            }
+            record.cost = cost;
+        }
+        tracer_.Record(std::move(record));
+    }
+
+    values[static_cast<std::size_t>(id)] = std::move(ctx.outputs());
+}
+
+void
+Session::RunParallel(const Plan& plan, const FeedMap& feeds,
+                     std::vector<std::vector<Tensor>>& values)
+{
+    const std::size_t total = plan.steps.size();
+    if (total == 0) {
+        return;
+    }
+
+    struct ExecState {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<std::int32_t> ready;
+        std::vector<std::int32_t> pending;
+        std::size_t active = 0;     ///< steps currently executing.
+        std::size_t completed = 0;  ///< steps finished (ok or not).
+        bool stopped = false;       ///< error seen; start nothing new.
+        std::size_t error_seq = SIZE_MAX;
+        std::exception_ptr error;
+    };
+    ExecState state;
+    state.pending = plan.initial_pending;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (state.pending[i] == 0) {
+            state.ready.push_back(static_cast<std::int32_t>(i));
+        }
+    }
+
+    // Each drain loop claims ready steps until the step completes or an
+    // error stops the schedule; in-flight steps always finish, so the
+    // step ends cleanly even on failure. Among concurrently failing
+    // steps, the lowest plan sequence wins, keeping the surfaced error
+    // deterministic.
+    auto drain = [this, &plan, &feeds, &values, &state, total] {
+        for (;;) {
+            std::int32_t seq = -1;
+            {
+                std::unique_lock<std::mutex> lock(state.mu);
+                state.cv.wait(lock, [&state, total] {
+                    return state.stopped || !state.ready.empty() ||
+                           (state.active == 0 && state.completed == total);
+                });
+                if (state.stopped || state.ready.empty()) {
+                    return;
+                }
+                seq = state.ready.front();
+                state.ready.pop_front();
+                ++state.active;
+            }
+            std::exception_ptr err;
+            try {
+                RunPlanStep(plan, static_cast<std::size_t>(seq), feeds,
+                            values);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(state.mu);
+                --state.active;
+                ++state.completed;
+                if (err) {
+                    state.stopped = true;
+                    if (static_cast<std::size_t>(seq) < state.error_seq) {
+                        state.error_seq = static_cast<std::size_t>(seq);
+                        state.error = err;
+                    }
+                } else if (!state.stopped) {
+                    for (std::int32_t d :
+                         plan.dependents[static_cast<std::size_t>(seq)]) {
+                        if (--state.pending[static_cast<std::size_t>(d)] ==
+                            0) {
+                            state.ready.push_back(d);
+                        }
+                    }
+                }
+            }
+            state.cv.notify_all();
+        }
+    };
+
+    const std::size_t width = std::min(
+        static_cast<std::size_t>(inter_op_threads_), total);
+    std::vector<std::function<void()>> loops(width, drain);
+    inter_op_pool_->RunTasks(std::move(loops));
+
+    if (state.error) {
+        std::rethrow_exception(state.error);
+    }
 }
 
 std::vector<Tensor>
@@ -108,74 +347,17 @@ Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
     const auto step_start = Clock::now();
     tracer_.BeginStep();
 
-    std::vector<Tensor> inputs;  // reused across ops.
-    for (const PlanStep& step : plan.steps) {
-        const graph::NodeId id = step.node;
-        const graph::Node& node = graph_.node(id);
-
-        if (step.def == nullptr) {  // Placeholder.
-            auto fed = feeds.find(id);
-            if (fed == feeds.end()) {
-                tracer_.EndStep(SecondsSince(step_start));
-                throw std::invalid_argument(
-                    "Session::Run: placeholder '" + node.name + "' not fed");
+    try {
+        if (inter_op_threads_ > 1) {
+            RunParallel(plan, feeds, values);
+        } else {
+            for (std::size_t seq = 0; seq < plan.steps.size(); ++seq) {
+                RunPlanStep(plan, seq, feeds, values);
             }
-            values[static_cast<std::size_t>(id)] = {fed->second};
-            continue;
         }
-
-        inputs.clear();
-        inputs.reserve(node.inputs.size());
-        for (const graph::Output& in : node.inputs) {
-            const auto& produced =
-                values[static_cast<std::size_t>(resolve(in.node))];
-            if (static_cast<std::size_t>(in.index) >= produced.size() ||
-                !produced[static_cast<std::size_t>(in.index)].initialized()) {
-                tracer_.EndStep(SecondsSince(step_start));
-                throw std::logic_error("Session::Run: node '" + node.name +
-                                       "' input from '" +
-                                       graph_.node(in.node).name +
-                                       "' was not produced");
-            }
-            inputs.push_back(produced[static_cast<std::size_t>(in.index)]);
-        }
-
-        const graph::OpDef& def = *step.def;
-        graph::OpContext ctx(node, &inputs, *pool_, rng_, variables_);
-
-        const auto op_start = Clock::now();
-        try {
-            def.kernel(ctx);
-        } catch (const std::exception& e) {
-            tracer_.EndStep(SecondsSince(step_start));
-            throw std::runtime_error("Session::Run: op '" + node.name +
-                                     "' (" + node.op_type +
-                                     ") failed: " + e.what());
-        }
-        const double op_seconds = SecondsSince(op_start);
-
-        if (tracer_.enabled()) {
-            OpExecRecord record;
-            record.node = id;
-            record.op_type = node.op_type;
-            record.op_class = def.op_class;
-            record.wall_seconds = op_seconds;
-            if (def.cost) {
-                record.cost = def.cost(node, inputs, ctx.outputs());
-            } else {
-                // Default: bytes-only cost from the outputs.
-                graph::OpCost cost;
-                for (const Tensor& out : ctx.outputs()) {
-                    if (out.initialized()) {
-                        cost.bytes += static_cast<double>(out.byte_size());
-                    }
-                }
-                record.cost = cost;
-            }
-            tracer_.Record(std::move(record));
-        }
-
-        values[static_cast<std::size_t>(id)] = std::move(ctx.outputs());
+    } catch (...) {
+        tracer_.EndStep(SecondsSince(step_start));
+        throw;
     }
 
     std::vector<Tensor> results;

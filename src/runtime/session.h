@@ -59,6 +59,22 @@ class Session {
     void SetThreads(int threads);
     int threads() const { return pool_->num_threads(); }
 
+    /**
+     * Reconfigures inter-op parallelism: how many independent graph
+     * operations may execute concurrently within one step.
+     *
+     * With 1 (the default) Run() uses the sequential executor and is
+     * byte-identical to the historical behavior. With more threads,
+     * Run() drains a dependency-counting ready queue across a dedicated
+     * pool. Fetched values are bit-identical either way: pure ops
+     * commute, and stateful ops (random sampling, variable updates)
+     * execute as barriers in plan order, so RNG draws and parameter
+     * writes happen exactly as in the sequential executor. Takes effect
+     * on the next Run().
+     */
+    void SetInterOpThreads(int threads);
+    int inter_op_threads() const { return inter_op_threads_; }
+
     Tracer& tracer() { return tracer_; }
     const Tracer& tracer() const { return tracer_; }
 
@@ -106,16 +122,40 @@ class Session {
         std::unordered_map<graph::NodeId, graph::NodeId> replacements;
         /** Values pre-computed by constant folding. */
         std::unordered_map<graph::NodeId, std::vector<Tensor>> folded;
+
+        // Dependency structure for the inter-op parallel executor,
+        // over plan indices. Stateful steps are barriers: they depend
+        // on every earlier step and every later step depends on them,
+        // which serializes RNG draws and variable writes in plan order
+        // (the determinism guarantee).
+        /** Per step, the steps unblocked by its completion. */
+        std::vector<std::vector<std::int32_t>> dependents;
+        /** Per step, how many dependencies must complete first. */
+        std::vector<std::int32_t> initial_pending;
     };
 
     /** Cached pruned topological plan for a fetch/target set. */
     const Plan& GetPlan(const std::vector<graph::Output>& fetches,
                         const std::vector<graph::NodeId>& targets);
 
+    /**
+     * Executes plan step @p seq (placeholder feed or kernel), tracing
+     * it and storing its outputs into @p values. Thread-safe across
+     * distinct steps. Throws on missing feeds or kernel failure.
+     */
+    void RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
+                     std::vector<std::vector<Tensor>>& values);
+
+    /** Drains the plan's ready queue across the inter-op pool. */
+    void RunParallel(const Plan& plan, const FeedMap& feeds,
+                     std::vector<std::vector<Tensor>>& values);
+
     graph::Graph graph_;
     graph::VariableStore variables_;
     Rng rng_;
     std::unique_ptr<parallel::ThreadPool> pool_;
+    int inter_op_threads_ = 1;
+    std::unique_ptr<parallel::ThreadPool> inter_op_pool_;
     Tracer tracer_;
     bool optimize_graphs_ = false;
     std::map<std::string, Plan> plan_cache_;

@@ -1,6 +1,8 @@
 #include "runtime/tracer.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace fathom::runtime {
 
@@ -12,6 +14,40 @@ StepTrace::OpSeconds() const
         total += r.wall_seconds;
     }
     return total;
+}
+
+Tracer::Tracer(const Tracer& other)
+    : enabled_(other.enabled_), in_step_(other.in_step_),
+      steps_(other.steps_)
+{
+}
+
+Tracer&
+Tracer::operator=(const Tracer& other)
+{
+    if (this != &other) {
+        enabled_ = other.enabled_;
+        in_step_ = other.in_step_;
+        steps_ = other.steps_;
+    }
+    return *this;
+}
+
+Tracer::Tracer(Tracer&& other) noexcept
+    : enabled_(other.enabled_), in_step_(other.in_step_),
+      steps_(std::move(other.steps_))
+{
+}
+
+Tracer&
+Tracer::operator=(Tracer&& other) noexcept
+{
+    if (this != &other) {
+        enabled_ = other.enabled_;
+        in_step_ = other.in_step_;
+        steps_ = std::move(other.steps_);
+    }
+    return *this;
 }
 
 void
@@ -27,6 +63,7 @@ Tracer::BeginStep()
 void
 Tracer::Record(OpExecRecord record)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!enabled_ || !in_step_) {
         return;
     }
@@ -42,7 +79,16 @@ Tracer::EndStep(double step_wall_seconds)
     if (!in_step_) {
         throw std::logic_error("Tracer::EndStep without BeginStep");
     }
-    steps_.back().wall_seconds = step_wall_seconds;
+    StepTrace& step = steps_.back();
+    // Canonicalize: the parallel executor records ops in completion
+    // order; sorting by plan sequence makes traces scheduling-invariant
+    // (and is a no-op for the sequential executor).
+    std::stable_sort(
+        step.records.begin(), step.records.end(),
+        [](const OpExecRecord& a, const OpExecRecord& b) {
+            return a.seq < b.seq;
+        });
+    step.wall_seconds = step_wall_seconds;
     in_step_ = false;
 }
 

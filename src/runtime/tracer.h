@@ -6,10 +6,19 @@
  * modeling tools": it attributes wall-clock time and modeled cost to
  * every executed operation, keyed by op type and op class, per step.
  * All analyses (Figs. 1-6) consume these traces.
+ *
+ * Record() is thread-safe so the inter-op parallel executor can trace
+ * concurrently executing operations. Records carry the plan-order
+ * sequence id of their op, and EndStep() sorts by it, so a step's trace
+ * is canonical — independent of the scheduling order — and the Figs.
+ * 1-6 analyses see the same record stream the sequential executor
+ * produces.
  */
 #ifndef FATHOM_RUNTIME_TRACER_H
 #define FATHOM_RUNTIME_TRACER_H
 
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +35,8 @@ struct OpExecRecord {
     graph::OpClass op_class = graph::OpClass::kControl;
     double wall_seconds = 0.0;
     graph::OpCost cost;
+    /** Plan-order index within the step; the canonical record order. */
+    std::int64_t seq = 0;
 };
 
 /** One Session::Run invocation. */
@@ -43,15 +54,31 @@ struct StepTrace {
     double OverheadSeconds() const { return wall_seconds - OpSeconds(); }
 };
 
-/** Accumulates step traces across a run. */
+/**
+ * Accumulates step traces across a run.
+ *
+ * Record() may be called from any thread between BeginStep and EndStep;
+ * BeginStep/EndStep/steps()/Clear() belong to the step-driving thread
+ * (they are not synchronized against an in-flight step).
+ */
 class Tracer {
   public:
+    Tracer() = default;
+    Tracer(const Tracer& other);
+    Tracer& operator=(const Tracer& other);
+    Tracer(Tracer&& other) noexcept;
+    Tracer& operator=(Tracer&& other) noexcept;
+
     void set_enabled(bool enabled) { enabled_ = enabled; }
     bool enabled() const { return enabled_; }
 
     /** Begins a new step; records go to this step until EndStep. */
     void BeginStep();
+
+    /** Appends a record to the current step. Thread-safe. */
     void Record(OpExecRecord record);
+
+    /** Ends the step, canonicalizing record order by sequence id. */
     void EndStep(double step_wall_seconds);
 
     const std::vector<StepTrace>& steps() const { return steps_; }
@@ -61,6 +88,7 @@ class Tracer {
     bool enabled_ = true;
     bool in_step_ = false;
     std::vector<StepTrace> steps_;
+    std::mutex mu_;  ///< guards steps_.back().records during a step.
 };
 
 }  // namespace fathom::runtime

@@ -40,6 +40,7 @@ class AlexNetWorkload : public Workload {
         batch_ = config.batch_size > 0 ? config.batch_size : 4;
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
+        session_->SetInterOpThreads(config.inter_op_threads);
         dataset_ = std::make_unique<data::SyntheticImageDataset>(
             kInput, 3, kClasses, config.seed ^ 0xA1E);
 

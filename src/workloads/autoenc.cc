@@ -41,6 +41,7 @@ class AutoencWorkload : public Workload {
         batch_ = config.batch_size > 0 ? config.batch_size : 16;
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
+        session_->SetInterOpThreads(config.inter_op_threads);
         dataset_ = std::make_unique<data::SyntheticMnistDataset>(
             config.seed ^ 0xAE);
 

@@ -46,6 +46,7 @@ class DeepQWorkload : public Workload {
         batch_ = config.batch_size > 0 ? config.batch_size : 8;
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
+        session_->SetInterOpThreads(config.inter_op_threads);
         env_ = std::make_unique<data::MiniAtari>(kGrid, kScale,
                                                  config.seed ^ 0xDD);
         policy_rng_ = Rng(config.seed * 131 + 7);

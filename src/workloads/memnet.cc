@@ -46,6 +46,7 @@ class MemNetWorkload : public Workload {
         batch_ = config.batch_size > 0 ? config.batch_size : 8;
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
+        session_->SetInterOpThreads(config.inter_op_threads);
         dataset_ = std::make_unique<data::SyntheticBabiDataset>(
             kSentences, kSentenceLen, /*two_hop=*/true, config.seed ^ 0xBAB1);
         vocab_ = dataset_->vocab();

@@ -44,6 +44,7 @@ class Seq2SeqWorkload : public Workload {
         batch_ = config.batch_size > 0 ? config.batch_size : 4;
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
+        session_->SetInterOpThreads(config.inter_op_threads);
         dataset_ = std::make_unique<data::SyntheticTranslationDataset>(
             kVocab, kSrcLen, config.seed ^ 0x5E25E2);
 

@@ -31,6 +31,13 @@ struct WorkloadConfig {
 
     /** Intra-op thread count (the Fig. 6 knob). */
     int threads = 1;
+
+    /**
+     * Inter-op thread count: independent graph ops executed
+     * concurrently per step (values stay bit-identical; see
+     * Session::SetInterOpThreads).
+     */
+    int inter_op_threads = 1;
 };
 
 /** Aggregate result of a timed run of steps. */

@@ -1,0 +1,14 @@
+# Applied at ctest time, after gtest discovery populates the
+# TEST_LIST variables (see tests/CMakeLists.txt). The threading and
+# determinism tests carry `concurrency` so CI can rerun exactly them
+# under ThreadSanitizer; the whole-suite batteries add `slow` so
+# developers can skip them locally with `ctest -LE slow`. Everything
+# stays in `tier1`.
+foreach(test IN LISTS concurrency_fast_TESTS)
+    set_tests_properties("${test}" PROPERTIES
+        LABELS "tier1;concurrency")
+endforeach()
+foreach(test IN LISTS concurrency_battery_TESTS)
+    set_tests_properties("${test}" PROPERTIES
+        LABELS "tier1;concurrency;slow")
+endforeach()

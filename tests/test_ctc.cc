@@ -8,12 +8,21 @@
 #include <cmath>
 
 #include "kernels/ctc.h"
+#include "parallel/thread_pool.h"
 #include "test_util.h"
 
 namespace fathom::kernels {
 namespace {
 
 using test::RandomTensor;
+
+/** Shared pool so the CTC kernels exercise a real multi-thread pool. */
+parallel::ThreadPool&
+TestPool()
+{
+    static parallel::ThreadPool pool(2);
+    return pool;
+}
 
 class CtcBruteForceTest
     : public ::testing::TestWithParam<std::tuple<int, int, std::vector<std::int32_t>>> {
@@ -24,8 +33,8 @@ TEST_P(CtcBruteForceTest, MatchesBruteForce)
     const auto [time, classes, labels] = GetParam();
     const Tensor logits =
         RandomTensor(Shape{time, classes}, 100 + time * 7 + classes, 1.5f);
-    const auto result = CtcLoss(logits, labels, /*blank=*/0);
-    const float brute = CtcLossBruteForce(logits, labels, /*blank=*/0);
+    const auto result = CtcLoss(logits, labels, /*blank=*/0, TestPool());
+    const float brute = CtcLossBruteForce(logits, labels, /*blank=*/0, TestPool());
     EXPECT_NEAR(result.loss, brute, 1e-3f * std::max(1.0f, brute));
 }
 
@@ -44,16 +53,16 @@ TEST(CtcTest, GradientMatchesFiniteDifference)
 {
     const Tensor logits = RandomTensor(Shape{6, 4}, 55);
     const std::vector<std::int32_t> labels = {1, 3, 2};
-    const auto result = CtcLoss(logits, labels, 0);
+    const auto result = CtcLoss(logits, labels, 0, TestPool());
 
     const float delta = 1e-2f;
     Tensor probe = logits.Clone();
     for (std::int64_t i = 0; i < logits.num_elements(); ++i) {
         const float saved = probe.data<float>()[i];
         probe.data<float>()[i] = saved + delta;
-        const float up = CtcLoss(probe, labels, 0).loss;
+        const float up = CtcLoss(probe, labels, 0, TestPool()).loss;
         probe.data<float>()[i] = saved - delta;
-        const float down = CtcLoss(probe, labels, 0).loss;
+        const float down = CtcLoss(probe, labels, 0, TestPool()).loss;
         probe.data<float>()[i] = saved;
         const float numeric = (up - down) / (2.0f * delta);
         EXPECT_NEAR(result.grad_logits.data<float>()[i], numeric, 5e-3f)
@@ -69,7 +78,7 @@ TEST(CtcTest, PerfectAlignmentHasLowLoss)
     for (int t = 0; t < 5; ++t) {
         logits.data<float>()[t * 3 + path[t]] = 10.0f;
     }
-    const auto result = CtcLoss(logits, {1, 2}, 0);
+    const auto result = CtcLoss(logits, {1, 2}, 0, TestPool());
     EXPECT_LT(result.loss, 0.1f);
 }
 
@@ -77,31 +86,31 @@ TEST(CtcTest, RepeatedLabelNeedsSeparator)
 {
     // "aa" needs at least 3 frames (a, blank, a).
     const Tensor logits2 = RandomTensor(Shape{2, 3}, 60);
-    EXPECT_THROW(CtcLoss(logits2, {1, 1}, 0), std::invalid_argument);
+    EXPECT_THROW(CtcLoss(logits2, {1, 1}, 0, TestPool()), std::invalid_argument);
     const Tensor logits3 = RandomTensor(Shape{3, 3}, 61);
-    EXPECT_NO_THROW(CtcLoss(logits3, {1, 1}, 0));
+    EXPECT_NO_THROW(CtcLoss(logits3, {1, 1}, 0, TestPool()));
 }
 
 TEST(CtcTest, TooManyLabelsThrows)
 {
     const Tensor logits = RandomTensor(Shape{2, 4}, 62);
-    EXPECT_THROW(CtcLoss(logits, {1, 2, 3}, 0), std::invalid_argument);
+    EXPECT_THROW(CtcLoss(logits, {1, 2, 3}, 0, TestPool()), std::invalid_argument);
 }
 
 TEST(CtcTest, InvalidLabelValuesThrow)
 {
     const Tensor logits = RandomTensor(Shape{4, 3}, 63);
-    EXPECT_THROW(CtcLoss(logits, {0}, 0), std::invalid_argument);  // blank.
-    EXPECT_THROW(CtcLoss(logits, {5}, 0), std::invalid_argument);  // range.
-    EXPECT_THROW(CtcLoss(logits, {1}, 7), std::invalid_argument);  // blank idx.
+    EXPECT_THROW(CtcLoss(logits, {0}, 0, TestPool()), std::invalid_argument);  // blank.
+    EXPECT_THROW(CtcLoss(logits, {5}, 0, TestPool()), std::invalid_argument);  // range.
+    EXPECT_THROW(CtcLoss(logits, {1}, 7, TestPool()), std::invalid_argument);  // blank idx.
 }
 
 TEST(CtcTest, EmptyLabelSequence)
 {
     // All-blank paths only: loss = -sum log p(blank).
     const Tensor logits = RandomTensor(Shape{3, 3}, 64);
-    const auto result = CtcLoss(logits, {}, 0);
-    const float brute = CtcLossBruteForce(logits, {}, 0);
+    const auto result = CtcLoss(logits, {}, 0, TestPool());
+    const float brute = CtcLossBruteForce(logits, {}, 0, TestPool());
     EXPECT_NEAR(result.loss, brute, 1e-4f);
 }
 
@@ -110,7 +119,7 @@ TEST(CtcTest, GradientRowsSumToZero)
     // Each row of d(loss)/d(logits) = softmax - posterior; both are
     // distributions, so rows sum to ~0.
     const Tensor logits = RandomTensor(Shape{7, 5}, 65);
-    const auto result = CtcLoss(logits, {1, 4, 2}, 0);
+    const auto result = CtcLoss(logits, {1, 4, 2}, 0, TestPool());
     for (std::int64_t t = 0; t < 7; ++t) {
         float row = 0.0f;
         for (std::int64_t c = 0; c < 5; ++c) {
@@ -133,7 +142,7 @@ TEST(CtcTest, BeamSearchFindsMostProbableLabeling)
         logits.data<float>()[t * 2 + 0] = std::log(0.4f);
         logits.data<float>()[t * 2 + 1] = std::log(0.6f);
     }
-    const auto beam = CtcBeamSearchDecode(logits, 0, 4);
+    const auto beam = CtcBeamSearchDecode(logits, 0, 4, TestPool());
     ASSERT_EQ(beam.size(), 1u);
     EXPECT_EQ(beam[0], 1);
 }
@@ -151,7 +160,7 @@ TEST(CtcTest, BeamSearchPrefersSummedProbabilityOverBestPath)
     }
     const auto greedy = CtcGreedyDecode(logits, 0);
     EXPECT_TRUE(greedy.empty());
-    const auto beam = CtcBeamSearchDecode(logits, 0, 8);
+    const auto beam = CtcBeamSearchDecode(logits, 0, 8, TestPool());
     ASSERT_EQ(beam.size(), 1u);  // P("a") = 0.398 > P("") = 0.125.
     EXPECT_EQ(beam[0], 1);
 }
@@ -164,7 +173,7 @@ TEST(CtcTest, BeamSearchMatchesGreedyOnPeakedDistributions)
     for (int t = 0; t < 8; ++t) {
         logits.data<float>()[t * 4 + path[t]] = 8.0f;
     }
-    EXPECT_EQ(CtcBeamSearchDecode(logits, 0, 4),
+    EXPECT_EQ(CtcBeamSearchDecode(logits, 0, 4, TestPool()),
               CtcGreedyDecode(logits, 0));
 }
 
@@ -175,7 +184,7 @@ TEST(CtcTest, BeamSearchHandlesRepeatedLabels)
     logits.data<float>()[0 * 2 + 1] = 8.0f;
     logits.data<float>()[1 * 2 + 0] = 8.0f;
     logits.data<float>()[2 * 2 + 1] = 8.0f;
-    const auto decoded = CtcBeamSearchDecode(logits, 0, 4);
+    const auto decoded = CtcBeamSearchDecode(logits, 0, 4, TestPool());
     ASSERT_EQ(decoded.size(), 2u);
     EXPECT_EQ(decoded[0], 1);
     EXPECT_EQ(decoded[1], 1);
@@ -184,7 +193,7 @@ TEST(CtcTest, BeamSearchHandlesRepeatedLabels)
 TEST(CtcTest, BeamSearchRejectsBadWidth)
 {
     const Tensor logits = test::RandomTensor(Shape{3, 3}, 70);
-    EXPECT_THROW(CtcBeamSearchDecode(logits, 0, 0), std::invalid_argument);
+    EXPECT_THROW(CtcBeamSearchDecode(logits, 0, 0, TestPool()), std::invalid_argument);
 }
 
 TEST(CtcTest, GreedyDecodeCollapses)

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Concurrency tests for the tracer.
+ *
+ * Tracer::Record must accept calls from any thread between BeginStep
+ * and EndStep without losing records, and EndStep must canonicalize
+ * record order by plan sequence id so traces are independent of
+ * scheduling. Wall times in these tests are multiples of 1/1024 so
+ * sums are exact in double and the aggregate checks can use equality.
+ */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ops/register.h"
+#include "runtime/session.h"
+#include "runtime/tracer.h"
+
+namespace fathom::runtime {
+namespace {
+
+using graph::OpClass;
+using graph::Output;
+
+TEST(TracerConcurrentTest, HammerRecordFromManyThreads)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 1000;
+    const std::array<OpClass, 4> classes = {
+        OpClass::kMatrixOps, OpClass::kElementwise,
+        OpClass::kReductionExpansion, OpClass::kDataMovement};
+
+    Tracer tracer;
+    tracer.BeginStep();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tracer, &classes, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                OpExecRecord record;
+                record.seq = static_cast<std::int64_t>(t) * kPerThread + i;
+                record.node = static_cast<graph::NodeId>(record.seq);
+                record.op_class = classes[record.seq % classes.size()];
+                record.op_type = "Op" + std::to_string(t);
+                record.wall_seconds =
+                    static_cast<double>(record.seq % 64 + 1) / 1024.0;
+                tracer.Record(std::move(record));
+            }
+        });
+    }
+    for (auto& thread : threads) {
+        thread.join();
+    }
+    tracer.EndStep(/*step_wall_seconds=*/1.0);
+
+    ASSERT_EQ(tracer.steps().size(), 1u);
+    const StepTrace& step = tracer.steps().back();
+    ASSERT_EQ(step.records.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+
+    // Canonical order: sorted by seq, with no record lost or duplicated.
+    double expected_total = 0.0;
+    std::array<int, 4> expected_class_counts{};
+    for (std::int64_t seq = 0; seq < kThreads * kPerThread; ++seq) {
+        expected_total += static_cast<double>(seq % 64 + 1) / 1024.0;
+        expected_class_counts[seq % classes.size()]++;
+    }
+    std::array<int, 4> class_counts{};
+    for (std::size_t i = 0; i < step.records.size(); ++i) {
+        ASSERT_EQ(step.records[i].seq, static_cast<std::int64_t>(i));
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+            if (step.records[i].op_class == classes[c]) {
+                class_counts[c]++;
+            }
+        }
+    }
+    EXPECT_EQ(class_counts, expected_class_counts);
+    // Exact: every addend is a multiple of 2^-10 summed in seq order.
+    EXPECT_EQ(step.OpSeconds(), expected_total);
+    EXPECT_EQ(step.wall_seconds, 1.0);
+}
+
+TEST(TracerConcurrentTest, RecordsOutsideStepAreDropped)
+{
+    Tracer tracer;
+    OpExecRecord record;
+    record.wall_seconds = 0.5;
+    tracer.Record(record);  // no BeginStep: silently ignored
+    EXPECT_TRUE(tracer.steps().empty());
+
+    tracer.set_enabled(false);
+    tracer.BeginStep();
+    tracer.Record(record);
+    tracer.EndStep(1.0);
+    EXPECT_TRUE(tracer.steps().empty());
+}
+
+TEST(TracerConcurrentTest, CopyDetachesFromSource)
+{
+    // suite.cc copies live tracers into WorkloadTraces; the copy must
+    // carry the steps and stay independent of the original.
+    Tracer tracer;
+    tracer.BeginStep();
+    OpExecRecord record;
+    record.seq = 0;
+    record.wall_seconds = 0.25;
+    tracer.Record(record);
+    tracer.EndStep(0.5);
+
+    Tracer copy = tracer;
+    tracer.Clear();
+    ASSERT_EQ(copy.steps().size(), 1u);
+    EXPECT_EQ(copy.steps()[0].records.size(), 1u);
+    EXPECT_EQ(copy.steps()[0].wall_seconds, 0.5);
+    EXPECT_TRUE(tracer.steps().empty());
+}
+
+TEST(TracerConcurrentTest, ParallelExecutorTracesEveryNodeOnce)
+{
+    ops::RegisterStandardOps();
+    Session session;
+    session.SetInterOpThreads(4);
+    auto b = session.MakeBuilder();
+    const Output x = b.Placeholder("x");
+    const Output a = b.Relu(x);
+    const Output c = b.Tanh(x);
+    const Output d = b.Sigmoid(x);
+    const Output y = b.AddN({b.Mul(a, c), d});
+
+    Tensor feed(DType::kFloat32, Shape{64});
+    feed.Fill(0.375f);
+    FeedMap feeds;
+    feeds[x.node] = feed;
+    session.Run(feeds, {y});
+
+    const StepTrace& step = session.tracer().steps().back();
+    std::set<graph::NodeId> seen;
+    std::int64_t prev_seq = -1;
+    for (const auto& record : step.records) {
+        EXPECT_TRUE(seen.insert(record.node).second)
+            << "node " << record.node << " traced twice";
+        EXPECT_LT(prev_seq, record.seq);
+        prev_seq = record.seq;
+    }
+    // Every executed op appears (placeholders are not traced):
+    // Relu, Tanh, Sigmoid, Mul, AddN.
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+}  // namespace
+}  // namespace fathom::runtime
