@@ -130,6 +130,16 @@ main(int argc, char** argv)
     std::printf("\nframework overhead outside kernels: %s\n",
                 core::FormatPercent(overhead, 2).c_str());
 
+    if (!workload->session().tracer().steps().empty()) {
+        const auto& mem = workload->session().tracer().steps().back().memory;
+        std::printf("memory (last step): peak %.2f MB, %llu allocations "
+                    "(%llu fresh, %llu pool hits)\n",
+                    static_cast<double>(mem.peak_bytes) / (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(mem.allocations),
+                    static_cast<unsigned long long>(mem.fresh_allocs),
+                    static_cast<unsigned long long>(mem.pool_hits));
+    }
+
     // Simulated scaling summary (the Fig. 6 methodology on this trace).
     const auto sweep = analysis::SweepThreads(workload->session().tracer(),
                                               1, {1, 2, 4, 8});

@@ -116,6 +116,20 @@ TraceToChromeJson(const runtime::Tracer& tracer)
                 << ", \"parallel_work\": " << r.cost.parallel_work << "}}";
             cursor_us += dur_us;
         }
+        // Allocator activity for the step (the memory planner's
+        // instrumentation) as a Chrome counter event: peak live bytes
+        // plus request/fresh/pool-hit counts, graphable in Perfetto.
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+        out << "\n  {\"name\": \"memory\", \"cat\": \"memory\", "
+            << "\"ph\": \"C\", \"ts\": " << step_base_us
+            << ", \"pid\": 1, \"args\": {\"peak_bytes\": "
+            << step.memory.peak_bytes
+            << ", \"allocations\": " << step.memory.allocations
+            << ", \"fresh_allocs\": " << step.memory.fresh_allocs
+            << ", \"pool_hits\": " << step.memory.pool_hits << "}}";
         step_base_us += step.wall_seconds * 1e6;
         ++step_index;
     }

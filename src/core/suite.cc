@@ -13,6 +13,7 @@ RunAndTrace(const std::string& name, const SuiteRunOptions& options)
     config.batch_size = options.batch_size;
     config.threads = options.threads;
     config.inter_op_threads = options.inter_op_threads;
+    config.memory_planner = options.memory_planner;
     workload->Setup(config);
 
     WorkloadTraces traces;

@@ -25,6 +25,7 @@ struct SuiteRunOptions {
     std::int64_t batch_size = 0;  ///< 0 = model default.
     int threads = 1;              ///< intra-op pool width (Fig. 6 knob).
     int inter_op_threads = 1;     ///< concurrent independent ops per step.
+    bool memory_planner = true;   ///< liveness-driven early tensor release.
 };
 
 /** The traces and metadata captured from one workload. */

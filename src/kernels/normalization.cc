@@ -120,25 +120,36 @@ BatchNorm(const Tensor& input, const Tensor& gamma, const Tensor& beta,
     float* istd = result.inv_std.data<float>();
     float* o = result.output.data<float>();
 
-    const float inv_rows = 1.0f / static_cast<float>(rows);
+    // Mean/variance accumulate in double: with float accumulators the
+    // batch statistics drift once rows x channels gets large (the
+    // residual workload's post-conv activations), skewing every
+    // normalized output downstream.
+    const double inv_rows = 1.0 / static_cast<double>(rows);
+    std::vector<double> mean_acc(static_cast<std::size_t>(channels), 0.0);
+    std::vector<double> var_acc(static_cast<std::size_t>(channels), 0.0);
     for (std::int64_t row = 0; row < rows; ++row) {
         const float* x = in + row * channels;
         for (std::int64_t c = 0; c < channels; ++c) {
-            mu[c] += x[c];
+            mean_acc[static_cast<std::size_t>(c)] +=
+                static_cast<double>(x[c]);
         }
     }
     for (std::int64_t c = 0; c < channels; ++c) {
-        mu[c] *= inv_rows;
+        mu[c] = static_cast<float>(mean_acc[static_cast<std::size_t>(c)] *
+                                   inv_rows);
     }
     for (std::int64_t row = 0; row < rows; ++row) {
         const float* x = in + row * channels;
         for (std::int64_t c = 0; c < channels; ++c) {
-            const float d = x[c] - mu[c];
-            istd[c] += d * d;
+            const double d = static_cast<double>(x[c]) -
+                             static_cast<double>(mu[c]);
+            var_acc[static_cast<std::size_t>(c)] += d * d;
         }
     }
     for (std::int64_t c = 0; c < channels; ++c) {
-        istd[c] = 1.0f / std::sqrt(istd[c] * inv_rows + epsilon);
+        istd[c] = static_cast<float>(
+            1.0 / std::sqrt(var_acc[static_cast<std::size_t>(c)] * inv_rows +
+                            static_cast<double>(epsilon)));
     }
 
     pool.ParallelFor(rows, /*grain=*/16,
@@ -174,19 +185,29 @@ BatchNormGrad(const Tensor& input, const Tensor& gamma, const Tensor& mean,
     float* dg = grads.grad_gamma.data<float>();
     float* db = grads.grad_beta.data<float>();
 
-    // Accumulate sum(dy) and sum(dy * x_hat) per channel.
-    std::vector<float> sum_dy(static_cast<std::size_t>(channels), 0.0f);
-    std::vector<float> sum_dy_xhat(static_cast<std::size_t>(channels), 0.0f);
+    // Accumulate sum(dy) and sum(dy * x_hat) per channel, in double
+    // (same large-batch precision concern as the forward statistics).
+    std::vector<double> sum_dy_acc(static_cast<std::size_t>(channels), 0.0);
+    std::vector<double> sum_dy_xhat_acc(static_cast<std::size_t>(channels),
+                                        0.0);
     for (std::int64_t row = 0; row < rows; ++row) {
         const float* x = in + row * channels;
         const float* d = dy + row * channels;
         for (std::int64_t c = 0; c < channels; ++c) {
             const float xhat = (x[c] - mu[c]) * istd[c];
-            sum_dy[static_cast<std::size_t>(c)] += d[c];
-            sum_dy_xhat[static_cast<std::size_t>(c)] += d[c] * xhat;
+            sum_dy_acc[static_cast<std::size_t>(c)] +=
+                static_cast<double>(d[c]);
+            sum_dy_xhat_acc[static_cast<std::size_t>(c)] +=
+                static_cast<double>(d[c]) * static_cast<double>(xhat);
         }
     }
+    std::vector<float> sum_dy(static_cast<std::size_t>(channels));
+    std::vector<float> sum_dy_xhat(static_cast<std::size_t>(channels));
     for (std::int64_t c = 0; c < channels; ++c) {
+        sum_dy[static_cast<std::size_t>(c)] =
+            static_cast<float>(sum_dy_acc[static_cast<std::size_t>(c)]);
+        sum_dy_xhat[static_cast<std::size_t>(c)] =
+            static_cast<float>(sum_dy_xhat_acc[static_cast<std::size_t>(c)]);
         dg[c] = sum_dy_xhat[static_cast<std::size_t>(c)];
         db[c] = sum_dy[static_cast<std::size_t>(c)];
     }

@@ -61,14 +61,22 @@ Reduce(const Tensor& input, ReduceOp op, const std::vector<int>& axes,
             in_strides[static_cast<std::size_t>(i + 1)] * in_shape.dim(i + 1);
     }
 
-    const float init = (op == ReduceOp::kMax)
-                           ? -std::numeric_limits<float>::infinity()
-                           : 0.0f;
-    Tensor out = Tensor::Full(out_shape, init);
+    Tensor out = Tensor::Full(
+        out_shape, op == ReduceOp::kMax
+                       ? -std::numeric_limits<float>::infinity()
+                       : 0.0f);
     const float* in = input.data<float>();
     float* o = out.data<float>();
-
     const std::int64_t n = input.num_elements();
+    const std::int64_t out_n = out.num_elements();
+
+    // Sum/mean accumulate in double: a float accumulator loses low
+    // bits once the running sum dwarfs the addends, which is routine
+    // for the million-element activation reductions in vgg/residual.
+    std::vector<double> acc;
+    if (op != ReduceOp::kMax) {
+        acc.assign(static_cast<std::size_t>(out_n), 0.0);
+    }
     for (std::int64_t flat = 0; flat < n; ++flat) {
         std::int64_t rem = flat;
         std::int64_t off = 0;
@@ -80,19 +88,21 @@ Reduce(const Tensor& input, ReduceOp op, const std::vector<int>& axes,
         if (op == ReduceOp::kMax) {
             o[off] = std::max(o[off], in[flat]);
         } else {
-            o[off] += in[flat];
+            acc[static_cast<std::size_t>(off)] +=
+                static_cast<double>(in[flat]);
         }
     }
 
-    if (op == ReduceOp::kMean) {
+    if (op != ReduceOp::kMax) {
         std::int64_t count = 1;
         for (int a : reduce_axes) {
             count *= in_shape.dim(a);
         }
-        const float inv = count > 0 ? 1.0f / static_cast<float>(count) : 0.0f;
-        const std::int64_t out_n = out.num_elements();
+        const double scale =
+            op == ReduceOp::kMean && count > 0 ? 1.0 / count : 1.0;
         for (std::int64_t i = 0; i < out_n; ++i) {
-            o[i] *= inv;
+            o[i] = static_cast<float>(acc[static_cast<std::size_t>(i)] *
+                                      scale);
         }
     }
     (void)pool;
@@ -129,12 +139,14 @@ Softmax(const Tensor& logits, parallel::ThreadPool& pool)
             for (std::int64_t c = 0; c < cols; ++c) {
                 m = std::max(m, row[c]);
             }
-            float sum = 0.0f;
+            // Double accumulator: wide softmax rows (vocabulary-sized
+            // logits) otherwise lose precision in the normalizer.
+            double sum = 0.0;
             for (std::int64_t c = 0; c < cols; ++c) {
                 orow[c] = std::exp(row[c] - m);
-                sum += orow[c];
+                sum += static_cast<double>(orow[c]);
             }
-            const float inv = 1.0f / sum;
+            const float inv = static_cast<float>(1.0 / sum);
             for (std::int64_t c = 0; c < cols; ++c) {
                 orow[c] *= inv;
             }
@@ -158,11 +170,11 @@ LogSoftmax(const Tensor& logits, parallel::ThreadPool& pool)
             for (std::int64_t c = 0; c < cols; ++c) {
                 m = std::max(m, row[c]);
             }
-            float sum = 0.0f;
+            double sum = 0.0;
             for (std::int64_t c = 0; c < cols; ++c) {
-                sum += std::exp(row[c] - m);
+                sum += static_cast<double>(std::exp(row[c] - m));
             }
-            const float log_sum = std::log(sum) + m;
+            const float log_sum = static_cast<float>(std::log(sum)) + m;
             for (std::int64_t c = 0; c < cols; ++c) {
                 orow[c] = row[c] - log_sum;
             }

@@ -1,6 +1,7 @@
 #include "runtime/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <vector>
@@ -11,6 +12,11 @@ namespace {
 
 constexpr char kMagic[8] = {'F', 'T', 'H', 'M', 'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kVersion = 1;
+
+// Sanity bounds for header fields: a corrupt or truncated file must be
+// rejected before its (attacker-sized) fields drive an allocation.
+constexpr std::uint32_t kMaxRank = 16;
+constexpr std::uint32_t kMaxNameLen = 1u << 16;
 
 template <typename T>
 void
@@ -36,46 +42,64 @@ ReadPod(std::ifstream& in)
 void
 SaveCheckpoint(const graph::VariableStore& store, const std::string& path)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-        throw std::runtime_error("checkpoint: cannot open '" + path +
-                                 "' for writing");
-    }
-    out.write(kMagic, sizeof(kMagic));
-    WritePod(out, kVersion);
-
-    const auto names = store.Names();
-    WritePod(out, static_cast<std::uint32_t>(names.size()));
-    for (const auto& name : names) {
-        const Tensor& value = store.Get(name);
-        WritePod(out, static_cast<std::uint32_t>(name.size()));
-        out.write(name.data(), static_cast<std::streamsize>(name.size()));
-        WritePod(out, static_cast<std::uint8_t>(
-                          value.dtype() == DType::kFloat32 ? 0 : 1));
-        const auto& dims = value.shape().dims();
-        WritePod(out, static_cast<std::uint32_t>(dims.size()));
-        for (std::int64_t d : dims) {
-            WritePod(out, d);
+    // Write to a sibling temp file and atomically rename it into
+    // place: truncating the target directly meant a crash mid-write
+    // destroyed the previous checkpoint along with the new one.
+    const std::string tmp_path = path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            throw std::runtime_error("checkpoint: cannot open '" + tmp_path +
+                                     "' for writing");
         }
-        const char* bytes =
-            value.dtype() == DType::kFloat32
-                ? reinterpret_cast<const char*>(value.data<float>())
-                : reinterpret_cast<const char*>(value.data<std::int32_t>());
-        out.write(bytes, static_cast<std::streamsize>(value.byte_size()));
+        out.write(kMagic, sizeof(kMagic));
+        WritePod(out, kVersion);
+
+        const auto names = store.Names();
+        WritePod(out, static_cast<std::uint32_t>(names.size()));
+        for (const auto& name : names) {
+            const Tensor& value = store.Get(name);
+            WritePod(out, static_cast<std::uint32_t>(name.size()));
+            out.write(name.data(),
+                      static_cast<std::streamsize>(name.size()));
+            WritePod(out, static_cast<std::uint8_t>(
+                              value.dtype() == DType::kFloat32 ? 0 : 1));
+            const auto& dims = value.shape().dims();
+            WritePod(out, static_cast<std::uint32_t>(dims.size()));
+            for (std::int64_t d : dims) {
+                WritePod(out, d);
+            }
+            const char* bytes =
+                value.dtype() == DType::kFloat32
+                    ? reinterpret_cast<const char*>(value.data<float>())
+                    : reinterpret_cast<const char*>(
+                          value.data<std::int32_t>());
+            out.write(bytes, static_cast<std::streamsize>(value.byte_size()));
+        }
+        out.flush();
+        if (!out) {
+            std::remove(tmp_path.c_str());
+            throw std::runtime_error("checkpoint: write to '" + tmp_path +
+                                     "' failed");
+        }
     }
-    if (!out) {
-        throw std::runtime_error("checkpoint: write to '" + path +
-                                 "' failed");
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        throw std::runtime_error("checkpoint: cannot rename '" + tmp_path +
+                                 "' to '" + path + "'");
     }
 }
 
 void
 RestoreCheckpoint(graph::VariableStore* store, const std::string& path)
 {
-    std::ifstream in(path, std::ios::binary);
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
     if (!in) {
         throw std::runtime_error("checkpoint: cannot open '" + path + "'");
     }
+    const std::int64_t file_size = static_cast<std::int64_t>(in.tellg());
+    in.seekg(0);
+
     char magic[8];
     in.read(magic, sizeof(magic));
     if (!in || std::string(magic, 8) != std::string(kMagic, 8)) {
@@ -86,20 +110,62 @@ RestoreCheckpoint(graph::VariableStore* store, const std::string& path)
         throw std::runtime_error("checkpoint: unsupported version " +
                                  std::to_string(version));
     }
+
+    // Every size field is validated against what the file could
+    // possibly hold before it is trusted: corrupt headers previously
+    // drove allocations of whatever garbage the fields decoded to.
+    auto bytes_left = [&in, file_size] {
+        return file_size - static_cast<std::int64_t>(in.tellg());
+    };
+
     const auto count = ReadPod<std::uint32_t>(in);
+    // Each entry needs at least name_len + dtype + rank (9 bytes).
+    if (static_cast<std::int64_t>(count) * 9 > bytes_left()) {
+        throw std::runtime_error(
+            "checkpoint: corrupt variable count in '" + path + "'");
+    }
     for (std::uint32_t i = 0; i < count; ++i) {
         const auto name_len = ReadPod<std::uint32_t>(in);
+        if (name_len > kMaxNameLen ||
+            static_cast<std::int64_t>(name_len) > bytes_left()) {
+            throw std::runtime_error(
+                "checkpoint: corrupt variable name length in '" + path +
+                "'");
+        }
         std::string name(name_len, '\0');
         in.read(name.data(), name_len);
         const auto dtype_tag = ReadPod<std::uint8_t>(in);
+        if (dtype_tag > 1) {
+            throw std::runtime_error("checkpoint: corrupt dtype tag in '" +
+                                     path + "'");
+        }
         const auto rank = ReadPod<std::uint32_t>(in);
+        if (rank > kMaxRank ||
+            static_cast<std::int64_t>(rank) * 8 > bytes_left()) {
+            throw std::runtime_error("checkpoint: corrupt rank in '" + path +
+                                     "'");
+        }
         std::vector<std::int64_t> dims;
         dims.reserve(rank);
+        std::int64_t elements = 1;
         for (std::uint32_t d = 0; d < rank; ++d) {
-            dims.push_back(ReadPod<std::int64_t>(in));
+            const auto dim = ReadPod<std::int64_t>(in);
+            if (dim < 0 || (dim > 0 && elements > file_size / dim)) {
+                throw std::runtime_error("checkpoint: corrupt dims in '" +
+                                         path + "'");
+            }
+            elements *= dim;
+            dims.push_back(dim);
         }
         const DType dtype =
             dtype_tag == 0 ? DType::kFloat32 : DType::kInt32;
+        const std::int64_t data_bytes =
+            elements * static_cast<std::int64_t>(DTypeSize(dtype));
+        if (data_bytes > bytes_left()) {
+            throw std::runtime_error(
+                "checkpoint: tensor data exceeds file size in '" + path +
+                "'");
+        }
         Tensor value(dtype, Shape(dims));
         char* bytes =
             dtype == DType::kFloat32

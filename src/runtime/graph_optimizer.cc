@@ -1,5 +1,7 @@
 #include "runtime/graph_optimizer.h"
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include "parallel/thread_pool.h"
@@ -32,7 +34,17 @@ AttrsSignature(const graph::Node& node)
         } catch (const std::logic_error&) {
         }
         try {
-            out << "f" << value.AsFloat();
+            // Encode the exact bit pattern: streaming the float with
+            // default ostream precision (6 significant digits) made
+            // attrs differing below that threshold — e.g. two nearby
+            // epsilons or learning rates — produce identical CSE
+            // signatures, wrongly merging non-equivalent nodes. This
+            // also keeps +0.0f/-0.0f and NaN payloads distinct.
+            const float f = value.AsFloat();
+            std::uint32_t bits = 0;
+            static_assert(sizeof(bits) == sizeof(f));
+            std::memcpy(&bits, &f, sizeof(bits));
+            out << "f" << bits;
             continue;
         } catch (const std::logic_error&) {
         }

@@ -7,8 +7,10 @@
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "runtime/graph_optimizer.h"
+#include "tensor/buffer_pool.h"
 
 namespace fathom::runtime {
 
@@ -156,6 +158,41 @@ Session::GetPlan(const std::vector<graph::Output>& fetches,
         }
     }
 
+    // Liveness structure for the memory planner: which producer steps
+    // each step reads (data edges only — control edges order execution
+    // but never read a value), and how many consumer steps must finish
+    // before a producer's outputs are dead. Fetched nodes, feeds,
+    // Variable/Const reads, and stateful ops are exempt from early
+    // release; everything else dies at its last consumer.
+    std::unordered_set<graph::NodeId> fetched;
+    fetched.reserve(fetches.size());
+    for (const auto& f : fetches) {
+        fetched.insert(resolve(f.node));
+    }
+    plan.input_producers.assign(n, {});
+    plan.consumer_count.assign(n, 0);
+    plan.releasable.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const graph::Node& node = graph_.node(plan.steps[i].node);
+        plan.releasable[i] =
+            plan.steps[i].def != nullptr && !plan.steps[i].def->stateful &&
+            node.op_type != "Variable" && node.op_type != "Const" &&
+            fetched.count(plan.steps[i].node) == 0;
+        auto& producers = plan.input_producers[i];
+        for (const graph::Output& in : node.inputs) {
+            auto d = step_of.find(resolve(in.node));
+            if (d != step_of.end()) {  // absent = folded, plan-owned.
+                producers.push_back(d->second);
+            }
+        }
+        std::sort(producers.begin(), producers.end());
+        producers.erase(std::unique(producers.begin(), producers.end()),
+                        producers.end());
+        for (std::int32_t p : producers) {
+            ++plan.consumer_count[static_cast<std::size_t>(p)];
+        }
+    }
+
     auto [inserted, ok] = plan_cache_.emplace(key.str(), std::move(plan));
     (void)ok;
     return inserted->second;
@@ -237,7 +274,34 @@ Session::RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
 }
 
 void
+Session::ReleaseDeadValues(const Plan& plan, std::size_t seq,
+                           std::atomic<std::int32_t>* remaining,
+                           std::vector<std::vector<Tensor>>& values)
+{
+    if (remaining == nullptr) {  // planner disabled for this run.
+        return;
+    }
+    // A step nothing reads (e.g. a run-only target) dies on completion.
+    if (plan.releasable[seq] && plan.consumer_count[seq] == 0) {
+        values[static_cast<std::size_t>(plan.steps[seq].node)].clear();
+    }
+    for (std::int32_t p : plan.input_producers[seq]) {
+        const auto ps = static_cast<std::size_t>(p);
+        // acq_rel: the thread that takes the count to zero observes
+        // every other consumer's reads as already done, so the clear
+        // below cannot race a concurrent input gather. Buffers shared
+        // into still-live tensors (views, Identity outputs) survive the
+        // clear via their own shared_ptr refs.
+        if (remaining[ps].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            plan.releasable[ps]) {
+            values[static_cast<std::size_t>(plan.steps[ps].node)].clear();
+        }
+    }
+}
+
+void
 Session::RunParallel(const Plan& plan, const FeedMap& feeds,
+                     std::atomic<std::int32_t>* remaining,
                      std::vector<std::vector<Tensor>>& values)
 {
     const std::size_t total = plan.steps.size();
@@ -269,7 +333,7 @@ Session::RunParallel(const Plan& plan, const FeedMap& feeds,
     // step ends cleanly even on failure. Among concurrently failing
     // steps, the lowest plan sequence wins, keeping the surfaced error
     // deterministic.
-    auto drain = [this, &plan, &feeds, &values, &state, total] {
+    auto drain = [this, &plan, &feeds, &values, &state, remaining, total] {
         for (;;) {
             std::int32_t seq = -1;
             {
@@ -291,6 +355,10 @@ Session::RunParallel(const Plan& plan, const FeedMap& feeds,
                             values);
             } catch (...) {
                 err = std::current_exception();
+            }
+            if (!err) {
+                ReleaseDeadValues(plan, static_cast<std::size_t>(seq),
+                                  remaining, values);
             }
             {
                 std::lock_guard<std::mutex> lock(state.mu);
@@ -344,19 +412,49 @@ Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
         return it == plan.replacements.end() ? id : it->second;
     };
 
+    // Memory planner: per-run outstanding-consumer counts, seeded from
+    // the plan's liveness analysis. Null when planning is off.
+    std::unique_ptr<std::atomic<std::int32_t>[]> remaining;
+    if (memory_planning_ && !plan.steps.empty()) {
+        remaining = std::make_unique<std::atomic<std::int32_t>[]>(
+            plan.steps.size());
+        for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+            remaining[i].store(plan.consumer_count[i],
+                               std::memory_order_relaxed);
+        }
+    }
+
+    // Allocator activity is attributed to the step as counter deltas;
+    // the peak is the pool-wide live-byte high-water mark while this
+    // step ran (concurrent sessions share the pool, so attribution is
+    // per-process, not per-session).
+    BufferPool& buffer_pool = BufferPool::Global();
+    const BufferPool::Stats mem_before = buffer_pool.stats();
+    buffer_pool.ResetPeak();
+    auto step_memory = [&buffer_pool, &mem_before] {
+        const BufferPool::Stats after = buffer_pool.stats();
+        StepMemStats m;
+        m.peak_bytes = after.peak_bytes;
+        m.allocations = after.allocations - mem_before.allocations;
+        m.fresh_allocs = after.fresh_allocs - mem_before.fresh_allocs;
+        m.pool_hits = after.pool_hits - mem_before.pool_hits;
+        return m;
+    };
+
     const auto step_start = Clock::now();
     tracer_.BeginStep();
 
     try {
         if (inter_op_threads_ > 1) {
-            RunParallel(plan, feeds, values);
+            RunParallel(plan, feeds, remaining.get(), values);
         } else {
             for (std::size_t seq = 0; seq < plan.steps.size(); ++seq) {
                 RunPlanStep(plan, seq, feeds, values);
+                ReleaseDeadValues(plan, seq, remaining.get(), values);
             }
         }
     } catch (...) {
-        tracer_.EndStep(SecondsSince(step_start));
+        tracer_.EndStep(SecondsSince(step_start), step_memory());
         throw;
     }
 
@@ -367,7 +465,7 @@ Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
             values[static_cast<std::size_t>(resolve(f.node))];
         if (static_cast<std::size_t>(f.index) >= produced.size() ||
             !produced[static_cast<std::size_t>(f.index)].initialized()) {
-            tracer_.EndStep(SecondsSince(step_start));
+            tracer_.EndStep(SecondsSince(step_start), step_memory());
             throw std::logic_error("Session::Run: fetch of '" +
                                    graph_.node(f.node).name +
                                    "' produced no value");
@@ -375,7 +473,7 @@ Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
         results.push_back(produced[static_cast<std::size_t>(f.index)]);
     }
 
-    tracer_.EndStep(SecondsSince(step_start));
+    tracer_.EndStep(SecondsSince(step_start), step_memory());
     return results;
 }
 

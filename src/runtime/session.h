@@ -11,6 +11,7 @@
 #ifndef FATHOM_RUNTIME_SESSION_H
 #define FATHOM_RUNTIME_SESSION_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -79,6 +80,23 @@ class Session {
     const Tracer& tracer() const { return tracer_; }
 
     /**
+     * Enables the liveness-driven memory planner (on by default).
+     *
+     * The planner derives, from the execution plan, how many consumer
+     * steps read each step's outputs, and drops an intermediate tensor
+     * the moment its last consumer (tracked with an atomic refcount, so
+     * the inter-op executor composes) has finished — instead of keeping
+     * every node's outputs alive until the end of the step. Freed
+     * buffers return to the BufferPool for recycling. Fetched outputs,
+     * placeholders, `Variable`/`Const` reads, and stateful ops are
+     * never released early. Values are bit-identical either way: only
+     * dead tensors are dropped, and buffer recycling is
+     * refcount-driven.
+     */
+    void SetMemoryPlanning(bool enabled) { memory_planning_ = enabled; }
+    bool memory_planning() const { return memory_planning_; }
+
+    /**
      * Enables the application-level graph optimizer (constant folding
      * + common-subexpression elimination) for subsequently planned
      * fetch sets. Off by default so profiles reflect the graph as
@@ -132,6 +150,18 @@ class Session {
         std::vector<std::vector<std::int32_t>> dependents;
         /** Per step, how many dependencies must complete first. */
         std::vector<std::int32_t> initial_pending;
+
+        // Liveness structure for the memory planner, over plan
+        // indices. A step's outputs die once `consumer_count` consumer
+        // steps have finished reading them; `releasable` excludes the
+        // exempt classes (fetches, placeholders, Variable/Const reads,
+        // stateful ops), whose values live to the end of the step.
+        /** Per step, the distinct producer steps of its data inputs. */
+        std::vector<std::vector<std::int32_t>> input_producers;
+        /** Per step, how many consumer steps read its outputs. */
+        std::vector<std::int32_t> consumer_count;
+        /** Per step, whether its outputs may be dropped when dead. */
+        std::vector<char> releasable;
     };
 
     /** Cached pruned topological plan for a fetch/target set. */
@@ -146,8 +176,21 @@ class Session {
     void RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
                      std::vector<std::vector<Tensor>>& values);
 
+    /**
+     * Memory-planner bookkeeping after step @p seq completed: credits
+     * the step's producers and drops any value whose last consumer has
+     * now run. @p remaining holds the per-step outstanding consumer
+     * counts; null disables the planner for this run. Thread-safe: the
+     * acq_rel refcount guarantees exactly one thread observes a value
+     * die, strictly after every consumer finished reading it.
+     */
+    static void ReleaseDeadValues(const Plan& plan, std::size_t seq,
+                                  std::atomic<std::int32_t>* remaining,
+                                  std::vector<std::vector<Tensor>>& values);
+
     /** Drains the plan's ready queue across the inter-op pool. */
     void RunParallel(const Plan& plan, const FeedMap& feeds,
+                     std::atomic<std::int32_t>* remaining,
                      std::vector<std::vector<Tensor>>& values);
 
     graph::Graph graph_;
@@ -157,6 +200,7 @@ class Session {
     int inter_op_threads_ = 1;
     std::unique_ptr<parallel::ThreadPool> inter_op_pool_;
     Tracer tracer_;
+    bool memory_planning_ = true;
     bool optimize_graphs_ = false;
     std::map<std::string, Plan> plan_cache_;
 };

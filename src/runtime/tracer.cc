@@ -71,7 +71,7 @@ Tracer::Record(OpExecRecord record)
 }
 
 void
-Tracer::EndStep(double step_wall_seconds)
+Tracer::EndStep(double step_wall_seconds, const StepMemStats& memory)
 {
     if (!enabled_) {
         return;
@@ -80,6 +80,7 @@ Tracer::EndStep(double step_wall_seconds)
         throw std::logic_error("Tracer::EndStep without BeginStep");
     }
     StepTrace& step = steps_.back();
+    step.memory = memory;
     // Canonicalize: the parallel executor records ops in completion
     // order; sorting by plan sequence makes traces scheduling-invariant
     // (and is a no-op for the sequential executor).

@@ -39,10 +39,23 @@ struct OpExecRecord {
     std::int64_t seq = 0;
 };
 
+/**
+ * Allocator activity attributed to one step, from the BufferPool
+ * counters (deltas across the step; peak is the absolute live-byte
+ * high-water mark observed while the step ran).
+ */
+struct StepMemStats {
+    std::uint64_t peak_bytes = 0;    ///< live-byte high-water mark.
+    std::uint64_t allocations = 0;   ///< buffer requests this step.
+    std::uint64_t fresh_allocs = 0;  ///< requests served by operator new.
+    std::uint64_t pool_hits = 0;     ///< requests served from free lists.
+};
+
 /** One Session::Run invocation. */
 struct StepTrace {
     std::vector<OpExecRecord> records;
     double wall_seconds = 0.0;  ///< whole-step time, including framework.
+    StepMemStats memory;        ///< allocator activity during the step.
 
     /** @return summed op wall time. */
     double OpSeconds() const;
@@ -79,7 +92,7 @@ class Tracer {
     void Record(OpExecRecord record);
 
     /** Ends the step, canonicalizing record order by sequence id. */
-    void EndStep(double step_wall_seconds);
+    void EndStep(double step_wall_seconds, const StepMemStats& memory = {});
 
     const std::vector<StepTrace>& steps() const { return steps_; }
     void Clear() { steps_.clear(); }

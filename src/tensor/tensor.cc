@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "tensor/buffer_pool.h"
+
 namespace fathom {
 
 Tensor::Tensor(DType dtype, Shape shape)
@@ -12,7 +14,7 @@ Tensor::Tensor(DType dtype, Shape shape)
     const std::size_t bytes =
         static_cast<std::size_t>(shape_.num_elements()) * DTypeSize(dtype_);
     // Allocate at least one byte so buffer_ is non-null for empty shapes.
-    buffer_ = std::shared_ptr<char[]>(new char[std::max<std::size_t>(bytes, 1)]);
+    buffer_ = BufferPool::Global().Allocate(std::max<std::size_t>(bytes, 1));
 }
 
 Tensor

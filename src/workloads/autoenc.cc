@@ -42,6 +42,7 @@ class AutoencWorkload : public Workload {
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
         session_->SetInterOpThreads(config.inter_op_threads);
+        session_->SetMemoryPlanning(config.memory_planner);
         dataset_ = std::make_unique<data::SyntheticMnistDataset>(
             config.seed ^ 0xAE);
 

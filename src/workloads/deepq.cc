@@ -47,6 +47,7 @@ class DeepQWorkload : public Workload {
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
         session_->SetInterOpThreads(config.inter_op_threads);
+        session_->SetMemoryPlanning(config.memory_planner);
         env_ = std::make_unique<data::MiniAtari>(kGrid, kScale,
                                                  config.seed ^ 0xDD);
         policy_rng_ = Rng(config.seed * 131 + 7);

@@ -47,6 +47,7 @@ class MemNetWorkload : public Workload {
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
         session_->SetInterOpThreads(config.inter_op_threads);
+        session_->SetMemoryPlanning(config.memory_planner);
         dataset_ = std::make_unique<data::SyntheticBabiDataset>(
             kSentences, kSentenceLen, /*two_hop=*/true, config.seed ^ 0xBAB1);
         vocab_ = dataset_->vocab();

@@ -45,6 +45,7 @@ class Seq2SeqWorkload : public Workload {
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
         session_->SetInterOpThreads(config.inter_op_threads);
+        session_->SetMemoryPlanning(config.memory_planner);
         dataset_ = std::make_unique<data::SyntheticTranslationDataset>(
             kVocab, kSrcLen, config.seed ^ 0x5E25E2);
 

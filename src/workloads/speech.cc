@@ -42,6 +42,7 @@ class SpeechWorkload : public Workload {
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
         session_->SetInterOpThreads(config.inter_op_threads);
+        session_->SetMemoryPlanning(config.memory_planner);
         dataset_ = std::make_unique<data::SyntheticTimitDataset>(
             kFreq, kPhonemes, kTime, config.seed ^ 0x5BEEC);
 

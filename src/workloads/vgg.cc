@@ -40,6 +40,7 @@ class VggWorkload : public Workload {
         session_ = std::make_unique<runtime::Session>(config.seed);
         session_->SetThreads(config.threads);
         session_->SetInterOpThreads(config.inter_op_threads);
+        session_->SetMemoryPlanning(config.memory_planner);
         dataset_ = std::make_unique<data::SyntheticImageDataset>(
             kInput, 3, kClasses, config.seed ^ 0x1667);
 

@@ -38,6 +38,13 @@ struct WorkloadConfig {
      * Session::SetInterOpThreads).
      */
     int inter_op_threads = 1;
+
+    /**
+     * Liveness-driven memory planner: drop each intermediate tensor at
+     * its last consumer and recycle buffers through the pool (values
+     * stay bit-identical; see Session::SetMemoryPlanning).
+     */
+    bool memory_planner = true;
 };
 
 /** Aggregate result of a timed run of steps. */

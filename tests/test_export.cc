@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "analysis/export.h"
 #include "autodiff/gradients.h"
@@ -60,6 +63,95 @@ TEST_F(ExportTest, CheckpointRejectsGarbage)
                  std::runtime_error);
     EXPECT_THROW(runtime::RestoreCheckpoint(&store, "/nonexistent/x"),
                  std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST_F(ExportTest, CheckpointSaveIsAtomic)
+{
+    // Save writes a sibling .tmp and renames it into place, so a valid
+    // checkpoint is never destroyed by a failed overwrite and no temp
+    // file survives a successful one.
+    const std::string path = TempPath("fathom_ckpt_atomic.bin");
+    graph::VariableStore store;
+    store.Set("w", Tensor::Full(Shape{8}, 1.0f));
+    runtime::SaveCheckpoint(store, path);
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    store.Get("w").Fill(2.0f);
+    runtime::SaveCheckpoint(store, path);  // overwrite in place.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    graph::VariableStore restored;
+    runtime::RestoreCheckpoint(&restored, path);
+    EXPECT_EQ(restored.Get("w").data<float>()[0], 2.0f);
+    std::remove(path.c_str());
+}
+
+/** Byte layout after the 12-byte header (magic + version). */
+constexpr std::size_t kCountOffset = 12;
+constexpr std::size_t kNameLenOffset = 16;
+
+std::string
+SlurpFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+PatchU32(std::string* bytes, std::size_t offset, std::uint32_t value)
+{
+    std::memcpy(bytes->data() + offset, &value, sizeof(value));
+}
+
+TEST_F(ExportTest, CheckpointRejectsCorruptHeaderFields)
+{
+    // Every size field a restore trusts is validated against the
+    // actual file size before it drives an allocation; a flipped count
+    // or rank must throw, not allocate gigabytes or crash.
+    const std::string path = TempPath("fathom_ckpt_corrupt.bin");
+    graph::VariableStore store;
+    store.Set("w", Tensor::Full(Shape{4, 4}, 1.5f));
+    runtime::SaveCheckpoint(store, path);
+    const std::string good = SlurpFile(path);
+
+    auto expect_rejected = [&](std::string bytes, const char* what) {
+        analysis::WriteFile(path, bytes);
+        graph::VariableStore scratch;
+        EXPECT_THROW(runtime::RestoreCheckpoint(&scratch, path),
+                     std::runtime_error)
+            << what;
+    };
+
+    std::string huge_count = good;
+    PatchU32(&huge_count, kCountOffset, 0x7fffffffu);
+    expect_rejected(huge_count, "huge variable count");
+
+    std::string huge_name = good;
+    PatchU32(&huge_name, kNameLenOffset, 0x40000000u);
+    expect_rejected(huge_name, "huge name length");
+
+    // rank sits right after name_len(4) + name(1) + dtype(1).
+    const std::size_t rank_offset = kNameLenOffset + 4 + 1 + 1;
+    std::string huge_rank = good;
+    PatchU32(&huge_rank, rank_offset, 1u << 20);
+    expect_rejected(huge_rank, "huge rank");
+
+    std::string huge_dim = good;
+    const std::int64_t dim = 1ll << 40;
+    std::memcpy(huge_dim.data() + rank_offset + 4, &dim, sizeof(dim));
+    expect_rejected(huge_dim, "overflowing dimension");
+
+    expect_rejected(good.substr(0, good.size() / 2), "truncated data");
+    expect_rejected(good.substr(0, kCountOffset + 2), "truncated header");
+
+    // The pristine bytes still restore: the corruptions above were
+    // what tripped the validators, not the layout itself.
+    analysis::WriteFile(path, good);
+    graph::VariableStore restored;
+    runtime::RestoreCheckpoint(&restored, path);
+    EXPECT_EQ(restored.Get("w").data<float>()[5], 1.5f);
     std::remove(path.c_str());
 }
 

@@ -83,6 +83,36 @@ TEST_F(GraphOptimizerTest, CseRespectsAttrs)
     EXPECT_EQ(plan.cse_merged, 0);
 }
 
+TEST_F(GraphOptimizerTest, CseDistinguishesNearbyFloatAttrs)
+{
+    // Float attrs are encoded into the CSE signature by bit pattern,
+    // not by streaming with default (6 significant digit) precision —
+    // the latter printed 1.0000001 and 1.0000002 identically and
+    // merged ops that compute different values.
+    Session session;
+    auto b = session.MakeBuilder();
+    const Output x = b.Placeholder("x");
+    const Output p1 = b.Pow(x, 1.0000001f);
+    const Output p2 = b.Pow(x, 1.0000002f);
+    const Output y = b.Add(p1, p2);
+    const auto order = session.graph().TopologicalOrder({y.node});
+    const auto plan = OptimizePlan(session.graph(), order,
+                                   session.variables(), false, true);
+    EXPECT_EQ(plan.cse_merged, 0);
+
+    // Bitwise-equal attrs still merge — the fix must not disable CSE.
+    Session session2;
+    auto b2 = session2.MakeBuilder();
+    const Output x2 = b2.Placeholder("x");
+    const Output q1 = b2.Pow(x2, 1.0000001f);
+    const Output q2 = b2.Pow(x2, 1.0000001f);
+    const Output y2 = b2.Add(q1, q2);
+    const auto order2 = session2.graph().TopologicalOrder({y2.node});
+    const auto plan2 = OptimizePlan(session2.graph(), order2,
+                                    session2.variables(), false, true);
+    EXPECT_EQ(plan2.cse_merged, 1);
+}
+
 TEST_F(GraphOptimizerTest, StatefulOpsNeverMergeOrFold)
 {
     Session session;
