@@ -6,9 +6,12 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "kernels/conv2d.h"
 #include "kernels/ctc.h"
 #include "kernels/elementwise.h"
+#include "kernels/gemm.h"
 #include "kernels/matmul.h"
 #include "kernels/pooling.h"
 #include "kernels/reduction.h"
@@ -28,8 +31,132 @@ MakeTensor(const Shape& shape, std::uint64_t seed)
     return t;
 }
 
+// ---- GEMM engine sweep -----------------------------------------------------
+
+/**
+ * Measures this machine's single-thread f32 FMA peak with a
+ * register-resident loop shaped like the engine's 6x16 micro-kernel
+ * step. The GEMM benchmarks report their throughput as a fraction of
+ * this, so "good" is machine-relative rather than an absolute number.
+ */
+double
+MeasuredPeakGflops()
+{
+    static const double peak = [] {
+#if defined(__GNUC__) || defined(__clang__)
+        // Same vector-extension form as the engine's micro-kernel
+        // (src/kernels/gemm.cc): a plain scalar triple loop trips
+        // GCC's SLP vectorizer into shuffle-bound code and would
+        // under-report peak by an order of magnitude. Eight
+        // independent accumulator chains cover FMA latency.
+        typedef float Vf16 __attribute__((vector_size(sizeof(float) * 16)));
+        constexpr int kAcc = 8;
+        constexpr int kLanes = 16;
+        Vf16 acc[kAcc] = {};
+        Vf16 x;
+        float y[kAcc];
+        for (int j = 0; j < kLanes; ++j) {
+            x[j] = 1.0f + 1e-6f * static_cast<float>(j);
+        }
+        for (int r = 0; r < kAcc; ++r) {
+            y[r] = 1.0f - 1e-6f * static_cast<float>(r);
+        }
+        const auto start = std::chrono::steady_clock::now();
+        std::int64_t reps = 0;
+        double seconds = 0.0;
+        do {
+            for (int rep = 0; rep < 16384; ++rep) {
+                for (int r = 0; r < kAcc; ++r) {
+                    acc[r] += y[r] * x;
+                }
+            }
+            reps += 16384;
+            seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        } while (seconds < 0.05);
+        benchmark::DoNotOptimize(acc);
+        return 2.0 * kAcc * kLanes * static_cast<double>(reps) / seconds *
+               1e-9;
+#else
+        constexpr int kAcc = 8;
+        constexpr int kLanes = 16;
+        alignas(64) float acc[kAcc][kLanes] = {};
+        alignas(64) float x[kLanes];
+        float y[kAcc];
+        for (int j = 0; j < kLanes; ++j) {
+            x[j] = 1.0f + 1e-6f * static_cast<float>(j);
+        }
+        for (int r = 0; r < kAcc; ++r) {
+            y[r] = 1.0f - 1e-6f * static_cast<float>(r);
+        }
+        const auto start = std::chrono::steady_clock::now();
+        std::int64_t reps = 0;
+        double seconds = 0.0;
+        do {
+            for (int rep = 0; rep < 16384; ++rep) {
+                for (int r = 0; r < kAcc; ++r) {
+                    for (int j = 0; j < kLanes; ++j) {
+                        acc[r][j] += y[r] * x[j];
+                    }
+                }
+            }
+            reps += 16384;
+            seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        } while (seconds < 0.05);
+        benchmark::DoNotOptimize(acc);
+        return 2.0 * kAcc * kLanes * static_cast<double>(reps) / seconds *
+               1e-9;
+#endif
+    }();
+    return peak;
+}
+
 void
-BM_MatMul(benchmark::State& state)
+SetGemmCounters(benchmark::State& state, double flops_per_iter)
+{
+    const double total = flops_per_iter * static_cast<double>(state.iterations());
+    state.counters["gflops"] =
+        benchmark::Counter(total * 1e-9, benchmark::Counter::kIsRate);
+    state.counters["frac_peak"] = benchmark::Counter(
+        total / (MeasuredPeakGflops() * 1e9), benchmark::Counter::kIsRate);
+}
+
+/**
+ * The pre-engine MatMul inner loop (i-k-j, row-major, with the
+ * since-removed zero-operand skip), retained verbatim as the in-repo
+ * baseline that quantifies the engine's speedup.
+ */
+Tensor
+NaiveMatMulBaseline(const Tensor& a, const Tensor& b)
+{
+    const std::int64_t m = a.shape().dim(0);
+    const std::int64_t k = a.shape().dim(1);
+    const std::int64_t n = b.shape().dim(1);
+    Tensor c = Tensor::Zeros(Shape{m, n});
+    const float* pa = a.data<float>();
+    const float* pb = b.data<float>();
+    float* pc = c.data<float>();
+    for (std::int64_t i = 0; i < m; ++i) {
+        float* crow = pc + i * n;
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f) {
+                continue;
+            }
+            const float* brow = pb + kk * n;
+            for (std::int64_t j = 0; j < n; ++j) {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    return c;
+}
+
+void
+BM_GemmSquare(benchmark::State& state)
 {
     const std::int64_t n = state.range(0);
     parallel::ThreadPool pool(1);
@@ -39,9 +166,88 @@ BM_MatMul(benchmark::State& state)
         benchmark::DoNotOptimize(
             kernels::MatMul(a, b, false, false, pool));
     }
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    SetGemmCounters(state, flops);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(384)->Arg(512);
+
+void
+BM_GemmPrePRBaseline(benchmark::State& state)
+{
+    const std::int64_t n = state.range(0);
+    const Tensor a = MakeTensor(Shape{n, n}, 1);
+    const Tensor b = MakeTensor(Shape{n, n}, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(NaiveMatMulBaseline(a, b));
+    }
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    SetGemmCounters(state, flops);
+}
+BENCHMARK(BM_GemmPrePRBaseline)->Arg(256)->Arg(512);
+
+void
+BM_GemmTranspose(benchmark::State& state)
+{
+    const bool ta = state.range(0) != 0;
+    const bool tb = state.range(1) != 0;
+    constexpr std::int64_t n = 256;
+    parallel::ThreadPool pool(1);
+    const Tensor a = MakeTensor(Shape{n, n}, 1);
+    const Tensor b = MakeTensor(Shape{n, n}, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kernels::MatMul(a, b, ta, tb, pool));
+    }
+    SetGemmCounters(state, 2.0 * static_cast<double>(n) * n * n);
+}
+BENCHMARK(BM_GemmTranspose)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+
+void
+BM_GemmWorkloadShaped(benchmark::State& state)
+{
+    // (m, k, n) triples the suite actually runs: a batch-4
+    // fully-connected layer (skinny M), its weight-gradient product
+    // (skinny N), an im2col conv GEMM (tall M, small N), and a
+    // recurrent-cell block.
+    const std::int64_t m = state.range(0);
+    const std::int64_t k = state.range(1);
+    const std::int64_t n = state.range(2);
+    parallel::ThreadPool pool(1);
+    const Tensor a = MakeTensor(Shape{m, k}, 1);
+    const Tensor b = MakeTensor(Shape{k, n}, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernels::MatMul(a, b, false, false, pool));
+    }
+    SetGemmCounters(state,
+                    2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                        static_cast<double>(n));
+}
+BENCHMARK(BM_GemmWorkloadShaped)
+    ->Args({4, 1024, 256})
+    ->Args({1024, 256, 4})
+    ->Args({4096, 288, 48})
+    ->Args({256, 512, 512});
+
+void
+BM_GemmThreadSweep(benchmark::State& state)
+{
+    const int threads = static_cast<int>(state.range(0));
+    parallel::ThreadPool pool(threads);
+    const Tensor a = MakeTensor(Shape{512, 512}, 1);
+    const Tensor b = MakeTensor(Shape{512, 512}, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernels::MatMul(a, b, false, false, pool));
+    }
+    SetGemmCounters(state, 2.0 * 512.0 * 512.0 * 512.0);
+}
+BENCHMARK(BM_GemmThreadSweep)->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_Conv2D(benchmark::State& state)

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "kernels/gemm.h"
+#include "tensor/buffer_pool.h"
+
 namespace fathom::kernels {
 
 Conv2DGeometry
@@ -58,65 +61,171 @@ ResolveConv2D(const Shape& input, const Shape& filter, std::int64_t stride,
     return g;
 }
 
+namespace {
+
+/**
+ * The im2col view of a convolution, shared by all three kernels:
+ * the patch matrix P has M = batch * out_h * out_w rows (one output
+ * pixel each) and K = k_h * k_w * in_c columns (one filter tap each),
+ * with out-of-image taps reading as zero. Then
+ *
+ *   forward:      out  [M, oc] = P [M, K] * W [K, oc]
+ *   filter grad:  gW   [K, oc] = P^T [K, M] * gOut [M, oc]
+ *   input grad:   Gcol [M, K]  = gOut [M, oc] * W^T [oc, K],
+ *                 then col2im-scatters Gcol back onto the image.
+ *
+ * W is the filter tensor itself: [kh, kw, ic, oc] row-major is already
+ * the [K, oc] matrix. P is never materialized for the two GEMMs that
+ * read it — the engine's pack step reads straight from the padded
+ * image (Im2colPackA / Im2colPackAT below).
+ */
+
+/** Packs kGemmMr consecutive patch-matrix rows (output pixels) for a
+ * k-range of filter taps, reading directly from the image. */
+PanelPacker
+Im2colPackA(const float* in, const Conv2DGeometry& g)
+{
+    return [in, g](float* dst, std::int64_t row0, std::int64_t k0,
+                   std::int64_t k1) {
+        const std::int64_t rows = g.batch * g.out_h * g.out_w;
+        const std::int64_t in_row = g.in_w * g.in_c;
+        const std::int64_t in_img = g.in_h * in_row;
+        // Resolve each live row's image and top-left input coordinate
+        // once; dead rows (past M, present only in the last strip)
+        // pack as zero.
+        std::int64_t base[kGemmMr];
+        std::int64_t ih0[kGemmMr];
+        std::int64_t iw0[kGemmMr];
+        bool live[kGemmMr];
+        for (std::int64_t r = 0; r < kGemmMr; ++r) {
+            const std::int64_t row = row0 + r;
+            live[r] = row < rows;
+            if (!live[r]) {
+                base[r] = ih0[r] = iw0[r] = 0;
+                continue;
+            }
+            const std::int64_t n = row / (g.out_h * g.out_w);
+            const std::int64_t rem = row % (g.out_h * g.out_w);
+            base[r] = n * in_img;
+            ih0[r] = (rem / g.out_w) * g.stride - g.pad_top;
+            iw0[r] = (rem % g.out_w) * g.stride - g.pad_left;
+        }
+        // Walk the tap index (kh, kw, c) incrementally across the
+        // k-range instead of dividing per element.
+        std::int64_t kh = k0 / (g.k_w * g.in_c);
+        std::int64_t rem = k0 % (g.k_w * g.in_c);
+        std::int64_t kw = rem / g.in_c;
+        std::int64_t c = rem % g.in_c;
+        for (std::int64_t p = k0; p < k1; ++p) {
+            float* d = dst + (p - k0) * kGemmMr;
+            for (std::int64_t r = 0; r < kGemmMr; ++r) {
+                float v = 0.0f;
+                if (live[r]) {
+                    const std::int64_t ih = ih0[r] + kh;
+                    const std::int64_t iw = iw0[r] + kw;
+                    if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w) {
+                        v = in[base[r] + ih * in_row + iw * g.in_c + c];
+                    }
+                }
+                d[r] = v;
+            }
+            if (++c == g.in_c) {
+                c = 0;
+                if (++kw == g.k_w) {
+                    kw = 0;
+                    ++kh;
+                }
+            }
+        }
+    };
+}
+
+/** Packs kGemmMr consecutive rows of P^T (filter taps) for a range of
+ * patch-matrix rows (output pixels) — the filter-gradient A panel. */
+PanelPacker
+Im2colPackAT(const float* in, const Conv2DGeometry& g)
+{
+    return [in, g](float* dst, std::int64_t row0, std::int64_t p0,
+                   std::int64_t p1) {
+        const std::int64_t taps = g.k_h * g.k_w * g.in_c;
+        const std::int64_t in_row = g.in_w * g.in_c;
+        const std::int64_t in_img = g.in_h * in_row;
+        std::int64_t kh[kGemmMr];
+        std::int64_t kw[kGemmMr];
+        std::int64_t ch[kGemmMr];
+        bool live[kGemmMr];
+        for (std::int64_t r = 0; r < kGemmMr; ++r) {
+            const std::int64_t tap = row0 + r;
+            live[r] = tap < taps;
+            if (!live[r]) {
+                kh[r] = kw[r] = ch[r] = 0;
+                continue;
+            }
+            kh[r] = tap / (g.k_w * g.in_c);
+            const std::int64_t rem = tap % (g.k_w * g.in_c);
+            kw[r] = rem / g.in_c;
+            ch[r] = rem % g.in_c;
+        }
+        // Walk the output-pixel index (n, oh, ow) incrementally.
+        std::int64_t n = p0 / (g.out_h * g.out_w);
+        std::int64_t rem = p0 % (g.out_h * g.out_w);
+        std::int64_t oh = rem / g.out_w;
+        std::int64_t ow = rem % g.out_w;
+        for (std::int64_t p = p0; p < p1; ++p) {
+            float* d = dst + (p - p0) * kGemmMr;
+            const std::int64_t base = n * in_img;
+            const std::int64_t ih0 = oh * g.stride - g.pad_top;
+            const std::int64_t iw0 = ow * g.stride - g.pad_left;
+            for (std::int64_t r = 0; r < kGemmMr; ++r) {
+                float v = 0.0f;
+                if (live[r]) {
+                    const std::int64_t ih = ih0 + kh[r];
+                    const std::int64_t iw = iw0 + kw[r];
+                    if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w) {
+                        v = in[base + ih * in_row + iw * g.in_c + ch[r]];
+                    }
+                }
+                d[r] = v;
+            }
+            if (++ow == g.out_w) {
+                ow = 0;
+                if (++oh == g.out_h) {
+                    oh = 0;
+                    ++n;
+                }
+            }
+        }
+    };
+}
+
+void
+CheckGradOutShape(const Conv2DGeometry& g, const Tensor& grad_out,
+                  const char* kernel)
+{
+    if (grad_out.shape() != Shape({g.batch, g.out_h, g.out_w, g.out_c})) {
+        throw std::invalid_argument(std::string(kernel) + ": grad_out shape " +
+                                    grad_out.shape().ToString() +
+                                    " inconsistent with geometry");
+    }
+}
+
+}  // namespace
+
 Tensor
 Conv2D(const Tensor& input, const Tensor& filter, std::int64_t stride,
        Padding padding, parallel::ThreadPool& pool)
 {
     const Conv2DGeometry g =
         ResolveConv2D(input.shape(), filter.shape(), stride, padding);
-    Tensor out = Tensor::Zeros(Shape{g.batch, g.out_h, g.out_w, g.out_c});
+    Tensor out(DType::kFloat32, Shape{g.batch, g.out_h, g.out_w, g.out_c});
 
-    const float* in = input.data<float>();
-    const float* w = filter.data<float>();
-    float* o = out.data<float>();
-
-    const std::int64_t in_row = g.in_w * g.in_c;
-    const std::int64_t in_img = g.in_h * in_row;
-    const std::int64_t out_row = g.out_w * g.out_c;
-    const std::int64_t out_img = g.out_h * out_row;
-    const std::int64_t w_kw = g.in_c * g.out_c;
-    const std::int64_t w_kh = g.k_w * w_kw;
-
-    // Parallelize over (batch, output row) pairs: large trip count for
-    // image workloads, cheap to split.
-    pool.ParallelFor(
-        g.batch * g.out_h, /*grain=*/1,
-        [&](std::int64_t r0, std::int64_t r1) {
-            for (std::int64_t r = r0; r < r1; ++r) {
-                const std::int64_t n = r / g.out_h;
-                const std::int64_t oh = r % g.out_h;
-                const std::int64_t ih0 = oh * g.stride - g.pad_top;
-                for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
-                    const std::int64_t iw0 = ow * g.stride - g.pad_left;
-                    float* optr = o + n * out_img + oh * out_row + ow * g.out_c;
-                    for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
-                        const std::int64_t ih = ih0 + kh;
-                        if (ih < 0 || ih >= g.in_h) {
-                            continue;
-                        }
-                        for (std::int64_t kw = 0; kw < g.k_w; ++kw) {
-                            const std::int64_t iw = iw0 + kw;
-                            if (iw < 0 || iw >= g.in_w) {
-                                continue;
-                            }
-                            const float* iptr =
-                                in + n * in_img + ih * in_row + iw * g.in_c;
-                            const float* wptr = w + kh * w_kh + kw * w_kw;
-                            for (std::int64_t c = 0; c < g.in_c; ++c) {
-                                const float iv = iptr[c];
-                                if (iv == 0.0f) {
-                                    continue;
-                                }
-                                const float* wrow = wptr + c * g.out_c;
-                                for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
-                                    optr[oc] += iv * wrow[oc];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        });
+    // One whole-batch GEMM: out [M, oc] = P [M, K] * W [K, oc], with P
+    // packed straight from the padded image.
+    const std::int64_t M = g.batch * g.out_h * g.out_w;
+    const std::int64_t K = g.k_h * g.k_w * g.in_c;
+    GemmPanels(M, g.out_c, K, Im2colPackA(input.data<float>(), g),
+               StridedPackB(filter.data<float>(), g.out_c, 1, g.out_c),
+               out.data<float>(), /*accumulate=*/false, pool);
     return out;
 }
 
@@ -127,26 +236,27 @@ Conv2DBackpropInput(const Shape& input_shape, const Tensor& filter,
 {
     const Conv2DGeometry g =
         ResolveConv2D(input_shape, filter.shape(), stride, padding);
-    if (grad_out.shape() != Shape({g.batch, g.out_h, g.out_w, g.out_c})) {
-        throw std::invalid_argument("Conv2DBackpropInput: grad_out shape " +
-                                    grad_out.shape().ToString() +
-                                    " inconsistent with geometry");
-    }
+    CheckGradOutShape(g, grad_out, "Conv2DBackpropInput");
     Tensor grad_in = Tensor::Zeros(input_shape);
 
-    const float* w = filter.data<float>();
-    const float* go = grad_out.data<float>();
-    float* gi = grad_in.data<float>();
+    const std::int64_t M = g.batch * g.out_h * g.out_w;
+    const std::int64_t K = g.k_h * g.k_w * g.in_c;
 
+    // Gcol [M, K] = gOut [M, oc] * W^T [oc, K]; the column buffer is
+    // pool-recycled scratch, so steady-state steps reuse one block.
+    auto col_block = BufferPool::Global().Allocate(
+        static_cast<std::size_t>(M * K) * sizeof(float));
+    float* gcol = reinterpret_cast<float*>(col_block.get());
+    Gemm(M, K, g.out_c, grad_out.data<float>(), g.out_c, 1,
+         filter.data<float>(), 1, g.out_c, gcol, /*accumulate=*/false, pool);
+
+    // col2im: gather each input pixel's contributions from the column
+    // buffer. Every (n, ih) row is written by exactly one chunk and
+    // the tap loop order is fixed, so no races and no order variance.
+    const float* col = gcol;
+    float* gi = grad_in.data<float>();
     const std::int64_t in_row = g.in_w * g.in_c;
     const std::int64_t in_img = g.in_h * in_row;
-    const std::int64_t out_row = g.out_w * g.out_c;
-    const std::int64_t out_img = g.out_h * out_row;
-    const std::int64_t w_kw = g.in_c * g.out_c;
-    const std::int64_t w_kh = g.k_w * w_kw;
-
-    // Gather formulation over input rows: each (n, ih) pair is written
-    // by exactly one chunk, so no synchronization is needed.
     pool.ParallelFor(
         g.batch * g.in_h, /*grain=*/1,
         [&](std::int64_t r0, std::int64_t r1) {
@@ -154,9 +264,9 @@ Conv2DBackpropInput(const Shape& input_shape, const Tensor& filter,
                 const std::int64_t n = r / g.in_h;
                 const std::int64_t ih = r % g.in_h;
                 for (std::int64_t iw = 0; iw < g.in_w; ++iw) {
-                    float* giptr = gi + n * in_img + ih * in_row + iw * g.in_c;
+                    float* gip = gi + n * in_img + ih * in_row + iw * g.in_c;
                     for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
-                        // ih = oh*stride - pad_top + kh  =>  oh as below.
+                        // ih = oh*stride - pad_top + kh  =>  oh below.
                         const std::int64_t oh_num = ih + g.pad_top - kh;
                         if (oh_num < 0 || oh_num % g.stride != 0) {
                             continue;
@@ -174,16 +284,12 @@ Conv2DBackpropInput(const Shape& input_shape, const Tensor& filter,
                             if (ow >= g.out_w) {
                                 continue;
                             }
-                            const float* goptr =
-                                go + n * out_img + oh * out_row + ow * g.out_c;
-                            const float* wptr = w + kh * w_kh + kw * w_kw;
+                            const float* src =
+                                col +
+                                ((n * g.out_h + oh) * g.out_w + ow) * K +
+                                (kh * g.k_w + kw) * g.in_c;
                             for (std::int64_t c = 0; c < g.in_c; ++c) {
-                                const float* wrow = wptr + c * g.out_c;
-                                float acc = 0.0f;
-                                for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
-                                    acc += wrow[oc] * goptr[oc];
-                                }
-                                giptr[c] += acc;
+                                gip[c] += src[c];
                             }
                         }
                     }
@@ -200,64 +306,17 @@ Conv2DBackpropFilter(const Tensor& input, const Shape& filter_shape,
 {
     const Conv2DGeometry g =
         ResolveConv2D(input.shape(), filter_shape, stride, padding);
-    if (grad_out.shape() != Shape({g.batch, g.out_h, g.out_w, g.out_c})) {
-        throw std::invalid_argument("Conv2DBackpropFilter: grad_out shape " +
-                                    grad_out.shape().ToString() +
-                                    " inconsistent with geometry");
-    }
-    Tensor grad_w = Tensor::Zeros(filter_shape);
+    CheckGradOutShape(g, grad_out, "Conv2DBackpropFilter");
+    Tensor grad_w(DType::kFloat32, filter_shape);
 
-    const float* in = input.data<float>();
-    const float* go = grad_out.data<float>();
-    float* gw = grad_w.data<float>();
-
-    const std::int64_t in_row = g.in_w * g.in_c;
-    const std::int64_t in_img = g.in_h * in_row;
-    const std::int64_t out_row = g.out_w * g.out_c;
-    const std::int64_t out_img = g.out_h * out_row;
-    const std::int64_t w_kw = g.in_c * g.out_c;
-    const std::int64_t w_kh = g.k_w * w_kw;
-
-    // Each (kh, kw) filter tap is an independent accumulation; taps are
-    // the parallel unit so no chunk writes another's slice.
-    pool.ParallelFor(
-        g.k_h * g.k_w, /*grain=*/1,
-        [&](std::int64_t t0, std::int64_t t1) {
-            for (std::int64_t t = t0; t < t1; ++t) {
-                const std::int64_t kh = t / g.k_w;
-                const std::int64_t kw = t % g.k_w;
-                float* gwtap = gw + kh * w_kh + kw * w_kw;
-                for (std::int64_t n = 0; n < g.batch; ++n) {
-                    for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
-                        const std::int64_t ih = oh * g.stride - g.pad_top + kh;
-                        if (ih < 0 || ih >= g.in_h) {
-                            continue;
-                        }
-                        for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
-                            const std::int64_t iw =
-                                ow * g.stride - g.pad_left + kw;
-                            if (iw < 0 || iw >= g.in_w) {
-                                continue;
-                            }
-                            const float* iptr =
-                                in + n * in_img + ih * in_row + iw * g.in_c;
-                            const float* goptr =
-                                go + n * out_img + oh * out_row + ow * g.out_c;
-                            for (std::int64_t c = 0; c < g.in_c; ++c) {
-                                const float iv = iptr[c];
-                                if (iv == 0.0f) {
-                                    continue;
-                                }
-                                float* gwrow = gwtap + c * g.out_c;
-                                for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
-                                    gwrow[oc] += iv * goptr[oc];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        });
+    // gW [K, oc] = P^T [K, M] * gOut [M, oc]: the whole batch is the
+    // reduction dimension of a single GEMM, accumulated in the
+    // engine's fixed KC order.
+    const std::int64_t M = g.batch * g.out_h * g.out_w;
+    const std::int64_t K = g.k_h * g.k_w * g.in_c;
+    GemmPanels(K, g.out_c, M, Im2colPackAT(input.data<float>(), g),
+               StridedPackB(grad_out.data<float>(), g.out_c, 1, g.out_c),
+               grad_w.data<float>(), /*accumulate=*/false, pool);
     return grad_w;
 }
 

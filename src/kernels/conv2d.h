@@ -8,6 +8,13 @@
  * are dominated by these three kernels, and the asymmetry between one
  * forward reduction and two backward reductions is what makes training
  * relatively more expensive for conv nets (paper Sec. V-D).
+ *
+ * All three kernels are lowered onto the blocked, packed GEMM engine
+ * (kernels/gemm.h) through the im2col view of the convolution. The
+ * forward pass and the filter gradient pack their patch-matrix panels
+ * directly from the padded image (no materialized im2col); the input
+ * gradient runs one GEMM into a pool-recycled column buffer and
+ * col2im-gathers it back onto the image.
  */
 #ifndef FATHOM_KERNELS_CONV2D_H
 #define FATHOM_KERNELS_CONV2D_H

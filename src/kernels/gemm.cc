@@ -1,0 +1,252 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/buffer_pool.h"
+
+namespace fathom::kernels {
+
+namespace {
+
+constexpr std::int64_t kMr = kGemmMr;
+constexpr std::int64_t kNr = kGemmNr;
+
+/**
+ * The register tile: acc[kMr][kNr] = A-strip * B-strip over kc steps.
+ *
+ * Both panels are packed k-major (strides kMr / kNr), so every load is
+ * contiguous. k ascends strictly — this is the fixed per-element
+ * reduction order the determinism guarantee rests on, and there is no
+ * zero-operand skip: 0 * Inf and 0 * NaN contribute NaN to the
+ * accumulator exactly as IEEE arithmetic demands.
+ *
+ * The accumulator block is expressed as GCC/Clang vector-extension
+ * values (element-wise IEEE ops, so numerics match the scalar
+ * fallback) because the plain triple loop trips GCC's SLP vectorizer
+ * into a shuffle-bound expansion some 50x slower than broadcast-FMA.
+ * The vector form keeps all kMr rows resident in registers.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+
+typedef float Vf16 __attribute__((vector_size(sizeof(float) * kNr)));
+
+inline void
+MicroKernel(std::int64_t kc, const float* __restrict__ ap,
+            const float* __restrict__ bp, float* __restrict__ acc)
+{
+    static_assert(kMr == 6 && kNr == 16,
+                  "micro-kernel is written for a 6x16 register tile");
+    Vf16 c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* arow = ap + p * kMr;
+        Vf16 b;
+        __builtin_memcpy(&b, bp + p * kNr, sizeof(b));
+        c0 += arow[0] * b;
+        c1 += arow[1] * b;
+        c2 += arow[2] * b;
+        c3 += arow[3] * b;
+        c4 += arow[4] * b;
+        c5 += arow[5] * b;
+    }
+    __builtin_memcpy(acc + 0 * kNr, &c0, sizeof(c0));
+    __builtin_memcpy(acc + 1 * kNr, &c1, sizeof(c1));
+    __builtin_memcpy(acc + 2 * kNr, &c2, sizeof(c2));
+    __builtin_memcpy(acc + 3 * kNr, &c3, sizeof(c3));
+    __builtin_memcpy(acc + 4 * kNr, &c4, sizeof(c4));
+    __builtin_memcpy(acc + 5 * kNr, &c5, sizeof(c5));
+}
+
+#else
+
+inline void
+MicroKernel(std::int64_t kc, const float* __restrict__ ap,
+            const float* __restrict__ bp, float* __restrict__ acc)
+{
+    float local[kMr * kNr] = {};
+    for (std::int64_t p = 0; p < kc; ++p) {
+        const float* arow = ap + p * kMr;
+        const float* brow = bp + p * kNr;
+        for (std::int64_t r = 0; r < kMr; ++r) {
+            const float av = arow[r];
+            for (std::int64_t j = 0; j < kNr; ++j) {
+                local[r * kNr + j] += av * brow[j];
+            }
+        }
+    }
+    std::memcpy(acc, local, sizeof(local));
+}
+
+#endif
+
+void
+ZeroFill(float* c, std::int64_t elements, parallel::ThreadPool& pool)
+{
+    pool.ParallelFor(elements, /*grain=*/1 << 16,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                         std::memset(c + i0, 0,
+                                     static_cast<std::size_t>(i1 - i0) *
+                                         sizeof(float));
+                     });
+}
+
+}  // namespace
+
+PanelPacker
+StridedPackA(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+             std::int64_t m)
+{
+    return [a, a_rs, a_cs, m](float* dst, std::int64_t row0, std::int64_t k0,
+                              std::int64_t k1) {
+        const std::int64_t rows = std::min(kMr, m - row0);
+        for (std::int64_t p = k0; p < k1; ++p) {
+            float* d = dst + (p - k0) * kMr;
+            const float* src = a + row0 * a_rs + p * a_cs;
+            std::int64_t r = 0;
+            for (; r < rows; ++r) {
+                d[r] = src[r * a_rs];
+            }
+            for (; r < kMr; ++r) {
+                d[r] = 0.0f;
+            }
+        }
+    };
+}
+
+PanelPacker
+StridedPackB(const float* b, std::int64_t b_rs, std::int64_t b_cs,
+             std::int64_t n)
+{
+    return [b, b_rs, b_cs, n](float* dst, std::int64_t col0, std::int64_t k0,
+                              std::int64_t k1) {
+        const std::int64_t cols = std::min(kNr, n - col0);
+        for (std::int64_t p = k0; p < k1; ++p) {
+            float* d = dst + (p - k0) * kNr;
+            const float* src = b + p * b_rs + col0 * b_cs;
+            std::int64_t j = 0;
+            for (; j < cols; ++j) {
+                d[j] = src[j * b_cs];
+            }
+            for (; j < kNr; ++j) {
+                d[j] = 0.0f;
+            }
+        }
+    };
+}
+
+std::int64_t
+GemmTileCount(std::int64_t m, std::int64_t n)
+{
+    if (m <= 0 || n <= 0) {
+        return 0;
+    }
+    return ((m + kGemmMc - 1) / kGemmMc) * ((n + kGemmNc - 1) / kGemmNc);
+}
+
+void
+GemmPanels(std::int64_t m, std::int64_t n, std::int64_t k,
+           const PanelPacker& pack_a, const PanelPacker& pack_b, float* c,
+           bool accumulate, parallel::ThreadPool& pool)
+{
+    if (m <= 0 || n <= 0) {
+        return;
+    }
+    if (k <= 0) {
+        // An empty reduction is a zero product, not a no-op.
+        if (!accumulate) {
+            ZeroFill(c, m * n, pool);
+        }
+        return;
+    }
+
+    // Pack buffers come from the global size-bucketed pool: after the
+    // first step of a training run these are recycled blocks, so the
+    // steady-state GEMM performs no fresh allocation.
+    const std::int64_t n_strips = (n + kNr - 1) / kNr;
+    const std::int64_t a_strip_cap =
+        (std::min(m, kGemmMBlock) + kMr - 1) / kMr;
+    auto b_block = BufferPool::Global().Allocate(
+        static_cast<std::size_t>(n_strips * kNr * kGemmKc) * sizeof(float));
+    auto a_block = BufferPool::Global().Allocate(
+        static_cast<std::size_t>(a_strip_cap * kMr * kGemmKc) *
+        sizeof(float));
+    float* bp_base = reinterpret_cast<float*>(b_block.get());
+    float* ap_base = reinterpret_cast<float*>(a_block.get());
+
+    // Serial KC loop outermost: each output element accumulates its
+    // KC-block partial sums in ascending pc order no matter how tiles
+    // are scheduled, which is what keeps results thread-count
+    // independent.
+    for (std::int64_t pc = 0; pc < k; pc += kGemmKc) {
+        const std::int64_t kc = std::min(kGemmKc, k - pc);
+
+        pool.ParallelFor(n_strips, /*grain=*/4,
+                         [&](std::int64_t s0, std::int64_t s1) {
+                             for (std::int64_t s = s0; s < s1; ++s) {
+                                 pack_b(bp_base + s * kNr * kc, s * kNr, pc,
+                                        pc + kc);
+                             }
+                         });
+
+        for (std::int64_t mb = 0; mb < m; mb += kGemmMBlock) {
+            const std::int64_t mrows = std::min(kGemmMBlock, m - mb);
+            const std::int64_t a_strips = (mrows + kMr - 1) / kMr;
+            pool.ParallelFor(a_strips, /*grain=*/4,
+                             [&](std::int64_t s0, std::int64_t s1) {
+                                 for (std::int64_t s = s0; s < s1; ++s) {
+                                     pack_a(ap_base + s * kMr * kc,
+                                            mb + s * kMr, pc, pc + kc);
+                                 }
+                             });
+
+            const bool add_into = accumulate || pc > 0;
+            pool.ParallelFor2D(
+                mrows, n, kGemmMc, kGemmNc,
+                [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                    std::int64_t c1) {
+                    float acc[kMr * kNr];
+                    // jr outer so each packed B strip stays hot across
+                    // the column of A strips it meets.
+                    for (std::int64_t jr = c0; jr < c1; jr += kNr) {
+                        const std::int64_t nr = std::min(kNr, c1 - jr);
+                        const float* bp = bp_base + (jr / kNr) * kNr * kc;
+                        for (std::int64_t ir = r0; ir < r1; ir += kMr) {
+                            const std::int64_t mr = std::min(kMr, r1 - ir);
+                            const float* ap =
+                                ap_base + (ir / kMr) * kMr * kc;
+                            MicroKernel(kc, ap, bp, acc);
+                            // Edge tiles compute the full register
+                            // block against zero-padded panel lanes but
+                            // store only the live mr x nr corner.
+                            float* cb = c + (mb + ir) * n + jr;
+                            if (add_into) {
+                                for (std::int64_t r = 0; r < mr; ++r) {
+                                    for (std::int64_t j = 0; j < nr; ++j) {
+                                        cb[r * n + j] += acc[r * kNr + j];
+                                    }
+                                }
+                            } else {
+                                for (std::int64_t r = 0; r < mr; ++r) {
+                                    for (std::int64_t j = 0; j < nr; ++j) {
+                                        cb[r * n + j] = acc[r * kNr + j];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+        }
+    }
+}
+
+void
+Gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a,
+     std::int64_t a_rs, std::int64_t a_cs, const float* b, std::int64_t b_rs,
+     std::int64_t b_cs, float* c, bool accumulate,
+     parallel::ThreadPool& pool)
+{
+    GemmPanels(m, n, k, StridedPackA(a, a_rs, a_cs, m),
+               StridedPackB(b, b_rs, b_cs, n), c, accumulate, pool);
+}
+
+}  // namespace fathom::kernels

@@ -1,7 +1,8 @@
 #include "kernels/matmul.h"
 
-#include <cstring>
 #include <stdexcept>
+
+#include "kernels/gemm.h"
 
 namespace fathom::kernels {
 
@@ -49,42 +50,19 @@ MatMul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b,
     }
     const std::int64_t k = ka;
 
-    Tensor c = Tensor::Zeros(Shape{m, n});
-    const float* pa = a.data<float>();
-    const float* pb = b.data<float>();
-    float* pc = c.data<float>();
+    // The engine overwrites every element, so the output starts
+    // uninitialized (Gemm zero-fills itself when k == 0).
+    Tensor c(DType::kFloat32, Shape{m, n});
 
     // Element strides of the *logical* (row, col) indices into the
-    // physical buffers.
+    // physical buffers; transposition is entirely a stride swap.
     const std::int64_t a_rs = transpose_a ? 1 : k;
     const std::int64_t a_cs = transpose_a ? m : 1;
     const std::int64_t b_rs = transpose_b ? 1 : n;
     const std::int64_t b_cs = transpose_b ? k : 1;
 
-    // Row-parallel i-k-j order: the inner j loop is contiguous in C and
-    // (when B is untransposed) in B, which is the cache-friendly case
-    // that dominates the workloads.
-    pool.ParallelFor(m, /*grain=*/8, [&](std::int64_t i0, std::int64_t i1) {
-        for (std::int64_t i = i0; i < i1; ++i) {
-            float* crow = pc + i * n;
-            for (std::int64_t kk = 0; kk < k; ++kk) {
-                const float av = pa[i * a_rs + kk * a_cs];
-                if (av == 0.0f) {
-                    continue;
-                }
-                const float* brow = pb + kk * b_rs;
-                if (b_cs == 1) {
-                    for (std::int64_t j = 0; j < n; ++j) {
-                        crow[j] += av * brow[j];
-                    }
-                } else {
-                    for (std::int64_t j = 0; j < n; ++j) {
-                        crow[j] += av * brow[j * b_cs];
-                    }
-                }
-            }
-        }
-    });
+    Gemm(m, n, k, a.data<float>(), a_rs, a_cs, b.data<float>(), b_rs, b_cs,
+         c.data<float>(), /*accumulate=*/false, pool);
     return c;
 }
 

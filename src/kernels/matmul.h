@@ -22,16 +22,19 @@ namespace fathom::kernels {
  * @param b          float32 matrix [k, n] (or [n, k] if transpose_b).
  * @param transpose_a whether to use A^T.
  * @param transpose_b whether to use B^T.
- * @param pool       thread pool for row-parallel execution.
+ * @param pool       thread pool for tile-parallel execution.
  * @return           float32 matrix [m, n].
  *
- * Uses a cache-blocked i-k-j loop order with the i dimension split
- * across the pool.
+ * All four transpose variants route through the blocked, packed GEMM
+ * engine (kernels/gemm.h): transposition becomes a stride swap in the
+ * packing step, parallelism is over 2-D output tiles, and results are
+ * bit-identical at every thread count.
  */
 Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
               bool transpose_b, parallel::ThreadPool& pool);
 
-/** @return the parallelizable trip count of the matmul (rows of C). */
+/** @return the logical row count of op(A) (legacy cost-model proxy;
+ * the 2-D tile trip count is kernels::GemmTileCount). */
 std::int64_t MatMulParallelWork(const Tensor& a, bool transpose_a);
 
 }  // namespace fathom::kernels

@@ -9,6 +9,7 @@
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
 #include "kernels/conv2d.h"
+#include "kernels/gemm.h"
 #include "kernels/normalization.h"
 #include "kernels/pooling.h"
 #include "ops/common.h"
@@ -76,7 +77,9 @@ RegisterConvOps()
             graph::OpCost cost;
             cost.flops = ConvFlops(g);
             cost.bytes = BytesOf(inputs) + BytesOf(outputs);
-            cost.parallel_work = g.batch * g.out_h;
+            // im2col GEMM: [batch*oh*ow, K] x [K, oc] in 2-D tiles.
+            cost.parallel_work = kernels::GemmTileCount(
+                g.batch * g.out_h * g.out_w, g.out_c);
             return cost;
         },
         false});
@@ -101,7 +104,9 @@ RegisterConvOps()
             graph::OpCost cost;
             cost.flops = ConvFlops(g);
             cost.bytes = BytesOf(inputs) + BytesOf(outputs);
-            cost.parallel_work = g.batch * g.in_h;
+            // Dominated by the column GEMM [batch*oh*ow, oc] x [oc, K].
+            cost.parallel_work = kernels::GemmTileCount(
+                g.batch * g.out_h * g.out_w, g.k_h * g.k_w * g.in_c);
             return cost;
         },
         false});
@@ -126,7 +131,10 @@ RegisterConvOps()
             graph::OpCost cost;
             cost.flops = ConvFlops(g);
             cost.bytes = BytesOf(inputs) + BytesOf(outputs);
-            cost.parallel_work = g.k_h * g.k_w;
+            // One GEMM over the whole batch: [K, batch*oh*ow] x
+            // [batch*oh*ow, oc] in 2-D tiles.
+            cost.parallel_work = kernels::GemmTileCount(
+                g.k_h * g.k_w * g.in_c, g.out_c);
             return cost;
         },
         false});

@@ -4,6 +4,7 @@
  */
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "kernels/gemm.h"
 #include "kernels/matmul.h"
 #include "ops/common.h"
 #include "ops/register.h"
@@ -42,7 +43,9 @@ RegisterMatMulOps()
             cost.flops = 2.0 * static_cast<double>(m) *
                          static_cast<double>(n) * static_cast<double>(k);
             cost.bytes = BytesOf(inputs) + BytesOf(outputs);
-            cost.parallel_work = m;
+            // The GEMM engine parallelizes over 2-D output tiles, not
+            // rows; the tile grid is the kernel's real trip count.
+            cost.parallel_work = kernels::GemmTileCount(m, n);
             return cost;
         },
         false});

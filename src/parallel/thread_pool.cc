@@ -193,6 +193,35 @@ ThreadPool::ParallelFor(std::int64_t total, std::int64_t grain,
     }
 }
 
+void
+ThreadPool::ParallelFor2D(std::int64_t rows, std::int64_t cols,
+                          std::int64_t row_block, std::int64_t col_block,
+                          const std::function<void(std::int64_t, std::int64_t,
+                                                   std::int64_t,
+                                                   std::int64_t)>& fn)
+{
+    if (rows <= 0 || cols <= 0) {
+        return;
+    }
+    row_block = std::max<std::int64_t>(row_block, 1);
+    col_block = std::max<std::int64_t>(col_block, 1);
+    const std::int64_t row_tiles = (rows + row_block - 1) / row_block;
+    const std::int64_t col_tiles = (cols + col_block - 1) / col_block;
+    // Scheduling rides on ParallelFor over the flattened block index;
+    // the block geometry itself never depends on the pool width.
+    ParallelFor(row_tiles * col_tiles, /*grain=*/1,
+                [&](std::int64_t t0, std::int64_t t1) {
+                    for (std::int64_t t = t0; t < t1; ++t) {
+                        const std::int64_t rt = t / col_tiles;
+                        const std::int64_t ct = t % col_tiles;
+                        const std::int64_t r0 = rt * row_block;
+                        const std::int64_t c0 = ct * col_block;
+                        fn(r0, std::min(r0 + row_block, rows), c0,
+                           std::min(c0 + col_block, cols));
+                    }
+                });
+}
+
 namespace {
 
 std::unique_ptr<ThreadPool>&

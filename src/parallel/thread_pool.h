@@ -107,6 +107,29 @@ class ThreadPool {
                                               std::int64_t)>& fn);
 
     /**
+     * Runs fn(row0, row1, col0, col1) over every block of a fixed 2-D
+     * grid covering [0, rows) x [0, cols), blocking until all blocks
+     * complete.
+     *
+     * The grid is determined purely by the geometry: blocks are
+     * row_block x col_block (smaller at the right/bottom edges),
+     * regardless of how many threads the pool has. Only the assignment
+     * of blocks to threads varies with pool width, so a kernel that
+     * keeps each block's work self-contained (the GEMM engine's
+     * M-tile x N-tile partition) computes bit-identical results at
+     * every thread count.
+     *
+     * Each block is invoked exactly once; blocks are distributed
+     * across the pool in contiguous runs of the row-major block index.
+     * Exceptions propagate like ParallelFor.
+     */
+    void ParallelFor2D(std::int64_t rows, std::int64_t cols,
+                       std::int64_t row_block, std::int64_t col_block,
+                       const std::function<void(std::int64_t, std::int64_t,
+                                                std::int64_t, std::int64_t)>&
+                           fn);
+
+    /**
      * @return the global pool used by kernels when no pool is passed
      * explicitly. Defaults to a single thread; reconfigure with
      * SetGlobalThreads().

@@ -1,14 +1,26 @@
 # Applied at ctest time, after gtest discovery populates the
 # TEST_LIST variables (see tests/CMakeLists.txt). The threading and
 # determinism tests carry `concurrency` so CI can rerun exactly them
-# under ThreadSanitizer; the whole-suite batteries add `slow` so
-# developers can skip them locally with `ctest -LE slow`. Everything
-# stays in `tier1`.
+# under ThreadSanitizer; the GEMM-engine/conv-lowering batteries carry
+# `kernels` so the ASan job can target the pack-buffer paths; the
+# whole-suite batteries add `slow` so developers can skip them locally
+# with `ctest -LE slow`. Everything stays in `tier1`.
 foreach(test IN LISTS concurrency_fast_TESTS)
     set_tests_properties("${test}" PROPERTIES
         LABELS "tier1;concurrency")
 endforeach()
 foreach(test IN LISTS concurrency_battery_TESTS)
+    # The GEMM determinism battery is both a concurrency test (it races
+    # the tile grid under TSan) and a kernels test.
+    if(test MATCHES "GemmEngine")
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;concurrency;kernels;slow")
+    else()
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;concurrency;slow")
+    endif()
+endforeach()
+foreach(test IN LISTS kernel_battery_TESTS)
     set_tests_properties("${test}" PROPERTIES
-        LABELS "tier1;concurrency;slow")
+        LABELS "tier1;kernels")
 endforeach()

@@ -5,8 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <limits>
 #include <tuple>
+#include <vector>
 
 #include "kernels/conv2d.h"
 #include "kernels/data_movement.h"
@@ -98,6 +101,102 @@ TEST(MatMulTest, ParallelMatchesSerial)
     const Tensor b = RandomTensor(Shape{19, 23}, 4);
     ExpectTensorNear(MatMul(a, b, false, false, Pool()),
                      MatMul(a, b, false, false, pool4), 1e-4f);
+}
+
+// ---- GEMM engine battery --------------------------------------------------
+//
+// The blocked engine has edge paths (partial 6x16 register tiles, the
+// m/n zero-padded panel lanes, multi-KC accumulation) that only fire
+// at particular sizes, so the battery sweeps odd, prime, and
+// around-the-blocking-constant sizes exhaustively against the naive
+// reference. These suites carry the `kernels` ctest label (see
+// tests/CMakeLists.txt).
+
+TEST(GemmEngineBattery, ExhaustiveSizesAllTransposeCombos)
+{
+    // 1..5 hit degenerate tiles, 17/63/65 straddle strip widths, and
+    // 97 exercises several partial MC/NR strips at once.
+    const std::vector<std::int64_t> sizes = {1, 2, 3, 5, 17, 63, 64, 65, 97};
+    std::uint64_t seed = 1000;
+    for (const bool ta : {false, true}) {
+        for (const bool tb : {false, true}) {
+            for (const std::int64_t m : sizes) {
+                for (const std::int64_t k : sizes) {
+                    for (const std::int64_t n : sizes) {
+                        SCOPED_TRACE("m=" + std::to_string(m) +
+                                     " k=" + std::to_string(k) +
+                                     " n=" + std::to_string(n) +
+                                     " ta=" + std::to_string(ta) +
+                                     " tb=" + std::to_string(tb));
+                        const Tensor a = RandomTensor(
+                            ta ? Shape{k, m} : Shape{m, k}, ++seed);
+                        const Tensor b = RandomTensor(
+                            tb ? Shape{n, k} : Shape{k, n}, ++seed);
+                        ExpectTensorNear(NaiveMatMul(a, b, ta, tb),
+                                         MatMul(a, b, ta, tb, Pool()),
+                                         1e-3f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(GemmEngineBattery, MultiKcBlockAccumulation)
+{
+    // k > 256 spans several KC blocks, exercising the accumulate-into-C
+    // path; odd m/n keep the edge tiles partial at the same time.
+    for (const auto& [m, k, n] : std::vector<std::array<std::int64_t, 3>>{
+             {3, 300, 5}, {65, 513, 33}, {97, 769, 17}}) {
+        for (const bool ta : {false, true}) {
+            for (const bool tb : {false, true}) {
+                SCOPED_TRACE("m=" + std::to_string(m) +
+                             " k=" + std::to_string(k) +
+                             " n=" + std::to_string(n) +
+                             " ta=" + std::to_string(ta) +
+                             " tb=" + std::to_string(tb));
+                const Tensor a =
+                    RandomTensor(ta ? Shape{k, m} : Shape{m, k}, m + k);
+                const Tensor b =
+                    RandomTensor(tb ? Shape{n, k} : Shape{k, n}, k + n);
+                ExpectTensorNear(NaiveMatMul(a, b, ta, tb),
+                                 MatMul(a, b, ta, tb, Pool()), 5e-3f);
+            }
+        }
+    }
+}
+
+TEST(GemmEngineTest, ZeroTimesInfIsNaNNotZero)
+{
+    // The pre-engine kernel skipped a == 0 operands, silently turning
+    // 0 * Inf and 0 * NaN into 0. IEEE says those products are NaN and
+    // the engine must propagate them.
+    const Tensor a = Tensor::FromVector(Shape{1, 2}, {0.0f, 1.0f});
+    Tensor b = Tensor::FromVector(Shape{2, 1}, {0.0f, 2.0f});
+    b.data<float>()[0] = std::numeric_limits<float>::infinity();
+    const Tensor c = MatMul(a, b, false, false, Pool());
+    EXPECT_TRUE(std::isnan(c.data<float>()[0]));
+
+    b.data<float>()[0] = std::numeric_limits<float>::quiet_NaN();
+    const Tensor c2 = MatMul(a, b, false, false, Pool());
+    EXPECT_TRUE(std::isnan(c2.data<float>()[0]));
+}
+
+TEST(GemmEngineTest, NaNPropagatesAcrossKcBlocks)
+{
+    // Poison one element deep in the second KC block (k index > 256):
+    // the accumulate path must carry the NaN through, and rows that
+    // never meet the poisoned column must stay finite.
+    const std::int64_t m = 4, k = 400, n = 8;
+    Tensor a = Tensor::Zeros(Shape{m, k});
+    const Tensor b = RandomTensor(Shape{k, n}, 77);
+    a.data<float>()[0 * k + 301] = std::numeric_limits<float>::quiet_NaN();
+    a.data<float>()[1 * k + 5] = 1.0f;
+    const Tensor c = MatMul(a, b, false, false, Pool());
+    for (std::int64_t j = 0; j < n; ++j) {
+        EXPECT_TRUE(std::isnan(c.data<float>()[0 * n + j])) << j;
+        EXPECT_FALSE(std::isnan(c.data<float>()[1 * n + j])) << j;
+    }
 }
 
 /** Naive reference convolution. */
@@ -237,6 +336,152 @@ TEST(Conv2DTest, BackpropFilterIsAdjoint)
         rhs += static_cast<double>(w.data<float>()[i] * gw.data<float>()[i]);
     }
     EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+// ---- Conv-via-GEMM battery ------------------------------------------------
+//
+// Conv2D and both its gradients now lower onto the GEMM engine
+// (im2col packing); the direct loop nests live on only here, as the
+// trivially-correct references the lowering is checked against.
+
+/** Direct-scatter reference for Conv2DBackpropInput. */
+Tensor
+NaiveConvBackInput(const Shape& in_shape, const Tensor& filter,
+                   const Tensor& grad_out, std::int64_t stride,
+                   Padding padding)
+{
+    const auto g = ResolveConv2D(in_shape, filter.shape(), stride, padding);
+    Tensor gin = Tensor::Zeros(in_shape);
+    const float* w = filter.data<float>();
+    const float* go = grad_out.data<float>();
+    float* gi = gin.data<float>();
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+            for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+                for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+                    for (std::int64_t kw = 0; kw < g.k_w; ++kw) {
+                        const std::int64_t ih = oh * stride - g.pad_top + kh;
+                        const std::int64_t iw = ow * stride - g.pad_left + kw;
+                        if (ih < 0 || ih >= g.in_h || iw < 0 ||
+                            iw >= g.in_w) {
+                            continue;
+                        }
+                        for (std::int64_t c = 0; c < g.in_c; ++c) {
+                            for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                                gi[((n * g.in_h + ih) * g.in_w + iw) *
+                                       g.in_c +
+                                   c] +=
+                                    go[((n * g.out_h + oh) * g.out_w + ow) *
+                                           g.out_c +
+                                       oc] *
+                                    w[((kh * g.k_w + kw) * g.in_c + c) *
+                                          g.out_c +
+                                      oc];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return gin;
+}
+
+/** Direct-accumulation reference for Conv2DBackpropFilter. */
+Tensor
+NaiveConvBackFilter(const Tensor& input, const Shape& filter_shape,
+                    const Tensor& grad_out, std::int64_t stride,
+                    Padding padding)
+{
+    const auto g = ResolveConv2D(input.shape(), filter_shape, stride,
+                                 padding);
+    Tensor gw = Tensor::Zeros(filter_shape);
+    const float* in = input.data<float>();
+    const float* go = grad_out.data<float>();
+    float* w = gw.data<float>();
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+        for (std::int64_t oh = 0; oh < g.out_h; ++oh) {
+            for (std::int64_t ow = 0; ow < g.out_w; ++ow) {
+                for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+                    for (std::int64_t kw = 0; kw < g.k_w; ++kw) {
+                        const std::int64_t ih = oh * stride - g.pad_top + kh;
+                        const std::int64_t iw = ow * stride - g.pad_left + kw;
+                        if (ih < 0 || ih >= g.in_h || iw < 0 ||
+                            iw >= g.in_w) {
+                            continue;
+                        }
+                        for (std::int64_t c = 0; c < g.in_c; ++c) {
+                            for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+                                w[((kh * g.k_w + kw) * g.in_c + c) *
+                                      g.out_c +
+                                  oc] +=
+                                    in[((n * g.in_h + ih) * g.in_w + iw) *
+                                           g.in_c +
+                                       c] *
+                                    go[((n * g.out_h + oh) * g.out_w + ow) *
+                                           g.out_c +
+                                       oc];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return gw;
+}
+
+TEST(ConvLoweringBattery, ForwardAndGradientsMatchDirectReference)
+{
+    std::uint64_t seed = 5000;
+    for (const std::int64_t hw : {5, 8, 9}) {
+        for (const std::int64_t ic : {1, 3}) {
+            for (const std::int64_t ks : {1, 3, 5}) {
+                for (const std::int64_t oc : {1, 4}) {
+                    for (const std::int64_t stride : {1, 2}) {
+                        for (const Padding padding :
+                             {Padding::kSame, Padding::kValid}) {
+                            if (padding == Padding::kValid && ks > hw) {
+                                continue;
+                            }
+                            SCOPED_TRACE(
+                                "hw=" + std::to_string(hw) +
+                                " ic=" + std::to_string(ic) +
+                                " k=" + std::to_string(ks) +
+                                " oc=" + std::to_string(oc) +
+                                " stride=" + std::to_string(stride) +
+                                (padding == Padding::kSame ? " SAME"
+                                                           : " VALID"));
+                            const Shape in_shape{2, hw, hw, ic};
+                            const Shape w_shape{ks, ks, ic, oc};
+                            const Tensor x = RandomTensor(in_shape, ++seed);
+                            const Tensor w =
+                                RandomTensor(w_shape, ++seed, 0.5f);
+                            const Tensor y =
+                                Conv2D(x, w, stride, padding, Pool());
+                            ExpectTensorNear(
+                                NaiveConv2D(x, w, stride, padding), y,
+                                1e-3f);
+                            const Tensor g =
+                                RandomTensor(y.shape(), ++seed);
+                            ExpectTensorNear(
+                                NaiveConvBackInput(in_shape, w, g, stride,
+                                                   padding),
+                                Conv2DBackpropInput(in_shape, w, g, stride,
+                                                    padding, Pool()),
+                                1e-3f);
+                            ExpectTensorNear(
+                                NaiveConvBackFilter(x, w_shape, g, stride,
+                                                    padding),
+                                Conv2DBackpropFilter(x, w_shape, g, stride,
+                                                     padding, Pool()),
+                                1e-3f);
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 TEST(PoolingTest, MaxPoolBasic)

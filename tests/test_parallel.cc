@@ -4,11 +4,18 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstring>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
+#include "kernels/conv2d.h"
+#include "kernels/matmul.h"
 #include "parallel/thread_pool.h"
+#include "test_util.h"
 
 namespace fathom::parallel {
 namespace {
@@ -116,6 +123,172 @@ TEST(ThreadPoolTest, GlobalPoolReconfiguration)
     EXPECT_EQ(ThreadPool::Global().num_threads(), 3);
     ThreadPool::SetGlobalThreads(1);
     EXPECT_EQ(ThreadPool::Global().num_threads(), 1);
+}
+
+// ---- ParallelFor2D --------------------------------------------------------
+
+TEST(ParallelFor2DTest, CoversGridExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::int64_t kRows = 103, kCols = 57;
+    std::vector<std::atomic<int>> hits(kRows * kCols);
+    pool.ParallelFor2D(kRows, kCols, 16, 10,
+                       [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                           std::int64_t c1) {
+                           for (std::int64_t r = r0; r < r1; ++r) {
+                               for (std::int64_t c = c0; c < c1; ++c) {
+                                   hits[static_cast<std::size_t>(
+                                            r * kCols + c)]
+                                       .fetch_add(1);
+                               }
+                           }
+                       });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "cell " << i;
+    }
+}
+
+TEST(ParallelFor2DTest, BlockGridIsFixedByGeometryNotThreads)
+{
+    // The set of (r0, r1, c0, c1) blocks must depend only on the range
+    // and block sizes — this is what the GEMM determinism argument
+    // rests on. Collect the grid at several thread counts and compare.
+    auto grid_at = [](int threads) {
+        ThreadPool pool(threads);
+        std::mutex mu;
+        std::vector<std::array<std::int64_t, 4>> blocks;
+        pool.ParallelFor2D(100, 70, 32, 48,
+                           [&](std::int64_t r0, std::int64_t r1,
+                               std::int64_t c0, std::int64_t c1) {
+                               std::lock_guard<std::mutex> lock(mu);
+                               blocks.push_back({r0, r1, c0, c1});
+                           });
+        std::sort(blocks.begin(), blocks.end());
+        return blocks;
+    };
+    const auto one = grid_at(1);
+    EXPECT_EQ(one.size(), 8u);  // ceil(100/32) * ceil(70/48)
+    EXPECT_EQ(one, grid_at(2));
+    EXPECT_EQ(one, grid_at(4));
+}
+
+TEST(ParallelFor2DTest, EmptyRangesAreNoOps)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.ParallelFor2D(0, 5, 2, 2,
+                       [&](std::int64_t, std::int64_t, std::int64_t,
+                           std::int64_t) { ++calls; });
+    pool.ParallelFor2D(5, 0, 2, 2,
+                       [&](std::int64_t, std::int64_t, std::int64_t,
+                           std::int64_t) { ++calls; });
+    pool.ParallelFor2D(-1, -1, 2, 2,
+                       [&](std::int64_t, std::int64_t, std::int64_t,
+                           std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor2DTest, ExceptionsPropagateToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.ParallelFor2D(
+                     64, 64, 8, 8,
+                     [](std::int64_t r0, std::int64_t, std::int64_t c0,
+                        std::int64_t) {
+                         if (r0 == 0 && c0 == 0) {
+                             throw std::runtime_error("boom");
+                         }
+                     }),
+                 std::runtime_error);
+    std::atomic<int> cells{0};
+    pool.ParallelFor2D(10, 10, 3, 3,
+                       [&](std::int64_t r0, std::int64_t r1, std::int64_t c0,
+                           std::int64_t c1) {
+                           cells.fetch_add(
+                               static_cast<int>((r1 - r0) * (c1 - c0)));
+                       });
+    EXPECT_EQ(cells.load(), 100);
+}
+
+// ---- GEMM determinism battery ---------------------------------------------
+//
+// The PR 1 guarantee extended to the blocked GEMM engine: results must
+// be bit-identical across intra-op thread counts and across repeated
+// runs, because the serial KC loop fixes every output element's
+// reduction order no matter how tiles are scheduled. Runs in the
+// concurrency binary so the TSan CI job also races the pack buffers.
+
+TEST(GemmEngineDeterminismBattery, BitIdenticalAcrossThreadCountsAndRuns)
+{
+    // Odd sizes + k > 256 keep edge tiles and the multi-KC accumulate
+    // path in play while threads race over the 2-D tile grid.
+    const std::int64_t m = 97, k = 300, n = 65;
+    for (const bool ta : {false, true}) {
+        for (const bool tb : {false, true}) {
+            SCOPED_TRACE("ta=" + std::to_string(ta) +
+                         " tb=" + std::to_string(tb));
+            const Tensor a =
+                test::RandomTensor(ta ? Shape{k, m} : Shape{m, k}, 40);
+            const Tensor b =
+                test::RandomTensor(tb ? Shape{n, k} : Shape{k, n}, 41);
+            ThreadPool serial(1);
+            const Tensor ref = kernels::MatMul(a, b, ta, tb, serial);
+            for (const int threads : {1, 2, 4}) {
+                ThreadPool pool(threads);
+                for (int run = 0; run < 3; ++run) {
+                    const Tensor c = kernels::MatMul(a, b, ta, tb, pool);
+                    ASSERT_EQ(std::memcmp(ref.data<float>(),
+                                          c.data<float>(),
+                                          static_cast<std::size_t>(
+                                              ref.num_elements()) *
+                                              sizeof(float)),
+                              0)
+                        << "threads=" << threads << " run=" << run;
+                }
+            }
+        }
+    }
+}
+
+TEST(GemmEngineDeterminismBattery, ConvLoweringBitIdenticalAcrossThreads)
+{
+    const Shape in_shape{2, 9, 9, 3};
+    const Shape w_shape{3, 3, 3, 8};
+    const Tensor x = test::RandomTensor(in_shape, 50);
+    const Tensor w = test::RandomTensor(w_shape, 51, 0.5f);
+    ThreadPool serial(1);
+    const Tensor y_ref =
+        kernels::Conv2D(x, w, 2, kernels::Padding::kSame, serial);
+    const Tensor g = test::RandomTensor(y_ref.shape(), 52);
+    const Tensor gx_ref = kernels::Conv2DBackpropInput(
+        in_shape, w, g, 2, kernels::Padding::kSame, serial);
+    const Tensor gw_ref = kernels::Conv2DBackpropFilter(
+        x, w_shape, g, 2, kernels::Padding::kSame, serial);
+    auto bytes = [](const Tensor& t) {
+        return static_cast<std::size_t>(t.num_elements()) * sizeof(float);
+    };
+    for (const int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        for (int run = 0; run < 3; ++run) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " run=" + std::to_string(run));
+            const Tensor y =
+                kernels::Conv2D(x, w, 2, kernels::Padding::kSame, pool);
+            const Tensor gx = kernels::Conv2DBackpropInput(
+                in_shape, w, g, 2, kernels::Padding::kSame, pool);
+            const Tensor gw = kernels::Conv2DBackpropFilter(
+                x, w_shape, g, 2, kernels::Padding::kSame, pool);
+            ASSERT_EQ(std::memcmp(y_ref.data<float>(), y.data<float>(),
+                                  bytes(y_ref)),
+                      0);
+            ASSERT_EQ(std::memcmp(gx_ref.data<float>(), gx.data<float>(),
+                                  bytes(gx_ref)),
+                      0);
+            ASSERT_EQ(std::memcmp(gw_ref.data<float>(), gw.data<float>(),
+                                  bytes(gw_ref)),
+                      0);
+        }
+    }
 }
 
 }  // namespace

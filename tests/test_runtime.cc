@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "kernels/gemm.h"
 #include "ops/register.h"
 #include "runtime/device_model.h"
 #include "runtime/session.h"
@@ -155,7 +156,10 @@ TEST_F(RuntimeTest, TracerRecordsPerOpTimings)
             found_matmul = true;
             EXPECT_EQ(r.op_class, graph::OpClass::kMatrixOps);
             EXPECT_GT(r.cost.flops, 0.0);
-            EXPECT_EQ(r.cost.parallel_work, 16);
+            // One 2-D tile: a 16x16 product fits inside a single
+            // kGemmMc x kGemmNc block of the GEMM engine.
+            EXPECT_EQ(r.cost.parallel_work,
+                      kernels::GemmTileCount(16, 16));
             EXPECT_GE(r.wall_seconds, 0.0);
         }
     }
