@@ -12,15 +12,49 @@
  *  - seq2seq shows LSTM elementwise arithmetic and attention
  *    data movement;
  *  - autoenc shows a visible RandomSampling component.
+ *
+ * Telemetry flags (all optional; defaults reproduce the figure only):
+ *   --telemetry-dir DIR  also collect metrics and write, per workload,
+ *                        DIR/<name>.trace.json (Chrome trace),
+ *                        DIR/<name>.metrics.jsonl, and
+ *                        DIR/<name>.metrics.prom.
+ *   --steps N            traced training steps (default 4).
+ *   --workloads a,b,c    subset of suite names (default: all).
  */
+#include <filesystem>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "analysis/export.h"
 #include "analysis/op_profile.h"
 #include "core/suite.h"
 #include "core/table.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+std::vector<std::string>
+SplitCsv(const std::string& csv)
+{
+    std::vector<std::string> out;
+    std::istringstream in(csv);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty()) {
+            out.push_back(item);
+        }
+    }
+    return out;
+}
+
+}  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace fathom;
     using core::ConsoleTable;
@@ -29,14 +63,41 @@ main()
     using graph::OpClass;
     using graph::OpClassName;
 
+    std::string telemetry_dir;
+    int train_steps = 4;
+    std::vector<std::string> names = core::SuiteNames();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                throw std::invalid_argument(arg + " needs a value");
+            }
+            return argv[++i];
+        };
+        if (arg == "--telemetry-dir") {
+            telemetry_dir = value();
+        } else if (arg == "--steps") {
+            train_steps = std::stoi(value());
+        } else if (arg == "--workloads") {
+            names = SplitCsv(value());
+        } else {
+            std::cerr << "unknown flag: " << arg << "\n";
+            return 2;
+        }
+    }
+
     std::cout << "=== Figure 3: execution-time breakdown by op class ===\n"
               << "clock: wall (single CPU core); training profiles; rows "
                  "sum to ~100% (Control excluded)\n\n";
 
     core::SuiteRunOptions options;
     options.warmup_steps = 1;
-    options.train_steps = 4;
+    options.train_steps = train_steps;
     options.infer_steps = 0;
+    options.telemetry = !telemetry_dir.empty();
+    if (!telemetry_dir.empty()) {
+        std::filesystem::create_directories(telemetry_dir);
+    }
 
     ConsoleTable table;
     {
@@ -51,11 +112,27 @@ main()
     }
 
     std::vector<std::pair<std::string, analysis::OpProfile>> profiles;
-    for (const auto& name : core::SuiteNames()) {
+    for (const auto& name : names) {
+        if (!telemetry_dir.empty()) {
+            telemetry::MetricsRegistry::Global().ResetAll();
+        }
         const auto traces = core::RunAndTrace(name, options);
         profiles.emplace_back(
             name, analysis::WallProfile(traces.training,
                                         traces.warmup_steps));
+        if (!telemetry_dir.empty()) {
+            const auto snapshot =
+                telemetry::MetricsRegistry::Global().Snapshot();
+            const std::string base = telemetry_dir + "/" + name;
+            analysis::WriteFile(base + ".trace.json",
+                                analysis::TraceToChromeJson(traces.training));
+            analysis::WriteFile(base + ".metrics.jsonl",
+                                telemetry::MetricsToJsonl(snapshot));
+            analysis::WriteFile(base + ".metrics.prom",
+                                telemetry::MetricsToPrometheus(snapshot));
+            std::cout << "[telemetry] wrote " << base
+                      << ".{trace.json,metrics.jsonl,metrics.prom}\n";
+        }
     }
 
     for (const auto& [name, profile] : profiles) {

@@ -1,5 +1,6 @@
 #include "analysis/export.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -96,40 +97,70 @@ TraceToChromeJson(const runtime::Tracer& tracer)
     std::ostringstream out;
     out << "[";
     bool first = true;
-    double step_base_us = 0.0;
-    int step_index = 0;
-    for (const auto& step : tracer.steps()) {
-        double cursor_us = step_base_us;
-        for (const auto& r : step.records) {
-            if (!first) {
-                out << ",";
-            }
-            first = false;
-            const double dur_us = r.wall_seconds * 1e6;
-            out << "\n  {\"name\": \"" << r.op_type
-                << "\", \"cat\": \"" << graph::OpClassName(r.op_class)
-                << "\", \"ph\": \"X\", \"ts\": " << cursor_us
-                << ", \"dur\": " << dur_us
-                << ", \"pid\": 1, \"tid\": " << (step_index + 1)
-                << ", \"args\": {\"node\": " << r.node
-                << ", \"flops\": " << r.cost.flops
-                << ", \"parallel_work\": " << r.cost.parallel_work << "}}";
-            cursor_us += dur_us;
-        }
-        // Allocator activity for the step (the memory planner's
-        // instrumentation) as a Chrome counter event: peak live bytes
-        // plus request/fresh/pool-hit counts, graphable in Perfetto.
+    auto emit = [&out, &first]() -> std::ostringstream& {
         if (!first) {
             out << ",";
         }
         first = false;
-        out << "\n  {\"name\": \"memory\", \"cat\": \"memory\", "
-            << "\"ph\": \"C\", \"ts\": " << step_base_us
-            << ", \"pid\": 1, \"args\": {\"peak_bytes\": "
-            << step.memory.peak_bytes
-            << ", \"allocations\": " << step.memory.allocations
-            << ", \"fresh_allocs\": " << step.memory.fresh_allocs
-            << ", \"pool_hits\": " << step.memory.pool_hits << "}}";
+        out << "\n  ";
+        return out;
+    };
+
+    // Lane naming: tid 0 carries the step spans, tid k+1 the ops that
+    // executor worker k ran. Emit metadata for every lane any record
+    // references so the viewer shows "worker-k" instead of bare tids.
+    int max_worker = -1;
+    for (const auto& step : tracer.steps()) {
+        for (const auto& r : step.records) {
+            max_worker = std::max(max_worker, r.worker);
+        }
+    }
+    emit() << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           << "\"args\": {\"name\": \"fathom\"}}";
+    emit() << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           << "\"tid\": 0, \"args\": {\"name\": \"steps\"}}";
+    for (int w = 0; w <= max_worker; ++w) {
+        emit() << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               << "\"tid\": " << (w + 1) << ", \"args\": {\"name\": "
+               << "\"worker-" << w << "\"}}";
+    }
+
+    // Steps are rebased end-to-end on one global timeline; within a
+    // step every op keeps its true monotonic start offset, so the
+    // viewer shows real concurrency (overlapping ops overlap).
+    double step_base_us = 0.0;
+    int step_index = 0;
+    for (const auto& step : tracer.steps()) {
+        emit() << "{\"name\": \"step " << step_index
+               << "\", \"cat\": \"step\", \"ph\": \"X\", \"ts\": "
+               << step_base_us << ", \"dur\": "
+               << step.wall_seconds * 1e6
+               << ", \"pid\": 1, \"tid\": 0, \"args\": {\"ops\": "
+               << step.records.size() << ", \"overhead_seconds\": "
+               << step.OverheadSeconds() << "}}";
+        for (const auto& r : step.records) {
+            emit() << "{\"name\": \"" << r.op_type
+                   << "\", \"cat\": \"" << graph::OpClassName(r.op_class)
+                   << "\", \"ph\": \"X\", \"ts\": "
+                   << step_base_us + r.start_seconds * 1e6
+                   << ", \"dur\": " << r.wall_seconds * 1e6
+                   << ", \"pid\": 1, \"tid\": " << (r.worker + 1)
+                   << ", \"args\": {\"node\": " << r.node
+                   << ", \"seq\": " << r.seq
+                   << ", \"flops\": " << r.cost.flops
+                   << ", \"parallel_work\": " << r.cost.parallel_work
+                   << "}}";
+        }
+        // Allocator activity for the step (the memory planner's
+        // instrumentation) as a Chrome counter event: peak live bytes
+        // plus request/fresh/pool-hit counts, graphable in Perfetto.
+        emit() << "{\"name\": \"memory\", \"cat\": \"memory\", "
+               << "\"ph\": \"C\", \"ts\": " << step_base_us
+               << ", \"pid\": 1, \"args\": {\"peak_bytes\": "
+               << step.memory.peak_bytes
+               << ", \"allocations\": " << step.memory.allocations
+               << ", \"fresh_allocs\": " << step.memory.fresh_allocs
+               << ", \"pool_hits\": " << step.memory.pool_hits << "}}";
         step_base_us += step.wall_seconds * 1e6;
         ++step_index;
     }

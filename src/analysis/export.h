@@ -30,9 +30,20 @@ std::string GraphToDot(const graph::Graph& g, int max_nodes = 0);
 
 /**
  * Serializes a trace to the Chrome tracing JSON array format (the EEG
- * analogue). Each op execution becomes a complete ("X") event on a
- * per-step track; durations are wall-clock microseconds. Load the
- * output in chrome://tracing or https://ui.perfetto.dev.
+ * analogue). Load the output in chrome://tracing or
+ * https://ui.perfetto.dev.
+ *
+ * Layout: one named lane per executor worker. Thread-name metadata
+ * ("M") events label tid 0 "steps" — a per-step span event showing
+ * each Session::Run — and tid k+1 "worker-k", carrying the ops that
+ * executor lane actually ran as complete ("X") events. Timestamps are
+ * the ops' true monotonic start offsets (each step is rebased onto the
+ * end of the previous one), so under the inter-op executor concurrent
+ * ops genuinely overlap in the viewer instead of being laid out
+ * serially. Per-step allocator activity is attached as a counter ("C")
+ * event. Timestamps and lanes are scheduling-dependent; the record
+ * *order* inside the JSON stays canonical (plan-sequence) because that
+ * is the order the tracer stores.
  */
 std::string TraceToChromeJson(const runtime::Tracer& tracer);
 

@@ -1,0 +1,135 @@
+#include "analysis/roofline.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace fathom::analysis {
+
+namespace {
+
+void
+Accumulate(RooflineRow& row, const runtime::OpExecRecord& r,
+           const runtime::DeviceSpec& device)
+{
+    ++row.executions;
+    row.wall_seconds += r.wall_seconds;
+    row.predicted_seconds += runtime::EstimateSeconds(r.cost, device);
+    row.flops += r.cost.flops;
+    row.bytes += r.cost.bytes;
+}
+
+std::vector<RooflineRow>
+SortedRows(std::map<std::string, RooflineRow>&& rows)
+{
+    std::vector<RooflineRow> out;
+    out.reserve(rows.size());
+    for (auto& [key, row] : rows) {
+        out.push_back(std::move(row));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RooflineRow& a, const RooflineRow& b) {
+                  if (a.wall_seconds != b.wall_seconds) {
+                      return a.wall_seconds > b.wall_seconds;
+                  }
+                  return a.key < b.key;  // stable for zero-time ties.
+              });
+    return out;
+}
+
+void
+RenderRows(std::ostringstream& out, const std::vector<RooflineRow>& rows,
+           double total_wall, int max_rows)
+{
+    out << "  " << std::left << std::setw(22) << "name" << std::right
+        << std::setw(7) << "execs" << std::setw(10) << "wall-ms"
+        << std::setw(8) << "share" << std::setw(10) << "GFLOP/s"
+        << std::setw(9) << "GB/s" << std::setw(10) << "FLOP/B"
+        << std::setw(9) << "model" << "\n";
+    int shown = 0;
+    for (const RooflineRow& row : rows) {
+        if (max_rows > 0 && shown >= max_rows) {
+            out << "  ... " << (rows.size() - static_cast<std::size_t>(shown))
+                << " more rows\n";
+            break;
+        }
+        ++shown;
+        const double share =
+            total_wall > 0.0 ? row.wall_seconds / total_wall : 0.0;
+        out << "  " << std::left << std::setw(22) << row.key << std::right
+            << std::setw(7) << row.executions << std::setw(10) << std::fixed
+            << std::setprecision(3) << row.wall_seconds * 1e3 << std::setw(7)
+            << std::setprecision(1) << share * 100.0 << "%" << std::setw(10)
+            << std::setprecision(2) << row.AchievedGflops() << std::setw(9)
+            << row.AchievedGbps() << std::setw(10) << row.Intensity()
+            << std::setw(8) << row.ModelRatio() << "x\n";
+    }
+}
+
+}  // namespace
+
+RooflineReport
+BuildRooflineReport(const runtime::Tracer& tracer, int skip_steps,
+                    const runtime::DeviceSpec& device)
+{
+    RooflineReport report;
+    report.device = device;
+
+    std::map<std::string, RooflineRow> by_type;
+    std::map<std::string, RooflineRow> by_class;
+    const auto& steps = tracer.steps();
+    for (std::size_t s = static_cast<std::size_t>(std::max(skip_steps, 0));
+         s < steps.size(); ++s) {
+        for (const auto& r : steps[s].records) {
+            RooflineRow& t = by_type[r.op_type];
+            if (t.key.empty()) {
+                t.key = r.op_type;
+                t.op_class = r.op_class;
+            }
+            Accumulate(t, r, device);
+
+            const std::string cls = graph::OpClassName(r.op_class);
+            RooflineRow& c = by_class[cls];
+            if (c.key.empty()) {
+                c.key = cls;
+                c.op_class = r.op_class;
+            }
+            Accumulate(c, r, device);
+
+            report.total_wall_seconds += r.wall_seconds;
+            report.total_flops += r.cost.flops;
+            report.total_bytes += r.cost.bytes;
+        }
+    }
+    report.by_type = SortedRows(std::move(by_type));
+    report.by_class = SortedRows(std::move(by_class));
+    return report;
+}
+
+std::string
+RenderRooflineReport(const RooflineReport& report, int max_type_rows)
+{
+    std::ostringstream out;
+    const double wall = report.total_wall_seconds;
+    out << "Roofline vs " << report.device.name << " ("
+        << std::fixed << std::setprecision(1)
+        << report.device.threads * report.device.flops_per_thread / 1e9
+        << " GFLOP/s peak, "
+        << report.device.bytes_per_sec / 1e9 << " GB/s)\n";
+    out << "  total: " << std::setprecision(3) << wall * 1e3 << " ms, "
+        << std::setprecision(2)
+        << (wall > 0.0 ? report.total_flops / wall / 1e9 : 0.0)
+        << " GFLOP/s achieved, intensity "
+        << (report.total_bytes > 0.0
+                ? report.total_flops / report.total_bytes
+                : 0.0)
+        << " FLOP/B\n";
+    out << "by class:\n";
+    RenderRows(out, report.by_class, wall, 0);
+    out << "by op type:\n";
+    RenderRows(out, report.by_type, wall, max_type_rows);
+    return out.str();
+}
+
+}  // namespace fathom::analysis

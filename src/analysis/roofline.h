@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-op roofline/efficiency reporting.
+ *
+ * Joins the tracer's two facts about every executed op — its modeled
+ * OpCost (FLOPs, bytes) and its measured wall time — into the standard
+ * roofline quantities: achieved GFLOP/s, achieved memory bandwidth,
+ * arithmetic intensity (FLOPs per byte), and the ratio of
+ * device-model-predicted time to measured time. Aggregation is per op
+ * type and per op class, so a workload's report shows directly which
+ * classes run near the machine model's roof (big GEMMs) and which are
+ * dispatch- or bandwidth-bound (elementwise, optimizer updates) — the
+ * paper's Sec. V efficiency argument, made quantitative per op.
+ */
+#ifndef FATHOM_ANALYSIS_ROOFLINE_H
+#define FATHOM_ANALYSIS_ROOFLINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/op_class.h"
+#include "runtime/device_model.h"
+#include "runtime/tracer.h"
+
+namespace fathom::analysis {
+
+/** Aggregated roofline quantities for one op type (or one class). */
+struct RooflineRow {
+    std::string key;  ///< op type, or class name for class rows.
+    graph::OpClass op_class = graph::OpClass::kControl;
+    std::int64_t executions = 0;    ///< op records aggregated.
+    double wall_seconds = 0.0;      ///< summed measured time.
+    double predicted_seconds = 0.0; ///< summed device-model time.
+    double flops = 0.0;             ///< summed modeled FLOPs.
+    double bytes = 0.0;             ///< summed modeled bytes moved.
+
+    /** @return achieved GFLOP/s (0 when no time was measured). */
+    double AchievedGflops() const
+    {
+        return wall_seconds > 0.0 ? flops / wall_seconds / 1e9 : 0.0;
+    }
+
+    /** @return achieved memory bandwidth in GB/s. */
+    double AchievedGbps() const
+    {
+        return wall_seconds > 0.0 ? bytes / wall_seconds / 1e9 : 0.0;
+    }
+
+    /** @return arithmetic intensity, FLOPs per byte moved. */
+    double Intensity() const { return bytes > 0.0 ? flops / bytes : 0.0; }
+
+    /**
+     * @return predicted / measured time: 1.0 means the device model
+     * matches reality, > 1 means the op ran faster than the model's
+     * roofline bound expects, < 1 slower (dispatch overhead, cache
+     * misses the byte count does not see, ...).
+     */
+    double ModelRatio() const
+    {
+        return wall_seconds > 0.0 ? predicted_seconds / wall_seconds : 0.0;
+    }
+};
+
+/** A whole run's roofline view against one device model. */
+struct RooflineReport {
+    runtime::DeviceSpec device;
+    std::vector<RooflineRow> by_type;   ///< descending wall time.
+    std::vector<RooflineRow> by_class;  ///< descending wall time.
+    double total_wall_seconds = 0.0;
+    double total_flops = 0.0;
+    double total_bytes = 0.0;
+};
+
+/**
+ * Aggregates every recorded op (after @p skip_steps warmup steps)
+ * against @p device. Predicted time per op is
+ * runtime::EstimateSeconds() on the op's recorded cost.
+ */
+RooflineReport BuildRooflineReport(const runtime::Tracer& tracer,
+                                   int skip_steps,
+                                   const runtime::DeviceSpec& device);
+
+/**
+ * Renders the report as a fixed-width text table: the by-class block,
+ * then the @p max_type_rows heaviest op types (0 = all).
+ */
+std::string RenderRooflineReport(const RooflineReport& report,
+                                 int max_type_rows = 0);
+
+}  // namespace fathom::analysis
+
+#endif  // FATHOM_ANALYSIS_ROOFLINE_H

@@ -14,6 +14,8 @@ RunAndTrace(const std::string& name, const SuiteRunOptions& options)
     config.threads = options.threads;
     config.inter_op_threads = options.inter_op_threads;
     config.memory_planner = options.memory_planner;
+    config.tracing = options.tracing;
+    config.telemetry = options.telemetry;
     workload->Setup(config);
 
     WorkloadTraces traces;

@@ -26,6 +26,8 @@ struct SuiteRunOptions {
     int threads = 1;              ///< intra-op pool width (Fig. 6 knob).
     int inter_op_threads = 1;     ///< concurrent independent ops per step.
     bool memory_planner = true;   ///< liveness-driven early tensor release.
+    bool tracing = true;          ///< per-op tracing (required for analyses).
+    bool telemetry = false;       ///< process-wide metrics collection.
 };
 
 /** The traces and metadata captured from one workload. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/metrics.h"
 #include "tensor/buffer_pool.h"
 
 namespace fathom::kernels {
@@ -161,15 +162,32 @@ GemmPanels(std::int64_t m, std::int64_t n, std::int64_t k,
 
     // Pack buffers come from the global size-bucketed pool: after the
     // first step of a training run these are recycled blocks, so the
-    // steady-state GEMM performs no fresh allocation.
+    // steady-state GEMM performs no fresh allocation. The metrics pair
+    // gemm.pack_acquires / gemm.pack_pool_hits verifies exactly that
+    // claim — a warm run should show the two converging.
     const std::int64_t n_strips = (n + kNr - 1) / kNr;
     const std::int64_t a_strip_cap =
         (std::min(m, kGemmMBlock) + kMr - 1) / kMr;
+    bool b_hit = false;
+    bool a_hit = false;
     auto b_block = BufferPool::Global().Allocate(
-        static_cast<std::size_t>(n_strips * kNr * kGemmKc) * sizeof(float));
+        static_cast<std::size_t>(n_strips * kNr * kGemmKc) * sizeof(float),
+        &b_hit);
     auto a_block = BufferPool::Global().Allocate(
         static_cast<std::size_t>(a_strip_cap * kMr * kGemmKc) *
-        sizeof(float));
+            sizeof(float),
+        &a_hit);
+    if (telemetry::MetricsEnabled()) {
+        static telemetry::Counter& acquires =
+            telemetry::MetricsRegistry::Global().GetCounter(
+                "gemm.pack_acquires");
+        static telemetry::Counter& hits =
+            telemetry::MetricsRegistry::Global().GetCounter(
+                "gemm.pack_pool_hits");
+        acquires.Add(2);
+        hits.Add(static_cast<std::uint64_t>(b_hit) +
+                 static_cast<std::uint64_t>(a_hit));
+    }
     float* bp_base = reinterpret_cast<float*>(b_block.get());
     float* ap_base = reinterpret_cast<float*>(a_block.get());
 

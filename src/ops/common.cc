@@ -44,6 +44,19 @@ SerialCost(double flops_per_elem)
     };
 }
 
+graph::CostFn
+MovedBytesCost()
+{
+    return [](const graph::Node&, const std::vector<Tensor>& inputs,
+              const std::vector<Tensor>& outputs) {
+        graph::OpCost cost;
+        cost.flops = 0.0;
+        cost.bytes = BytesOf(inputs) + BytesOf(outputs);
+        cost.parallel_work = 1;
+        return cost;
+    };
+}
+
 kernels::Padding
 ParsePadding(const std::string& value)
 {

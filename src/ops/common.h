@@ -38,6 +38,15 @@ graph::CostFn ElementwiseCost(double flops_per_elem);
  */
 graph::CostFn SerialCost(double flops_per_elem);
 
+/**
+ * @return a cost function for zero-FLOP data movement and control ops
+ * (Const, Variable, Identity, Assign, ...): no arithmetic, bytes =
+ * everything touched (inputs + outputs). Keeps every registered op
+ * costed, so per-op roofline intensity is defined suite-wide and the
+ * registry audit can insist CostFn is never null.
+ */
+graph::CostFn MovedBytesCost();
+
 /** Parses a padding attr string ("SAME"/"VALID"). */
 kernels::Padding ParsePadding(const std::string& value);
 

@@ -173,7 +173,7 @@ RegisterOptimizerOps()
             ctx.variables().Set(ctx.node().attr("var_name").AsString(),
                                 ctx.input(0).Clone());
         },
-        nullptr, true});
+        MovedBytesCost(), true});
 }
 
 }  // namespace fathom::ops

@@ -54,7 +54,7 @@ RegisterSourceOps()
             ctx.set_output(0, ctx.variables().Get(
                                   ctx.node().attr("var_name").AsString()));
         },
-        nullptr, false});
+        MovedBytesCost(), false});
 
     ops.Register(OpDef{
         "Placeholder", OpClass::kControl,
@@ -62,7 +62,7 @@ RegisterSourceOps()
             throw std::logic_error("placeholder '" + ctx.node().name +
                                    "' executed without a feed");
         },
-        nullptr, false});
+        MovedBytesCost(), false});
 
     ops.Register(OpDef{
         "Variable", OpClass::kControl,
@@ -73,18 +73,18 @@ RegisterSourceOps()
                                   .Get(ctx.node().attr("var_name").AsString())
                                   .Clone());
         },
-        nullptr, false});
+        MovedBytesCost(), false});
 
     ops.Register(OpDef{
         "Identity", OpClass::kDataMovement,
-        [](OpContext& ctx) { ctx.set_output(0, ctx.input(0)); }, nullptr,
-        false});
+        [](OpContext& ctx) { ctx.set_output(0, ctx.input(0)); },
+        MovedBytesCost(), false});
     grads.Register("Identity", PassThroughGrad);
 
     ops.Register(OpDef{
         "StopGradient", OpClass::kDataMovement,
-        [](OpContext& ctx) { ctx.set_output(0, ctx.input(0)); }, nullptr,
-        false});
+        [](OpContext& ctx) { ctx.set_output(0, ctx.input(0)); },
+        MovedBytesCost(), false});
     grads.Register("StopGradient", NoGrad);
 
     ops.Register(OpDef{
@@ -93,7 +93,7 @@ RegisterSourceOps()
             ctx.set_output(0, Tensor::Zeros(ctx.input(0).shape(),
                                             ctx.input(0).dtype()));
         },
-        nullptr, false});
+        MovedBytesCost(), false});
     grads.Register("ZerosLike", NoGrad);
 
     ops.Register(OpDef{
@@ -109,11 +109,12 @@ RegisterSourceOps()
                                   Shape{static_cast<std::int64_t>(dims.size())},
                                   dims));
         },
-        nullptr, false});
+        MovedBytesCost(), false});
     grads.Register("Shape", NoGrad);
 
     ops.Register(OpDef{
-        "NoOp", OpClass::kControl, [](OpContext&) {}, nullptr, false});
+        "NoOp", OpClass::kControl, [](OpContext&) {}, MovedBytesCost(),
+        false});
 }
 
 }  // namespace fathom::ops

@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "runtime/graph_optimizer.h"
+#include "telemetry/metrics.h"
 #include "tensor/buffer_pool.h"
 
 namespace fathom::runtime {
@@ -23,6 +24,49 @@ SecondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+std::uint64_t
+MicrosSince(Clock::time_point start)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count());
+}
+
+/**
+ * Executor metrics, resolved once. `steps` / `ops_executed` are
+ * scheduling-invariant (the determinism tests compare them across
+ * inter-op widths); the queue/worker signals are genuinely
+ * scheduling-dependent and exist to expose it.
+ */
+struct SessionMetrics {
+    telemetry::Counter& steps;
+    telemetry::Counter& ops_executed;
+    telemetry::Counter& parallel_steps;
+    telemetry::Counter& worker_busy_us;
+    telemetry::Counter& worker_idle_us;
+    telemetry::Histogram& ready_queue_depth;
+    telemetry::Histogram& step_us;
+
+    static SessionMetrics&
+    Get()
+    {
+        static SessionMetrics* m = [] {
+            auto& r = telemetry::MetricsRegistry::Global();
+            return new SessionMetrics{
+                r.GetCounter("session.steps"),
+                r.GetCounter("session.ops_executed"),
+                r.GetCounter("executor.parallel_steps"),
+                r.GetCounter("executor.worker_busy_us"),
+                r.GetCounter("executor.worker_idle_us"),
+                r.GetHistogram("executor.ready_queue_depth"),
+                r.GetHistogram("session.step_us"),
+            };
+        }();
+        return *m;
+    }
+};
 
 }  // namespace
 
@@ -200,7 +244,7 @@ Session::GetPlan(const std::vector<graph::Output>& fetches,
 
 void
 Session::RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
-                     std::vector<std::vector<Tensor>>& values)
+                     std::vector<std::vector<Tensor>>& values, int worker)
 {
     const PlanStep& step = plan.steps[seq];
     const graph::NodeId id = step.node;
@@ -239,21 +283,26 @@ Session::RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
     const graph::OpDef& def = *step.def;
     graph::OpContext ctx(node, &inputs, *pool_, rng_, variables_);
 
-    const auto op_start = Clock::now();
+    // Timestamps are only taken when tracing: the traced-off hot path
+    // must stay inside the bench_telemetry overhead budget.
+    const bool traced = tracer_.enabled();
+    const auto op_start = traced ? Clock::now() : Clock::time_point{};
     try {
         def.kernel(ctx);
     } catch (const std::exception& e) {
         throw std::runtime_error("Session::Run: op '" + node.name + "' (" +
                                  node.op_type + ") failed: " + e.what());
     }
-    const double op_seconds = SecondsSince(op_start);
 
-    if (tracer_.enabled()) {
+    if (traced) {
         OpExecRecord record;
         record.node = id;
         record.op_type = node.op_type;
         record.op_class = def.op_class;
-        record.wall_seconds = op_seconds;
+        record.wall_seconds = SecondsSince(op_start);
+        record.start_seconds =
+            std::chrono::duration<double>(op_start - step_epoch_).count();
+        record.worker = worker;
         record.seq = static_cast<std::int64_t>(seq);
         if (def.cost) {
             record.cost = def.cost(node, inputs, ctx.outputs());
@@ -332,29 +381,55 @@ Session::RunParallel(const Plan& plan, const FeedMap& feeds,
     // error stops the schedule; in-flight steps always finish, so the
     // step ends cleanly even on failure. Among concurrently failing
     // steps, the lowest plan sequence wins, keeping the surfaced error
-    // deterministic.
-    auto drain = [this, &plan, &feeds, &values, &state, remaining, total] {
+    // deterministic. The loop's lane index becomes the worker id on
+    // trace records, and — when metrics are on — the loop accounts its
+    // own busy/idle split and samples the ready-queue depth at each
+    // claim.
+    auto drain = [this, &plan, &feeds, &values, &state, remaining,
+                  total](int lane) {
+        const bool metered = telemetry::MetricsEnabled();
+        std::uint64_t busy_us = 0;
+        std::uint64_t idle_us = 0;
         for (;;) {
             std::int32_t seq = -1;
             {
+                const auto wait_start =
+                    metered ? Clock::now() : Clock::time_point{};
                 std::unique_lock<std::mutex> lock(state.mu);
                 state.cv.wait(lock, [&state, total] {
                     return state.stopped || !state.ready.empty() ||
                            (state.active == 0 && state.completed == total);
                 });
+                if (metered) {
+                    idle_us += MicrosSince(wait_start);
+                }
                 if (state.stopped || state.ready.empty()) {
+                    if (metered) {
+                        SessionMetrics& sm = SessionMetrics::Get();
+                        sm.worker_busy_us.Add(busy_us);
+                        sm.worker_idle_us.Add(idle_us);
+                    }
                     return;
+                }
+                if (metered) {
+                    SessionMetrics::Get().ready_queue_depth.Observe(
+                        state.ready.size());
                 }
                 seq = state.ready.front();
                 state.ready.pop_front();
                 ++state.active;
             }
+            const auto run_start =
+                metered ? Clock::now() : Clock::time_point{};
             std::exception_ptr err;
             try {
                 RunPlanStep(plan, static_cast<std::size_t>(seq), feeds,
-                            values);
+                            values, lane);
             } catch (...) {
                 err = std::current_exception();
+            }
+            if (metered) {
+                busy_us += MicrosSince(run_start);
             }
             if (!err) {
                 ReleaseDeadValues(plan, static_cast<std::size_t>(seq),
@@ -386,7 +461,11 @@ Session::RunParallel(const Plan& plan, const FeedMap& feeds,
 
     const std::size_t width = std::min(
         static_cast<std::size_t>(inter_op_threads_), total);
-    std::vector<std::function<void()>> loops(width, drain);
+    std::vector<std::function<void()>> loops;
+    loops.reserve(width);
+    for (std::size_t lane = 0; lane < width; ++lane) {
+        loops.push_back([&drain, lane] { drain(static_cast<int>(lane)); });
+    }
     inter_op_pool_->RunTasks(std::move(loops));
 
     if (state.error) {
@@ -442,14 +521,18 @@ Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
     };
 
     const auto step_start = Clock::now();
+    step_epoch_ = step_start;
     tracer_.BeginStep();
 
     try {
         if (inter_op_threads_ > 1) {
+            if (telemetry::MetricsEnabled()) {
+                SessionMetrics::Get().parallel_steps.Add(1);
+            }
             RunParallel(plan, feeds, remaining.get(), values);
         } else {
             for (std::size_t seq = 0; seq < plan.steps.size(); ++seq) {
-                RunPlanStep(plan, seq, feeds, values);
+                RunPlanStep(plan, seq, feeds, values, /*worker=*/0);
                 ReleaseDeadValues(plan, seq, remaining.get(), values);
             }
         }
@@ -474,6 +557,12 @@ Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
     }
 
     tracer_.EndStep(SecondsSince(step_start), step_memory());
+    if (telemetry::MetricsEnabled()) {
+        SessionMetrics& sm = SessionMetrics::Get();
+        sm.steps.Add(1);
+        sm.ops_executed.Add(plan.steps.size());
+        sm.step_us.Observe(MicrosSince(step_start));
+    }
     return results;
 }
 

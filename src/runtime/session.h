@@ -12,6 +12,7 @@
 #define FATHOM_RUNTIME_SESSION_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -170,11 +171,13 @@ class Session {
 
     /**
      * Executes plan step @p seq (placeholder feed or kernel), tracing
-     * it and storing its outputs into @p values. Thread-safe across
-     * distinct steps. Throws on missing feeds or kernel failure.
+     * it (with its start offset from the step epoch and the executor
+     * lane @p worker that ran it) and storing its outputs into
+     * @p values. Thread-safe across distinct steps. Throws on missing
+     * feeds or kernel failure.
      */
     void RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
-                     std::vector<std::vector<Tensor>>& values);
+                     std::vector<std::vector<Tensor>>& values, int worker);
 
     /**
      * Memory-planner bookkeeping after step @p seq completed: credits
@@ -200,6 +203,9 @@ class Session {
     int inter_op_threads_ = 1;
     std::unique_ptr<parallel::ThreadPool> inter_op_pool_;
     Tracer tracer_;
+    /** Start of the in-flight step; op record timestamps are relative
+        to this (written by Run, read by RunPlanStep on any lane). */
+    std::chrono::steady_clock::time_point step_epoch_;
     bool memory_planning_ = true;
     bool optimize_graphs_ = false;
     std::map<std::string, Plan> plan_cache_;

@@ -16,6 +16,44 @@ StepTrace::OpSeconds() const
     return total;
 }
 
+double
+StepTrace::BusySeconds() const
+{
+    if (records.empty()) {
+        return 0.0;
+    }
+    // Sweep the op intervals in start order, merging overlaps so every
+    // wall-clock instant counts at most once regardless of how many
+    // ops the inter-op executor had in flight.
+    std::vector<std::pair<double, double>> intervals;
+    intervals.reserve(records.size());
+    for (const auto& r : records) {
+        intervals.emplace_back(r.start_seconds,
+                               r.start_seconds + r.wall_seconds);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    double busy = 0.0;
+    double begin = intervals.front().first;
+    double end = intervals.front().second;
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+        if (intervals[i].first > end) {
+            busy += end - begin;
+            begin = intervals[i].first;
+            end = intervals[i].second;
+        } else if (intervals[i].second > end) {
+            end = intervals[i].second;
+        }
+    }
+    busy += end - begin;
+    return busy;
+}
+
+double
+StepTrace::OverheadSeconds() const
+{
+    return std::max(0.0, wall_seconds - BusySeconds());
+}
+
 Tracer::Tracer(const Tracer& other)
     : enabled_(other.enabled_), in_step_(other.in_step_),
       steps_(other.steps_)

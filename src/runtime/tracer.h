@@ -37,6 +37,25 @@ struct OpExecRecord {
     graph::OpCost cost;
     /** Plan-order index within the step; the canonical record order. */
     std::int64_t seq = 0;
+
+    /**
+     * Monotonic start of the op, in seconds since the step began. With
+     * wall_seconds this gives the op's true [start, end) interval, so
+     * exported timelines show real concurrency instead of a synthesized
+     * serial layout. Scheduling-dependent: analyses that must be
+     * bit-identical across thread counts consume seq order, never
+     * timestamps.
+     */
+    double start_seconds = 0.0;
+
+    /**
+     * Executor lane that ran the op: 0 is the step-driving thread (the
+     * sequential executor, or the first drain loop of the parallel
+     * one), 1..N-1 the remaining inter-op drain loops. Lanes are
+     * stable identifiers for trace visualization ("worker-k"), not OS
+     * thread ids; which lane runs which op is scheduling-dependent.
+     */
+    int worker = 0;
 };
 
 /**
@@ -57,14 +76,33 @@ struct StepTrace {
     double wall_seconds = 0.0;  ///< whole-step time, including framework.
     StepMemStats memory;        ///< allocator activity during the step.
 
-    /** @return summed op wall time. */
+    /** @return summed op wall time (counts concurrent ops multiply). */
     double OpSeconds() const;
 
     /**
-     * @return framework time outside op kernels (the paper reports
-     * this as typically < 1-2% of total runtime).
+     * @return seconds of the step during which at least one op was
+     * executing: the measure of the union of the recorded op intervals
+     * [start_seconds, start_seconds + wall_seconds). Under the
+     * inter-op executor this is what "time in op kernels" means —
+     * OpSeconds() double-counts overlap and can exceed the step wall
+     * time.
      */
-    double OverheadSeconds() const { return wall_seconds - OpSeconds(); }
+    double BusySeconds() const;
+
+    /**
+     * @return framework time outside op kernels (the paper reports
+     * this as typically < 1-2% of total runtime): the step span minus
+     * the union of op intervals (BusySeconds), clamped at zero.
+     *
+     * Semantics: with the sequential executor the union is the sum, so
+     * this matches the historical wall - sum(op) definition. With the
+     * inter-op executor, summed op time double-counts concurrent ops
+     * (and can exceed the step wall time, which used to drive this
+     * negative); the interval union counts each wall-clock instant at
+     * most once, so overhead is "time when no op was running". The
+     * clamp absorbs timer granularity at the step boundaries.
+     */
+    double OverheadSeconds() const;
 };
 
 /**

@@ -1,0 +1,101 @@
+#include "telemetry/exporters.h"
+
+#include <sstream>
+
+namespace fathom::telemetry {
+
+namespace {
+
+/** Writes a double with enough precision to round-trip reporting. */
+std::string
+FormatDouble(double v)
+{
+    std::ostringstream out;
+    out.precision(12);
+    out << v;
+    return out.str();
+}
+
+std::string
+PrometheusName(const std::string& name)
+{
+    std::string out = "fathom_";
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+MetricsToJsonl(const MetricsSnapshot& snapshot)
+{
+    std::ostringstream out;
+    for (const auto& [name, value] : snapshot.counters) {
+        out << "{\"kind\":\"counter\",\"name\":\"" << name
+            << "\",\"value\":" << value << "}\n";
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+        out << "{\"kind\":\"gauge\",\"name\":\"" << name
+            << "\",\"value\":" << FormatDouble(value) << "}\n";
+    }
+    for (const auto& [name, h] : snapshot.histograms) {
+        out << "{\"kind\":\"histogram\",\"name\":\"" << name
+            << "\",\"count\":" << h.count << ",\"sum\":" << h.sum
+            << ",\"mean\":" << FormatDouble(h.Mean()) << ",\"buckets\":{";
+        bool first = true;
+        for (int b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+            const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+            if (n == 0) {
+                continue;
+            }
+            if (!first) {
+                out << ",";
+            }
+            first = false;
+            out << "\"" << HistogramSnapshot::BucketUpperBound(b)
+                << "\":" << n;
+        }
+        out << "}}\n";
+    }
+    return out.str();
+}
+
+std::string
+MetricsToPrometheus(const MetricsSnapshot& snapshot)
+{
+    std::ostringstream out;
+    for (const auto& [name, value] : snapshot.counters) {
+        const std::string p = PrometheusName(name);
+        out << "# TYPE " << p << " counter\n" << p << " " << value << "\n";
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+        const std::string p = PrometheusName(name);
+        out << "# TYPE " << p << " gauge\n"
+            << p << " " << FormatDouble(value) << "\n";
+    }
+    for (const auto& [name, h] : snapshot.histograms) {
+        const std::string p = PrometheusName(name);
+        out << "# TYPE " << p << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int b = 0; b < HistogramSnapshot::kNumBuckets; ++b) {
+            const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+            if (n == 0) {
+                continue;
+            }
+            cumulative += n;
+            out << p << "_bucket{le=\""
+                << HistogramSnapshot::BucketUpperBound(b)
+                << "\"} " << cumulative << "\n";
+        }
+        out << p << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+            << p << "_sum " << h.sum << "\n"
+            << p << "_count " << h.count << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace fathom::telemetry

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Text exporters for metric snapshots: JSONL (one metric per line,
+ * machine-joinable with the Chrome trace) and Prometheus-style
+ * exposition text (scrapeable / grep-able).
+ */
+#ifndef FATHOM_TELEMETRY_EXPORTERS_H
+#define FATHOM_TELEMETRY_EXPORTERS_H
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace fathom::telemetry {
+
+/**
+ * One JSON object per line:
+ *   {"kind":"counter","name":"session.steps","value":12}
+ *   {"kind":"gauge","name":"...","value":0.5}
+ *   {"kind":"histogram","name":"...","count":8,"sum":40,"mean":5.0,
+ *    "buckets":{"1":2,"7":6}}
+ * Histogram bucket keys are the inclusive upper bound of each
+ * non-empty log2 bucket. Lines are sorted by metric name.
+ */
+std::string MetricsToJsonl(const MetricsSnapshot& snapshot);
+
+/**
+ * Prometheus exposition text. Metric names are prefixed with
+ * "fathom_" and dots become underscores; histograms emit cumulative
+ * `_bucket{le="..."}` series plus `_sum` and `_count`.
+ */
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace fathom::telemetry
+
+#endif  // FATHOM_TELEMETRY_EXPORTERS_H

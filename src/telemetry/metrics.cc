@@ -1,0 +1,178 @@
+#include "telemetry/metrics.h"
+
+#include <bit>
+
+namespace fathom::telemetry {
+
+namespace {
+
+/**
+ * Collection gate, read on every mutation. Relaxed is correct: the
+ * flag only modulates whether best-effort statistics accumulate; it
+ * never orders data.
+ */
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool
+MetricsEnabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+HistogramSnapshot::BucketUpperBound(int b)
+{
+    if (b <= 0) {
+        return 0;
+    }
+    if (b >= 64) {
+        return ~std::uint64_t{0};
+    }
+    return (std::uint64_t{1} << b) - 1;
+}
+
+void
+Histogram::Observe(std::uint64_t v)
+{
+    if (!MetricsEnabled()) {
+        return;
+    }
+    const int b = std::bit_width(v);  // 0 for v == 0.
+    buckets_[static_cast<std::size_t>(b)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    for (int b = 0; b < kNumBuckets; ++b) {
+        s.buckets[static_cast<std::size_t>(b)] =
+            buckets_[static_cast<std::size_t>(b)].load(
+                std::memory_order_relaxed);
+    }
+    return s;
+}
+
+void
+Histogram::Reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) {
+        b.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::uint64_t
+MetricsSnapshot::CounterValue(const std::string& name) const
+{
+    for (const auto& [n, v] : counters) {
+        if (n == name) {
+            return v;
+        }
+    }
+    return 0;
+}
+
+HistogramSnapshot
+MetricsSnapshot::HistogramValue(const std::string& name) const
+{
+    for (const auto& [n, h] : histograms) {
+        if (n == name) {
+            return h;
+        }
+    }
+    return HistogramSnapshot{};
+}
+
+MetricsRegistry&
+MetricsRegistry::Global()
+{
+    // Leaked intentionally: metric references handed out must outlive
+    // every static destructor that might still record.
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+void
+MetricsRegistry::set_enabled(bool enabled)
+{
+    g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Counter&
+MetricsRegistry::GetCounter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::GetGauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::GetHistogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>();
+    }
+    return *slot;
+}
+
+void
+MetricsRegistry::ResetAll()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) {
+        c->Reset();
+    }
+    for (auto& [name, g] : gauges_) {
+        g->Reset();
+    }
+    for (auto& [name, h] : histograms_) {
+        h->Reset();
+    }
+}
+
+MetricsSnapshot
+MetricsRegistry::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot s;
+    s.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        s.counters.emplace_back(name, c->value());
+    }
+    s.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        s.gauges.emplace_back(name, g->value());
+    }
+    s.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        s.histograms.emplace_back(name, h->snapshot());
+    }
+    return s;
+}
+
+}  // namespace fathom::telemetry

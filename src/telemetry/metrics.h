@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Low-overhead process-wide metrics: counters, gauges, and
+ * log2-bucketed histograms behind a registry with a snapshot API.
+ *
+ * The registry is the quantitative side of the paper's
+ * "application-level modeling tools": where the tracer answers *when*
+ * an op ran and for how long, metrics absorb the runtime signals that
+ * have no single op to attach to — executor ready-queue depth, worker
+ * busy/idle time, BufferPool fresh-vs-hit rates, GEMM pack-buffer
+ * reuse.
+ *
+ * Design constraints, in order:
+ *
+ *  1. The hot path must be lock-free and branch-cheap. Every mutation
+ *     (Counter::Add, Histogram::Observe) is a relaxed atomic RMW
+ *     guarded by one relaxed load of the global enabled flag; when
+ *     collection is disabled the mutation is a single load-and-branch.
+ *  2. Metric objects are created once and never destroyed, so callers
+ *     cache `Counter&` references (typically in function-local
+ *     statics) and never pay the name lookup per event.
+ *  3. Snapshots are taken without stopping writers: relaxed reads give
+ *     a consistent-enough view for reporting (individual values are
+ *     exact; cross-metric skew is bounded by the snapshot duration).
+ *
+ * This library sits below everything else in the repository (it
+ * depends only on the standard library) so the allocator, the thread
+ * pool, the kernels, and the runtime can all emit into it.
+ */
+#ifndef FATHOM_TELEMETRY_METRICS_H
+#define FATHOM_TELEMETRY_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fathom::telemetry {
+
+/** @return whether metric collection is globally enabled. */
+bool MetricsEnabled();
+
+/** Monotonically increasing event count. */
+class Counter {
+  public:
+    /** Adds @p n. Lock-free; a no-op while collection is disabled. */
+    void Add(std::uint64_t n = 1)
+    {
+        if (MetricsEnabled()) {
+            value_.fetch_add(n, std::memory_order_relaxed);
+        }
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-written instantaneous value. */
+class Gauge {
+  public:
+    /** Stores @p v. Lock-free; a no-op while collection is disabled. */
+    void Set(double v)
+    {
+        if (MetricsEnabled()) {
+            value_.store(v, std::memory_order_relaxed);
+        }
+    }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+    void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Point-in-time copy of one histogram. */
+struct HistogramSnapshot {
+    /**
+     * Bucket b counts observations v with bit_width(v) == b: bucket 0
+     * is exactly {0}, bucket b >= 1 covers [2^(b-1), 2^b - 1].
+     */
+    static constexpr int kNumBuckets = 65;
+
+    std::uint64_t count = 0;  ///< total observations.
+    std::uint64_t sum = 0;    ///< sum of observed values.
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+
+    double Mean() const
+    {
+        return count > 0 ? static_cast<double>(sum) /
+                               static_cast<double>(count)
+                         : 0.0;
+    }
+
+    /** @return inclusive upper bound of bucket @p b (2^b - 1; 0 for b=0). */
+    static std::uint64_t BucketUpperBound(int b);
+};
+
+/**
+ * Log2-bucketed distribution of non-negative integer observations
+ * (depths, microseconds, bytes). Buckets are powers of two, so
+ * Observe is a bit_width plus two relaxed atomic adds — no floating
+ * point, no locks.
+ */
+class Histogram {
+  public:
+    static constexpr int kNumBuckets = HistogramSnapshot::kNumBuckets;
+
+    /** Records @p v. Lock-free; a no-op while collection is disabled. */
+    void Observe(std::uint64_t v);
+
+    HistogramSnapshot snapshot() const;
+
+    void Reset();
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/** Point-in-time copy of every registered metric, sorted by name. */
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /** @return the counter's value, or 0 if absent. */
+    std::uint64_t CounterValue(const std::string& name) const;
+
+    /** @return the histogram, or an empty one if absent. */
+    HistogramSnapshot HistogramValue(const std::string& name) const;
+};
+
+/**
+ * The process-wide metric registry.
+ *
+ * Get* calls create-or-return by name (a mutex guards the maps; the
+ * returned references stay valid for the life of the process, which
+ * is how the hot path avoids the lookup). Names use dotted lowercase
+ * ("executor.ready_queue_depth"); the exporters transliterate as
+ * their format requires.
+ */
+class MetricsRegistry {
+  public:
+    static MetricsRegistry& Global();
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /**
+     * Turns collection on or off process-wide. Off (the default) makes
+     * every mutation a single relaxed load-and-branch, which is what
+     * keeps the un-instrumented hot path inside the <=2% overhead
+     * budget (bench_telemetry measures it).
+     */
+    static void set_enabled(bool enabled);
+    static bool enabled() { return MetricsEnabled(); }
+
+    /** @return the named counter, creating it on first use. */
+    Counter& GetCounter(const std::string& name);
+    Gauge& GetGauge(const std::string& name);
+    Histogram& GetHistogram(const std::string& name);
+
+    /** Zeroes every registered metric (benches/tests between runs). */
+    void ResetAll();
+
+    /** @return a relaxed, name-sorted copy of every metric. */
+    MetricsSnapshot Snapshot() const;
+
+  private:
+    mutable std::mutex mu_;  ///< guards the maps, not the metrics.
+    // std::map keeps snapshots name-sorted; unique_ptr keeps metric
+    // addresses stable across rehash-free map growth.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace fathom::telemetry
+
+#endif  // FATHOM_TELEMETRY_METRICS_H

@@ -2,9 +2,32 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace fathom {
 
 namespace {
+
+/** Allocator metrics, resolved once (see telemetry/metrics.h). */
+struct PoolMetrics {
+    telemetry::Counter& requests;
+    telemetry::Counter& fresh_allocs;
+    telemetry::Counter& pool_hits;
+
+    static PoolMetrics&
+    Get()
+    {
+        static PoolMetrics* m = [] {
+            auto& r = telemetry::MetricsRegistry::Global();
+            return new PoolMetrics{
+                r.GetCounter("allocator.requests"),
+                r.GetCounter("allocator.fresh_allocs"),
+                r.GetCounter("allocator.pool_hits"),
+            };
+        }();
+        return *m;
+    }
+};
 
 /** @return the bucket index whose size is the smallest power of two
  * holding @p bytes (minimum 64 bytes, one cache line). */
@@ -42,7 +65,7 @@ BufferPool::Global()
 }
 
 std::shared_ptr<char[]>
-BufferPool::Allocate(std::size_t bytes)
+BufferPool::Allocate(std::size_t bytes, bool* from_pool)
 {
     const int bucket = BucketIndex(std::max<std::size_t>(bytes, 1));
     const std::size_t bucket_bytes = std::size_t{1} << bucket;
@@ -58,12 +81,21 @@ BufferPool::Allocate(std::size_t bytes)
             list.pop_back();
         }
     }
-    if (block != nullptr) {
+    const bool hit = block != nullptr;
+    if (hit) {
         pool_hits_.fetch_add(1, std::memory_order_relaxed);
         pooled_bytes_.fetch_sub(bucket_bytes, std::memory_order_relaxed);
     } else {
         block = new char[bucket_bytes];
         fresh_allocs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (from_pool != nullptr) {
+        *from_pool = hit;
+    }
+    if (telemetry::MetricsEnabled()) {
+        PoolMetrics& pm = PoolMetrics::Get();
+        pm.requests.Add(1);
+        (hit ? pm.pool_hits : pm.fresh_allocs).Add(1);
     }
 
     const std::uint64_t live =

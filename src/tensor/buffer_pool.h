@@ -52,8 +52,15 @@ class BufferPool {
     /**
      * @return a block of at least @p bytes whose deleter returns it to
      * this pool. Thread-safe.
+     *
+     * When @p from_pool is non-null it is set to whether the request
+     * was served from a free list (vs. a fresh system allocation), so
+     * callers with their own reuse metrics (e.g. the GEMM pack-buffer
+     * counters) can attribute the hit without re-deriving it from
+     * global counter deltas.
      */
-    std::shared_ptr<char[]> Allocate(std::size_t bytes);
+    std::shared_ptr<char[]> Allocate(std::size_t bytes,
+                                     bool* from_pool = nullptr);
 
     /**
      * Enables or disables recycling. When off, freed blocks go back to

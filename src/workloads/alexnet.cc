@@ -38,10 +38,7 @@ class AlexNetWorkload : public Workload {
     Setup(const WorkloadConfig& config) override
     {
         batch_ = config.batch_size > 0 ? config.batch_size : 4;
-        session_ = std::make_unique<runtime::Session>(config.seed);
-        session_->SetThreads(config.threads);
-        session_->SetInterOpThreads(config.inter_op_threads);
-        session_->SetMemoryPlanning(config.memory_planner);
+        session_ = MakeSession(config);
         dataset_ = std::make_unique<data::SyntheticImageDataset>(
             kInput, 3, kClasses, config.seed ^ 0xA1E);
 

@@ -44,10 +44,7 @@ class DeepQWorkload : public Workload {
     Setup(const WorkloadConfig& config) override
     {
         batch_ = config.batch_size > 0 ? config.batch_size : 8;
-        session_ = std::make_unique<runtime::Session>(config.seed);
-        session_->SetThreads(config.threads);
-        session_->SetInterOpThreads(config.inter_op_threads);
-        session_->SetMemoryPlanning(config.memory_planner);
+        session_ = MakeSession(config);
         env_ = std::make_unique<data::MiniAtari>(kGrid, kScale,
                                                  config.seed ^ 0xDD);
         policy_rng_ = Rng(config.seed * 131 + 7);

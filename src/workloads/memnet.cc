@@ -44,10 +44,7 @@ class MemNetWorkload : public Workload {
     Setup(const WorkloadConfig& config) override
     {
         batch_ = config.batch_size > 0 ? config.batch_size : 8;
-        session_ = std::make_unique<runtime::Session>(config.seed);
-        session_->SetThreads(config.threads);
-        session_->SetInterOpThreads(config.inter_op_threads);
-        session_->SetMemoryPlanning(config.memory_planner);
+        session_ = MakeSession(config);
         dataset_ = std::make_unique<data::SyntheticBabiDataset>(
             kSentences, kSentenceLen, /*two_hop=*/true, config.seed ^ 0xBAB1);
         vocab_ = dataset_->vocab();

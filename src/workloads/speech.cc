@@ -39,10 +39,7 @@ class SpeechWorkload : public Workload {
     Setup(const WorkloadConfig& config) override
     {
         batch_ = config.batch_size > 0 ? config.batch_size : 2;
-        session_ = std::make_unique<runtime::Session>(config.seed);
-        session_->SetThreads(config.threads);
-        session_->SetInterOpThreads(config.inter_op_threads);
-        session_->SetMemoryPlanning(config.memory_planner);
+        session_ = MakeSession(config);
         dataset_ = std::make_unique<data::SyntheticTimitDataset>(
             kFreq, kPhonemes, kTime, config.seed ^ 0x5BEEC);
 

@@ -4,8 +4,21 @@
 #include <stdexcept>
 
 #include "ops/register.h"
+#include "telemetry/metrics.h"
 
 namespace fathom::workloads {
+
+std::unique_ptr<runtime::Session>
+Workload::MakeSession(const WorkloadConfig& config)
+{
+    auto session = std::make_unique<runtime::Session>(config.seed);
+    session->SetThreads(config.threads);
+    session->SetInterOpThreads(config.inter_op_threads);
+    session->SetMemoryPlanning(config.memory_planner);
+    session->tracer().set_enabled(config.tracing);
+    telemetry::MetricsRegistry::set_enabled(config.telemetry);
+    return session;
+}
 
 float
 Workload::EvaluateAccuracy(int batches)

@@ -45,6 +45,23 @@ struct WorkloadConfig {
      * stay bit-identical; see Session::SetMemoryPlanning).
      */
     bool memory_planner = true;
+
+    /**
+     * Per-op execution tracing (timestamps, costs; the input of every
+     * Figs. 1-6 analysis). On by default, matching historical behavior;
+     * turn off for pure-throughput runs — with it off the executor
+     * takes no per-op clock readings at all.
+     */
+    bool tracing = true;
+
+    /**
+     * Process-wide metrics collection (telemetry::MetricsRegistry):
+     * executor queue depth, worker busy/idle, allocator hit rates,
+     * GEMM pack reuse. Off by default; the registry is global, so this
+     * flag is last-Setup-wins across concurrently configured
+     * workloads.
+     */
+    bool telemetry = false;
 };
 
 /** Aggregate result of a timed run of steps. */
@@ -118,6 +135,15 @@ class Workload {
     std::int64_t num_parameters() const;
 
   protected:
+    /**
+     * @return a session with every WorkloadConfig execution knob
+     * applied (threads, inter-op width, memory planner, tracing,
+     * telemetry). Every model's Setup() starts with this, so a new
+     * knob lands in all eight workloads at once.
+     */
+    static std::unique_ptr<runtime::Session> MakeSession(
+        const WorkloadConfig& config);
+
     std::unique_ptr<runtime::Session> session_;
 };
 

@@ -6,8 +6,16 @@
 # whole-suite batteries add `slow` so developers can skip them locally
 # with `ctest -LE slow`. Everything stays in `tier1`.
 foreach(test IN LISTS concurrency_fast_TESTS)
-    set_tests_properties("${test}" PROPERTIES
-        LABELS "tier1;concurrency")
+    # The telemetry concurrency battery is also part of the
+    # observability suite (CI smoke-tests the instrumentation paths
+    # with `ctest -L observability`).
+    if(test MATCHES "Telemetry")
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;concurrency;observability")
+    else()
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;concurrency")
+    endif()
 endforeach()
 foreach(test IN LISTS concurrency_battery_TESTS)
     # The GEMM determinism battery is both a concurrency test (it races
@@ -23,4 +31,17 @@ endforeach()
 foreach(test IN LISTS kernel_battery_TESTS)
     set_tests_properties("${test}" PROPERTIES
         LABELS "tier1;kernels")
+endforeach()
+foreach(test IN LISTS observability_TESTS)
+    # The overhead-budget test is a wall-clock assertion; RUN_SERIAL
+    # keeps `ctest -j` from co-scheduling 400 other tests against it
+    # (the contention, not the instrumentation, is what would trip the
+    # 2% budget).
+    if(test MATCHES "Overhead")
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;observability" RUN_SERIAL TRUE)
+    else()
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;observability")
+    endif()
 endforeach()

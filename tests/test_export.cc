@@ -248,9 +248,16 @@ TEST_F(ExportTest, ChromeTraceIsWellFormedJson)
     EXPECT_NE(json.find("\"name\": \"MatMul\""), std::string::npos);
     EXPECT_NE(json.find("\"cat\": \"MatrixOps\""), std::string::npos);
     EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
-    // Two steps -> two distinct tracks.
+    // Lane metadata: the step track plus the worker-0 op lane (the
+    // sequential executor runs everything on lane 0 -> tid 1).
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"steps\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"worker-0\""), std::string::npos);
+    EXPECT_NE(json.find("\"tid\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
-    EXPECT_NE(json.find("\"tid\": 2"), std::string::npos);
+    // Two steps -> two step-span events on the step track.
+    EXPECT_NE(json.find("\"name\": \"step 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"step 1\""), std::string::npos);
     // Balanced braces (cheap well-formedness proxy).
     EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
               std::count(json.begin(), json.end(), '}'));

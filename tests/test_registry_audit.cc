@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Registry completeness audit.
+ *
+ * Every registered op must carry a kernel AND a cost function: the
+ * roofline report and the device model divide by and join on OpCost,
+ * so a null CostFn silently degrades a whole op type to the executor's
+ * bytes-only fallback. This test enumerates the real registry after
+ * full workload registration, so adding an op without a cost model
+ * fails CI by name.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/op_registry.h"
+#include "workloads/workload.h"
+
+namespace fathom {
+namespace {
+
+TEST(RegistryAuditTest, EveryOpHasKernelAndCostFn)
+{
+    workloads::RegisterAllWorkloads();
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    const auto names = registry.Names();
+    ASSERT_GT(names.size(), 30u) << "registry suspiciously small";
+    for (const auto& name : names) {
+        const graph::OpDef& def = registry.Lookup(name);
+        EXPECT_TRUE(static_cast<bool>(def.kernel))
+            << "op '" << name << "' has no kernel";
+        EXPECT_TRUE(static_cast<bool>(def.cost))
+            << "op '" << name
+            << "' has no CostFn: roofline/device-model analyses would "
+               "fall back to a bytes-only estimate for it";
+        EXPECT_EQ(def.name, name);
+    }
+}
+
+TEST(RegistryAuditTest, CostFnsReturnFiniteNonNegativeCosts)
+{
+    // Zero-input smoke of the cost hooks that don't need real tensors:
+    // the data-movement default must be well-behaved on empty i/o.
+    workloads::RegisterAllWorkloads();
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    graph::Node node;
+    node.op_type = "NoOp";
+    const graph::OpCost cost =
+        registry.Lookup("NoOp").cost(node, {}, {});
+    EXPECT_EQ(cost.flops, 0.0);
+    EXPECT_EQ(cost.bytes, 0.0);
+    EXPECT_GE(cost.parallel_work, 1);
+}
+
+}  // namespace
+}  // namespace fathom
