@@ -1,0 +1,537 @@
+#include "serving/frozen_plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fathom::serving {
+
+namespace {
+
+/** Untyped byte view of a tensor's buffer (dtype-dispatched). */
+char*
+RawBytes(Tensor& t)
+{
+    return t.dtype() == DType::kFloat32
+               ? reinterpret_cast<char*>(t.data<float>())
+               : reinterpret_cast<char*>(t.data<std::int32_t>());
+}
+
+const char*
+RawBytes(const Tensor& t)
+{
+    return t.dtype() == DType::kFloat32
+               ? reinterpret_cast<const char*>(t.data<float>())
+               : reinterpret_cast<const char*>(t.data<std::int32_t>());
+}
+
+Shape
+BatchedShape(std::int64_t batch, const std::vector<std::int64_t>& example)
+{
+    std::vector<std::int64_t> dims;
+    dims.reserve(example.size() + 1);
+    dims.push_back(batch);
+    dims.insert(dims.end(), example.begin(), example.end());
+    return Shape(std::move(dims));
+}
+
+}  // namespace
+
+std::shared_ptr<const FrozenPlan>
+FrozenPlan::Freeze(const runtime::Session& session,
+                   const InferenceSignature& signature,
+                   const FrozenPlanOptions& options)
+{
+    if (signature.fetches.empty()) {
+        throw std::invalid_argument("FrozenPlan::Freeze: no fetches");
+    }
+    if (signature.output_names.size() != signature.fetches.size()) {
+        throw std::invalid_argument(
+            "FrozenPlan::Freeze: output_names/fetches size mismatch");
+    }
+
+    // shared_ptr with private ctor: wrap manually.
+    std::shared_ptr<FrozenPlan> plan(new FrozenPlan());
+    plan->signature_ = signature;
+    plan->inter_op_threads_ = std::max(options.inter_op_threads, 1);
+    plan->intra_pool_ = std::make_unique<parallel::ThreadPool>(
+        std::max(options.intra_op_threads, 1));
+    if (plan->inter_op_threads_ > 1) {
+        plan->inter_pool_ = std::make_unique<parallel::ThreadPool>(
+            plan->inter_op_threads_);
+    }
+
+    const graph::Graph& src = session.graph();
+    std::vector<graph::NodeId> roots;
+    roots.reserve(signature.fetches.size());
+    for (const graph::Output& f : signature.fetches) {
+        roots.push_back(f.node);
+    }
+    const std::vector<graph::NodeId> order = src.TopologicalOrder(roots);
+
+    std::unordered_map<std::string, const TensorSpec*> declared;
+    for (const TensorSpec& spec : signature.inputs) {
+        declared[spec.name] = &spec;
+    }
+
+    // Copy the reachable subgraph, in topological order so every
+    // remapped input already exists, snapshotting state as we go.
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    std::unordered_map<graph::NodeId, graph::NodeId> remap;
+    remap.reserve(order.size());
+    for (graph::NodeId id : order) {
+        const graph::Node& node = src.node(id);
+        std::vector<graph::Output> inputs;
+        inputs.reserve(node.inputs.size());
+        for (const graph::Output& in : node.inputs) {
+            inputs.push_back({remap.at(in.node), in.index});
+        }
+        const graph::NodeId frozen = plan->graph_.AddNode(
+            node.name, node.op_type, std::move(inputs), node.attrs,
+            node.num_outputs);
+        remap[id] = frozen;
+        for (graph::NodeId c : node.control_inputs) {
+            plan->graph_.AddControlEdge(remap.at(c), frozen);
+        }
+
+        if (node.op_type == "Placeholder") {
+            if (declared.find(node.name) == declared.end()) {
+                throw std::invalid_argument(
+                    "FrozenPlan::Freeze: reachable placeholder '" +
+                    node.name + "' not declared in the signature");
+            }
+            plan->input_nodes_[node.name] = frozen;
+        } else if (node.op_type == "Variable") {
+            // Deep copy: the source session's in-place optimizer
+            // updates must never reach a frozen plan.
+            plan->prebound_.emplace_back(
+                frozen, session.variables()
+                            .Get(node.attr("var_name").AsString())
+                            .Clone());
+        } else if (node.op_type == "Const") {
+            // Consts are immutable; share the buffer.
+            plan->prebound_.emplace_back(
+                frozen,
+                session.variables().Get(node.attr("var_name").AsString()));
+        } else {
+            const graph::OpDef& def = registry.Lookup(node.op_type);
+            if (def.stateful) {
+                throw std::invalid_argument(
+                    "FrozenPlan::Freeze: inference subgraph contains "
+                    "stateful op '" +
+                    node.name + "' (" + node.op_type +
+                    "); freeze a deterministic serving head instead");
+            }
+            Step step;
+            step.node = frozen;
+            step.def = &def;
+            step.seq = static_cast<std::int32_t>(plan->steps_.size());
+            plan->steps_.push_back(step);
+        }
+    }
+
+    for (const TensorSpec& spec : signature.inputs) {
+        if (plan->input_nodes_.find(spec.name) == plan->input_nodes_.end()) {
+            throw std::invalid_argument(
+                "FrozenPlan::Freeze: declared input '" + spec.name +
+                "' is not a placeholder of the inference subgraph");
+        }
+    }
+
+    plan->fetches_.reserve(signature.fetches.size());
+    for (const graph::Output& f : signature.fetches) {
+        plan->fetches_.push_back({remap.at(f.node), f.index});
+    }
+
+    // Dependency + liveness structure over executable steps only
+    // (placeholder and prebound values exist before execution starts,
+    // so edges from them impose no ordering and hold no credit).
+    const std::size_t n = plan->steps_.size();
+    std::unordered_map<graph::NodeId, std::int32_t> step_of;
+    step_of.reserve(n);
+    for (const Step& s : plan->steps_) {
+        step_of[s.node] = s.seq;
+    }
+    std::unordered_set<graph::NodeId> fetched;
+    for (const graph::Output& f : plan->fetches_) {
+        fetched.insert(f.node);
+    }
+    plan->dependents_.assign(n, {});
+    plan->initial_pending_.assign(n, 0);
+    plan->input_producers_.assign(n, {});
+    plan->consumer_count_.assign(n, 0);
+    plan->releasable_.assign(n, 0);
+    std::vector<std::int32_t> deps;
+    for (std::size_t i = 0; i < n; ++i) {
+        const graph::Node& node = plan->graph_.node(plan->steps_[i].node);
+        plan->releasable_[i] = fetched.count(plan->steps_[i].node) == 0;
+        deps.clear();
+        auto& producers = plan->input_producers_[i];
+        for (const graph::Output& in : node.inputs) {
+            auto p = step_of.find(in.node);
+            if (p != step_of.end()) {
+                deps.push_back(p->second);
+                producers.push_back(p->second);
+            }
+        }
+        for (graph::NodeId c : node.control_inputs) {
+            auto p = step_of.find(c);
+            if (p != step_of.end()) {
+                deps.push_back(p->second);
+            }
+        }
+        std::sort(deps.begin(), deps.end());
+        deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+        plan->initial_pending_[i] = static_cast<std::int32_t>(deps.size());
+        for (std::int32_t d : deps) {
+            plan->dependents_[static_cast<std::size_t>(d)].push_back(
+                static_cast<std::int32_t>(i));
+        }
+        std::sort(producers.begin(), producers.end());
+        producers.erase(std::unique(producers.begin(), producers.end()),
+                        producers.end());
+        for (std::int32_t p : producers) {
+            ++plan->consumer_count_[static_cast<std::size_t>(p)];
+        }
+    }
+
+    return plan;
+}
+
+void
+FrozenPlan::CheckFeed(const TensorSpec& spec, const Tensor& value,
+                      std::int64_t batch) const
+{
+    if (!value.initialized()) {
+        throw std::invalid_argument("FrozenPlan: input '" + spec.name +
+                                    "' is empty");
+    }
+    if (value.dtype() != spec.dtype) {
+        throw std::invalid_argument(
+            "FrozenPlan: input '" + spec.name + "' dtype " +
+            DTypeName(value.dtype()) + " != declared " +
+            DTypeName(spec.dtype));
+    }
+    const auto& dims = value.shape().dims();
+    bool ok = dims.size() == spec.example_dims.size() + 1 &&
+              dims[0] == batch;
+    for (std::size_t d = 0; ok && d < spec.example_dims.size(); ++d) {
+        ok = dims[d + 1] == spec.example_dims[d];
+    }
+    if (!ok) {
+        throw std::invalid_argument(
+            "FrozenPlan: input '" + spec.name + "' has shape " +
+            value.DebugString() + ", expected batch " +
+            std::to_string(batch) + " x declared example shape");
+    }
+}
+
+void
+FrozenPlan::RunStep(std::size_t seq,
+                    std::vector<std::vector<Tensor>>& values) const
+{
+    const Step& step = steps_[seq];
+    const graph::Node& node = graph_.node(step.node);
+
+    std::vector<Tensor> inputs;
+    inputs.reserve(node.inputs.size());
+    for (const graph::Output& in : node.inputs) {
+        const auto& produced = values[static_cast<std::size_t>(in.node)];
+        if (static_cast<std::size_t>(in.index) >= produced.size() ||
+            !produced[static_cast<std::size_t>(in.index)].initialized()) {
+            throw std::logic_error("FrozenPlan: node '" + node.name +
+                                   "' input from '" +
+                                   graph_.node(in.node).name +
+                                   "' was not produced");
+        }
+        inputs.push_back(produced[static_cast<std::size_t>(in.index)]);
+    }
+
+    graph::OpContext ctx(node, &inputs, *intra_pool_, rng_,
+                         empty_variables_);
+    try {
+        step.def->kernel(ctx);
+    } catch (const std::exception& e) {
+        throw std::runtime_error("FrozenPlan: op '" + node.name + "' (" +
+                                 node.op_type + ") failed: " + e.what());
+    }
+    values[static_cast<std::size_t>(step.node)] = std::move(ctx.outputs());
+}
+
+void
+FrozenPlan::ReleaseDead(std::size_t seq,
+                        std::atomic<std::int32_t>* remaining,
+                        std::vector<std::vector<Tensor>>& values) const
+{
+    // A step nothing reads dies on completion (there are no run-only
+    // targets in a frozen plan, but Group-style fan-ins fetch nothing).
+    if (releasable_[seq] && consumer_count_[seq] == 0) {
+        values[static_cast<std::size_t>(steps_[seq].node)].clear();
+    }
+    for (std::int32_t p : input_producers_[seq]) {
+        const auto ps = static_cast<std::size_t>(p);
+        // acq_rel: the consumer that takes the count to zero observes
+        // all other consumers' reads complete (see session.cc).
+        if (remaining[ps].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            releasable_[ps]) {
+            values[static_cast<std::size_t>(steps_[ps].node)].clear();
+        }
+    }
+}
+
+void
+FrozenPlan::RunParallel(std::vector<std::vector<Tensor>>& values,
+                        std::atomic<std::int32_t>* remaining) const
+{
+    const std::size_t total = steps_.size();
+
+    struct ExecState {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::deque<std::int32_t> ready;
+        std::vector<std::int32_t> pending;
+        std::size_t active = 0;
+        std::size_t completed = 0;
+        bool stopped = false;
+        std::size_t error_seq = SIZE_MAX;
+        std::exception_ptr error;
+    };
+    ExecState state;
+    state.pending = initial_pending_;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (state.pending[i] == 0) {
+            state.ready.push_back(static_cast<std::int32_t>(i));
+        }
+    }
+
+    // Same drain-loop shape as Session::RunParallel, with no barriers
+    // (stateful ops were rejected at freeze time): lanes claim ready
+    // steps until the plan completes or an error stops the schedule;
+    // among concurrently failing steps the lowest sequence wins, so
+    // the surfaced error is deterministic.
+    auto drain = [this, &values, &state, remaining, total] {
+        for (;;) {
+            std::int32_t seq = -1;
+            {
+                std::unique_lock<std::mutex> lock(state.mu);
+                state.cv.wait(lock, [&state, total] {
+                    return state.stopped || !state.ready.empty() ||
+                           (state.active == 0 && state.completed == total);
+                });
+                if (state.stopped || state.ready.empty()) {
+                    return;
+                }
+                seq = state.ready.front();
+                state.ready.pop_front();
+                ++state.active;
+            }
+            std::exception_ptr err;
+            try {
+                RunStep(static_cast<std::size_t>(seq), values);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            if (!err) {
+                ReleaseDead(static_cast<std::size_t>(seq), remaining,
+                            values);
+            }
+            {
+                std::lock_guard<std::mutex> lock(state.mu);
+                --state.active;
+                ++state.completed;
+                if (err) {
+                    state.stopped = true;
+                    if (static_cast<std::size_t>(seq) < state.error_seq) {
+                        state.error_seq = static_cast<std::size_t>(seq);
+                        state.error = err;
+                    }
+                } else if (!state.stopped) {
+                    for (std::int32_t d :
+                         dependents_[static_cast<std::size_t>(seq)]) {
+                        if (--state.pending[static_cast<std::size_t>(d)] ==
+                            0) {
+                            state.ready.push_back(d);
+                        }
+                    }
+                }
+            }
+            state.cv.notify_all();
+        }
+    };
+
+    const std::size_t width = std::min(
+        static_cast<std::size_t>(inter_op_threads_), total);
+    std::vector<std::function<void()>> loops;
+    loops.reserve(width);
+    for (std::size_t lane = 0; lane < width; ++lane) {
+        loops.push_back(drain);
+    }
+    inter_pool_->RunTasks(std::move(loops));
+
+    if (state.error) {
+        std::rethrow_exception(state.error);
+    }
+}
+
+std::vector<Tensor>
+FrozenPlan::Run(const std::map<std::string, Tensor>& feeds) const
+{
+    // Resolve the batch from the first declared input and validate
+    // every feed against it (and against the plan's fixed batch).
+    if (signature_.inputs.empty()) {
+        throw std::logic_error("FrozenPlan::Run: plan declares no inputs");
+    }
+    auto first = feeds.find(signature_.inputs.front().name);
+    if (first == feeds.end() || !first->second.initialized() ||
+        first->second.shape().rank() == 0) {
+        throw std::invalid_argument("FrozenPlan::Run: missing input '" +
+                                    signature_.inputs.front().name + "'");
+    }
+    const std::int64_t batch = first->second.shape().dims()[0];
+    if (signature_.fixed_batch > 0 && batch != signature_.fixed_batch) {
+        throw std::invalid_argument(
+            "FrozenPlan::Run: plan was frozen at fixed batch " +
+            std::to_string(signature_.fixed_batch) + ", got " +
+            std::to_string(batch));
+    }
+
+    std::vector<std::vector<Tensor>> values(
+        static_cast<std::size_t>(graph_.num_nodes()));
+    for (const auto& [id, value] : prebound_) {
+        values[static_cast<std::size_t>(id)] = {value};
+    }
+    for (const TensorSpec& spec : signature_.inputs) {
+        auto fed = feeds.find(spec.name);
+        if (fed == feeds.end()) {
+            throw std::invalid_argument("FrozenPlan::Run: missing input '" +
+                                        spec.name + "'");
+        }
+        CheckFeed(spec, fed->second, batch);
+        values[static_cast<std::size_t>(input_nodes_.at(spec.name))] = {
+            fed->second};
+    }
+
+    // Per-run liveness credits: intermediates die at their last
+    // consumer and their buffers recycle through the pool, which is
+    // what keeps steady-state serving allocation-free.
+    auto remaining =
+        std::make_unique<std::atomic<std::int32_t>[]>(steps_.size());
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+        remaining[i].store(consumer_count_[i], std::memory_order_relaxed);
+    }
+
+    if (inter_op_threads_ > 1 && steps_.size() > 1) {
+        RunParallel(values, remaining.get());
+    } else {
+        for (std::size_t seq = 0; seq < steps_.size(); ++seq) {
+            RunStep(seq, values);
+            ReleaseDead(seq, remaining.get(), values);
+        }
+    }
+
+    std::vector<Tensor> results;
+    results.reserve(fetches_.size());
+    for (const graph::Output& f : fetches_) {
+        const auto& produced = values[static_cast<std::size_t>(f.node)];
+        if (static_cast<std::size_t>(f.index) >= produced.size() ||
+            !produced[static_cast<std::size_t>(f.index)].initialized()) {
+            throw std::logic_error("FrozenPlan::Run: fetch of '" +
+                                   graph_.node(f.node).name +
+                                   "' produced no value");
+        }
+        results.push_back(produced[static_cast<std::size_t>(f.index)]);
+    }
+    return results;
+}
+
+std::vector<std::vector<Tensor>>
+FrozenPlan::ServeBatch(const std::vector<const RequestFeeds*>& requests) const
+{
+    const std::int64_t n = static_cast<std::int64_t>(requests.size());
+    if (n == 0) {
+        return {};
+    }
+    const std::int64_t padded =
+        signature_.fixed_batch > 0 ? signature_.fixed_batch : n;
+    if (n > padded) {
+        throw std::invalid_argument(
+            "FrozenPlan::ServeBatch: " + std::to_string(n) +
+            " requests exceed the fixed plan batch " +
+            std::to_string(padded));
+    }
+
+    // Gather: stack each input along a fresh batch dimension; padding
+    // rows replicate the first request (row independence makes their
+    // content irrelevant to real rows; replication keeps them inside
+    // every kernel's well-conditioned input range).
+    std::map<std::string, Tensor> feeds;
+    for (const TensorSpec& spec : signature_.inputs) {
+        Tensor batched(spec.dtype, BatchedShape(padded, spec.example_dims));
+        const std::size_t row_bytes =
+            batched.byte_size() / static_cast<std::size_t>(padded);
+        char* dst = RawBytes(batched);
+        for (std::int64_t i = 0; i < padded; ++i) {
+            const RequestFeeds& request =
+                *requests[static_cast<std::size_t>(std::min(i, n - 1))];
+            auto it = request.find(spec.name);
+            if (it == request.end()) {
+                throw std::invalid_argument(
+                    "FrozenPlan::ServeBatch: request missing input '" +
+                    spec.name + "'");
+            }
+            CheckFeed(spec, it->second, /*batch=*/1);
+            std::memcpy(dst + static_cast<std::size_t>(i) * row_bytes,
+                        RawBytes(it->second), row_bytes);
+        }
+        feeds.emplace(spec.name, std::move(batched));
+    }
+
+    const std::vector<Tensor> batched_outputs = Run(feeds);
+
+    // Scatter: slice row i of every batch-major output back to
+    // request i; padding rows are dropped.
+    std::vector<std::vector<Tensor>> per_request(
+        static_cast<std::size_t>(n));
+    for (auto& outputs : per_request) {
+        outputs.reserve(batched_outputs.size());
+    }
+    for (std::size_t f = 0; f < batched_outputs.size(); ++f) {
+        const Tensor& out = batched_outputs[f];
+        const auto& dims = out.shape().dims();
+        if (dims.empty() || dims[0] != padded) {
+            throw std::logic_error(
+                "FrozenPlan::ServeBatch: output '" +
+                signature_.output_names[f] +
+                "' is not batch-major (shape " + out.DebugString() +
+                ", batch " + std::to_string(padded) + ")");
+        }
+        std::vector<std::int64_t> row_dims(dims.begin(), dims.end());
+        row_dims[0] = 1;
+        const std::size_t row_bytes =
+            out.byte_size() / static_cast<std::size_t>(padded);
+        const char* src = RawBytes(out);
+        for (std::int64_t i = 0; i < n; ++i) {
+            Tensor row(out.dtype(), Shape(row_dims));
+            std::memcpy(RawBytes(row),
+                        src + static_cast<std::size_t>(i) * row_bytes,
+                        row_bytes);
+            per_request[static_cast<std::size_t>(i)].push_back(
+                std::move(row));
+        }
+    }
+    return per_request;
+}
+
+std::vector<Tensor>
+FrozenPlan::ServeOne(const RequestFeeds& request) const
+{
+    return ServeBatch({&request})[0];
+}
+
+}  // namespace fathom::serving

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * FrozenPlan: an immutable, reentrant inference executable.
+ *
+ * The serving layer's answer to the Session split the ROADMAP calls
+ * for: Session owns *mutable* training state (variables updated in
+ * place, an RNG advanced by sampling ops, a tracer, plan caches), so a
+ * Session cannot safely serve concurrent clients. Freeze() extracts
+ * the inference-only subgraph reachable from a model's serving
+ * fetches into a self-contained plan:
+ *
+ *  - The subgraph is copied into a private graph (the source session
+ *    may keep training, be checkpointed, or be destroyed afterwards).
+ *  - Stateful ops (random sampling, variable updates) are rejected:
+ *    a frozen plan has no execution barriers, so every op-level
+ *    dependency is a real data/control edge and requests run fully
+ *    parallel.
+ *  - Variable reads are snapshotted: each reachable Variable's tensor
+ *    is deep-copied at freeze time and pre-bound into the plan
+ *    (in-place optimizer updates on the source session can never leak
+ *    into a frozen plan, and the per-step Variable-clone the training
+ *    executor pays is not paid per request). Const values are
+ *    immutable and shared by reference.
+ *
+ * After Freeze(), Run() is const and thread-safe: any number of
+ * threads may execute the plan concurrently, each with its own value
+ * workspace. Outputs are bit-identical across inter-op widths (pure
+ * ops commute) and across runs (weights are frozen).
+ */
+#ifndef FATHOM_SERVING_FROZEN_PLAN_H
+#define FATHOM_SERVING_FROZEN_PLAN_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/op_registry.h"
+#include "parallel/thread_pool.h"
+#include "runtime/session.h"
+#include "tensor/tensor.h"
+
+namespace fathom::serving {
+
+/** Declared layout of one serving input: per-example, no batch dim. */
+struct TensorSpec {
+    std::string name;  ///< placeholder node name in the source graph.
+    DType dtype = DType::kFloat32;
+    /** Shape of ONE example; the serving batch dim is prepended. */
+    std::vector<std::int64_t> example_dims;
+};
+
+/**
+ * A model's servable endpoint, declared against its live session.
+ *
+ * `fixed_batch` handles graphs whose structure bakes in the batch size
+ * (unrolled recurrence with constant initial state, explicit Tile or
+ * Reshape by batch): 0 means the graph accepts any leading batch
+ * dimension; a positive value means every execution must be padded to
+ * exactly that many rows (the dynamic batcher pads short batches and
+ * discards the padding rows on scatter).
+ */
+struct InferenceSignature {
+    std::vector<TensorSpec> inputs;
+    std::vector<graph::Output> fetches;     ///< in the source graph.
+    std::vector<std::string> output_names;  ///< parallel to fetches.
+    std::int64_t fixed_batch = 0;
+};
+
+/** Execution knobs fixed at freeze time (the plan stays immutable). */
+struct FrozenPlanOptions {
+    int intra_op_threads = 1;  ///< kernel-internal pool width.
+    int inter_op_threads = 1;  ///< concurrent ops per execution.
+};
+
+/** Feeds for one single-example request: name -> [1, ...] tensor. */
+using RequestFeeds = std::map<std::string, Tensor>;
+
+class FrozenPlan {
+  public:
+    /**
+     * Freezes the subgraph of @p session producing @p
+     * signature.fetches.
+     *
+     * @throws std::invalid_argument if the subgraph contains a
+     *         stateful op (sampling, variable update), if a reachable
+     *         placeholder is not declared in the signature, or if a
+     *         declared input is not a placeholder.
+     */
+    static std::shared_ptr<const FrozenPlan> Freeze(
+        const runtime::Session& session, const InferenceSignature& signature,
+        const FrozenPlanOptions& options = {});
+
+    FrozenPlan(const FrozenPlan&) = delete;
+    FrozenPlan& operator=(const FrozenPlan&) = delete;
+
+    const InferenceSignature& signature() const { return signature_; }
+    std::int64_t fixed_batch() const { return signature_.fixed_batch; }
+    int inter_op_threads() const { return inter_op_threads_; }
+
+    /** @return executable (non-source) op count, for introspection. */
+    std::size_t num_steps() const { return steps_.size(); }
+
+    /**
+     * Executes the plan on batched feeds (name -> [B, ...] tensor).
+     *
+     * Thread-safe and reentrant: concurrent calls share only immutable
+     * plan state, the buffer pool, and the (internally synchronized)
+     * thread pool. @p batch must equal fixed_batch when one is set.
+     *
+     * @return the fetched tensors, in signature order.
+     */
+    std::vector<Tensor> Run(const std::map<std::string, Tensor>& feeds) const;
+
+    /**
+     * Serves a coalesced batch of single-example requests: stacks each
+     * input along a new leading batch dimension (padding to
+     * fixed_batch by replicating the first request when the graph
+     * demands it), executes once, and slices each output row back to
+     * its request.
+     *
+     * Per-request results are bit-identical to serving the request in
+     * any other batch composition — the equivalence battery in
+     * tests/test_serving.cc enforces this — because every op in a
+     * frozen plan computes each batch row independently.
+     *
+     * @return per request, the fetched [1, ...] tensors in signature
+     *         order.
+     */
+    std::vector<std::vector<Tensor>> ServeBatch(
+        const std::vector<const RequestFeeds*>& requests) const;
+
+    /** ServeBatch for a single request (the batch-size-1 baseline). */
+    std::vector<Tensor> ServeOne(const RequestFeeds& request) const;
+
+  private:
+    FrozenPlan() = default;
+
+    /** One executable entry: frozen-graph node + resolved op def. */
+    struct Step {
+        graph::NodeId node = -1;
+        const graph::OpDef* def = nullptr;
+        std::int32_t seq = -1;  ///< dense index into steps_.
+    };
+
+    /** Validates one batched feed tensor against its spec. */
+    void CheckFeed(const TensorSpec& spec, const Tensor& value,
+                   std::int64_t batch) const;
+
+    /** Executes step @p seq into @p values (see session.cc). */
+    void RunStep(std::size_t seq, std::vector<std::vector<Tensor>>& values) const;
+
+    /** Decrements consumer counts; clears values that just died. */
+    void ReleaseDead(std::size_t seq, std::atomic<std::int32_t>* remaining,
+                     std::vector<std::vector<Tensor>>& values) const;
+
+    /** Drains the dependency graph across @p width concurrent lanes. */
+    void RunParallel(std::vector<std::vector<Tensor>>& values,
+                     std::atomic<std::int32_t>* remaining) const;
+
+    InferenceSignature signature_;
+    graph::Graph graph_;  ///< private copy of the inference subgraph.
+    /** Remapped fetch edges into graph_. */
+    std::vector<graph::Output> fetches_;
+    /** Input name -> frozen placeholder node. */
+    std::map<std::string, graph::NodeId> input_nodes_;
+    /** Weight/const values bound before execution (frozen node -> value). */
+    std::vector<std::pair<graph::NodeId, Tensor>> prebound_;
+
+    std::vector<Step> steps_;
+    /** Per step, steps unblocked by its completion. */
+    std::vector<std::vector<std::int32_t>> dependents_;
+    /** Per step, dependency count (data+control edges on other steps). */
+    std::vector<std::int32_t> initial_pending_;
+    /** Per step, producer steps of its data inputs (liveness credit). */
+    std::vector<std::vector<std::int32_t>> input_producers_;
+    /** Per step, consumer-step count before its outputs die. */
+    std::vector<std::int32_t> consumer_count_;
+    /** Per step, whether its outputs may be dropped when dead. */
+    std::vector<char> releasable_;
+
+    int inter_op_threads_ = 1;
+    /** Intra-op pool handed to kernels; width-1 pools run inline. */
+    std::unique_ptr<parallel::ThreadPool> intra_pool_;
+    /** Lane pool for inter-op execution; null when width is 1. */
+    std::unique_ptr<parallel::ThreadPool> inter_pool_;
+    /** Never drawn from (stateful ops are rejected); OpContext needs one. */
+    mutable Rng rng_{0};
+    /** Never touched by frozen kernels; OpContext needs one. */
+    mutable graph::VariableStore empty_variables_;
+};
+
+}  // namespace fathom::serving
+
+#endif  // FATHOM_SERVING_FROZEN_PLAN_H

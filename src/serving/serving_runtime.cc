@@ -1,0 +1,266 @@
+#include "serving/serving_runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/metrics.h"
+
+namespace fathom::serving {
+
+namespace {
+
+/** The serving metric family, resolved once (registry refs are stable). */
+struct ServingMetrics {
+    telemetry::Counter& requests;
+    telemetry::Counter& responses;
+    telemetry::Counter& rejected;
+    telemetry::Counter& failed;
+    telemetry::Counter& batches;
+    telemetry::Counter& padded_rows;
+    telemetry::Histogram& batch_size;
+    telemetry::Histogram& queue_depth;
+    telemetry::Histogram& queue_us;
+    telemetry::Histogram& latency_us;
+
+    static ServingMetrics& Get()
+    {
+        auto& reg = telemetry::MetricsRegistry::Global();
+        static ServingMetrics m{
+            reg.GetCounter("serving.requests"),
+            reg.GetCounter("serving.responses"),
+            reg.GetCounter("serving.rejected"),
+            reg.GetCounter("serving.failed"),
+            reg.GetCounter("serving.batches"),
+            reg.GetCounter("serving.padded_rows"),
+            reg.GetHistogram("serving.batch_size"),
+            reg.GetHistogram("serving.queue_depth"),
+            reg.GetHistogram("serving.queue_us"),
+            reg.GetHistogram("serving.request_latency_us"),
+        };
+        return m;
+    }
+};
+
+std::uint64_t
+ElapsedMicros(std::chrono::steady_clock::time_point from,
+              std::chrono::steady_clock::time_point to)
+{
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+                  .count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+}
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(std::shared_ptr<const FrozenPlan> plan,
+                               ServingOptions options)
+    : plan_(std::move(plan)), options_(options)
+{
+    if (!plan_) {
+        throw std::invalid_argument("ServingRuntime: null plan");
+    }
+    // A fixed-batch graph cannot execute more rows than it bakes in,
+    // so larger requested batches would only add padding work.
+    if (plan_->fixed_batch() > 0) {
+        options_.max_batch =
+            std::min(options_.max_batch, plan_->fixed_batch());
+    }
+    options_.max_batch = std::max<std::int64_t>(options_.max_batch, 1);
+    options_.max_queue_depth = std::max<std::size_t>(
+        options_.max_queue_depth, static_cast<std::size_t>(1));
+    options_.executors = std::max(options_.executors, 1);
+
+    executors_.reserve(static_cast<std::size_t>(options_.executors));
+    for (int i = 0; i < options_.executors; ++i) {
+        executors_.emplace_back([this] { ExecutorLoop(); });
+    }
+}
+
+ServingRuntime::~ServingRuntime() { Stop(); }
+
+std::future<InferenceResponse>
+ServingRuntime::Submit(RequestFeeds feeds)
+{
+    auto& metrics = ServingMetrics::Get();
+
+    // Validate against the signature before taking the queue lock:
+    // malformed requests fail fast at the submitter and a formed batch
+    // can only fail on execution errors, not on feed-shape errors
+    // introduced by a co-batched stranger.
+    for (const TensorSpec& spec : plan_->signature().inputs) {
+        auto it = feeds.find(spec.name);
+        if (it == feeds.end()) {
+            metrics.rejected.Add();
+            throw std::invalid_argument(
+                "ServingRuntime::Submit: missing input '" + spec.name + "'");
+        }
+        const Tensor& value = it->second;
+        if (!value.initialized() || value.dtype() != spec.dtype) {
+            metrics.rejected.Add();
+            throw std::invalid_argument(
+                "ServingRuntime::Submit: input '" + spec.name +
+                "' is empty or has the wrong dtype");
+        }
+        const auto& dims = value.shape().dims();
+        bool ok = dims.size() == spec.example_dims.size() + 1 && dims[0] == 1;
+        for (std::size_t d = 0; ok && d < spec.example_dims.size(); ++d) {
+            ok = dims[d + 1] == spec.example_dims[d];
+        }
+        if (!ok) {
+            metrics.rejected.Add();
+            throw std::invalid_argument(
+                "ServingRuntime::Submit: input '" + spec.name +
+                "' has shape " + value.DebugString() +
+                ", expected [1, example dims]");
+        }
+    }
+
+    Pending request;
+    request.feeds = std::move(feeds);
+    request.enqueued = std::chrono::steady_clock::now();
+    std::future<InferenceResponse> future = request.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            metrics.rejected.Add();
+            throw std::runtime_error(
+                "ServingRuntime::Submit: runtime is stopped");
+        }
+        if (queue_.size() >= options_.max_queue_depth) {
+            metrics.rejected.Add();
+            throw std::runtime_error(
+                "ServingRuntime::Submit: queue full (depth " +
+                std::to_string(queue_.size()) + ")");
+        }
+        queue_.push_back(std::move(request));
+        metrics.requests.Add();
+        metrics.queue_depth.Observe(queue_.size());
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ServingRuntime::ExecutorLoop()
+{
+    const auto batch_target = static_cast<std::size_t>(options_.max_batch);
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // stopping_ and fully drained.
+            }
+            // The dynamic-batching policy: launch as soon as a full
+            // batch is waiting, or when the *oldest* queued request
+            // exhausts its latency budget, or on shutdown (drain now).
+            // The deadline re-derives from front() each wakeup —
+            // another executor may have consumed our former oldest.
+            while (!stopping_ && queue_.size() < batch_target) {
+                auto deadline = queue_.front().enqueued +
+                                options_.max_queue_delay;
+                if (std::chrono::steady_clock::now() >= deadline) {
+                    break;
+                }
+                cv_.wait_until(lock, deadline);
+                if (queue_.empty()) {
+                    break;  // raced with another executor; start over.
+                }
+            }
+            if (queue_.empty()) {
+                continue;
+            }
+            const std::size_t take = std::min(queue_.size(), batch_target);
+            batch.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+        // More work may remain (a burst larger than one batch, or a
+        // drain with multiple batches queued); wake a sibling.
+        cv_.notify_one();
+        RunBatch(std::move(batch));
+    }
+}
+
+void
+ServingRuntime::RunBatch(std::vector<Pending> batch)
+{
+    auto& metrics = ServingMetrics::Get();
+    const auto formed = std::chrono::steady_clock::now();
+    const auto n = static_cast<std::int64_t>(batch.size());
+
+    metrics.batches.Add();
+    metrics.batch_size.Observe(static_cast<std::uint64_t>(n));
+    if (plan_->fixed_batch() > 0 && n < plan_->fixed_batch()) {
+        metrics.padded_rows.Add(
+            static_cast<std::uint64_t>(plan_->fixed_batch() - n));
+    }
+    for (const Pending& p : batch) {
+        metrics.queue_us.Observe(ElapsedMicros(p.enqueued, formed));
+    }
+
+    std::vector<const RequestFeeds*> requests;
+    requests.reserve(batch.size());
+    for (const Pending& p : batch) {
+        requests.push_back(&p.feeds);
+    }
+
+    try {
+        std::vector<std::vector<Tensor>> outputs = plan_->ServeBatch(requests);
+        const auto done = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            InferenceResponse response;
+            response.outputs = std::move(outputs[i]);
+            response.batch_size = n;
+            response.queue_seconds =
+                static_cast<double>(ElapsedMicros(batch[i].enqueued, formed)) *
+                1e-6;
+            response.latency_seconds =
+                static_cast<double>(ElapsedMicros(batch[i].enqueued, done)) *
+                1e-6;
+            metrics.latency_us.Observe(
+                ElapsedMicros(batch[i].enqueued, done));
+            metrics.responses.Add();
+            batch[i].promise.set_value(std::move(response));
+        }
+    } catch (...) {
+        // Never strand a caller: a failed batch fails every request in
+        // it (the exception surfaces through each future's get()).
+        metrics.failed.Add(static_cast<std::uint64_t>(batch.size()));
+        for (Pending& p : batch) {
+            p.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+void
+ServingRuntime::Stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    // Joining is serialized so concurrent Stop()/destructor races are
+    // safe; executors exit only once the queue is fully drained.
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    for (std::thread& t : executors_) {
+        if (t.joinable()) {
+            t.join();
+        }
+    }
+}
+
+bool
+ServingRuntime::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+}
+
+}  // namespace fathom::serving

@@ -63,12 +63,27 @@ class AutoencWorkload : public Workload {
         const Output sigma = b.Exp(b.Mul(b.ScalarConst(0.5f), log_var_));
         z_ = b.Add(mu_, b.Mul(sigma, eps));
 
-        // Decoder (Bernoulli likelihood).
-        Output d = nn::Dense(b, &trainables_, init_rng, "dec_fc", z_,
-                             kLatent, kHidden, nn::Activation::kRelu);
-        reconstruction_ = nn::Dense(b, &trainables_, init_rng, "dec_out", d,
-                                    kHidden, features,
-                                    nn::Activation::kSigmoid);
+        // Decoder (Bernoulli likelihood). Parameters are built once and
+        // applied twice: to the sampled code here, and to the posterior
+        // mean in the deterministic serving head below.
+        const auto dec_fc = nn::MakeDense(b, &trainables_, init_rng,
+                                          "dec_fc", kLatent, kHidden);
+        const auto dec_out = nn::MakeDense(b, &trainables_, init_rng,
+                                           "dec_out", kHidden, features);
+        Output d = nn::ApplyDense(b, dec_fc, z_, nn::Activation::kRelu);
+        reconstruction_ =
+            nn::ApplyDense(b, dec_out, d, nn::Activation::kSigmoid);
+
+        // Serving head: decode mu (the distribution's mean, i.e. eps =
+        // 0). The sampled path is the workload's defining trait but
+        // cannot be frozen — FrozenPlan rejects stateful ops — and the
+        // mean decode is the standard deterministic deployment of a VAE.
+        {
+            graph::ScopeGuard head(b, "serve");
+            Output sd = nn::ApplyDense(b, dec_fc, mu_, nn::Activation::kRelu);
+            mean_reconstruction_ =
+                nn::ApplyDense(b, dec_out, sd, nn::Activation::kSigmoid);
+        }
 
         // ELBO = reconstruction cross-entropy + KL(q(z|x) || N(0, I)).
         const Output eps_c = b.ScalarConst(1e-7f, "eps");
@@ -90,6 +105,26 @@ class AutoencWorkload : public Workload {
         loss_ = b.Add(recon_loss, kl);
         train_op_ = nn::Minimize(b, loss_, trainables_,
                                  nn::OptimizerConfig::Adam(1e-3f));
+    }
+
+    bool has_serving_endpoint() const override { return true; }
+
+    serving::InferenceSignature
+    ServingSignature() const override
+    {
+        serving::InferenceSignature sig;
+        sig.inputs = {{PlaceholderName(*session_, inputs_), DType::kFloat32,
+                       {data::SyntheticMnistDataset::kFeatures}}};
+        sig.fetches = {mu_, mean_reconstruction_};
+        sig.output_names = {"embedding", "reconstruction"};
+        return sig;
+    }
+
+    serving::RequestFeeds
+    SampleServingRequest() override
+    {
+        const auto batch = dataset_->NextBatch(1);
+        return {{PlaceholderName(*session_, inputs_), batch.images}};
     }
 
     StepResult
@@ -125,6 +160,7 @@ class AutoencWorkload : public Workload {
     std::unique_ptr<data::SyntheticMnistDataset> dataset_;
     nn::Trainables trainables_;
     Output inputs_, mu_, log_var_, z_, reconstruction_, loss_;
+    Output mean_reconstruction_;
     graph::NodeId train_op_ = -1;
 };
 

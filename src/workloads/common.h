@@ -36,6 +36,17 @@ TimeSteps(int steps, const std::function<float(int)>& step_fn)
     return result;
 }
 
+/**
+ * @return the graph-node name of @p out in @p session's graph (what a
+ * serving client keys its request feeds by — placeholder Outputs are
+ * session-local, names are not).
+ */
+inline std::string
+PlaceholderName(const runtime::Session& session, graph::Output out)
+{
+    return session.graph().node(out.node).name;
+}
+
 }  // namespace fathom::workloads
 
 #endif  // FATHOM_WORKLOADS_COMMON_H

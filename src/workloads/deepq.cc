@@ -87,6 +87,33 @@ class DeepQWorkload : public Workload {
         ResetFrameStack();
     }
 
+    bool has_serving_endpoint() const override { return true; }
+
+    serving::InferenceSignature
+    ServingSignature() const override
+    {
+        // Serving a Q agent = greedy action selection: feed a frame
+        // stack, fetch per-action values and the argmax policy.
+        const std::int64_t size = env_->frame_size();
+        serving::InferenceSignature sig;
+        sig.inputs = {{PlaceholderName(*session_, states_), DType::kFloat32,
+                       {size, size, kFrames}}};
+        sig.fetches = {q_values_, greedy_action_};
+        sig.output_names = {"q_values", "greedy_action"};
+        return sig;
+    }
+
+    serving::RequestFeeds
+    SampleServingRequest() override
+    {
+        const Tensor state = CurrentState(1);
+        // Advance the environment randomly so successive samples are
+        // distinct observations, not the same frame stack.
+        StepEnv(static_cast<std::int32_t>(
+            policy_rng_.UniformInt(data::MiniAtari::kNumActions)));
+        return {{PlaceholderName(*session_, states_), state}};
+    }
+
     StepResult
     RunInference(int steps) override
     {

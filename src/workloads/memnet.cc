@@ -126,6 +126,32 @@ class MemNetWorkload : public Workload {
 
 
     bool has_accuracy_metric() const override { return true; }
+    bool has_serving_endpoint() const override { return true; }
+
+    serving::InferenceSignature
+    ServingSignature() const override
+    {
+        // The Tile/Reshape attention plumbing bakes batch_ into the
+        // graph, so the plan only executes at exactly that batch; the
+        // dynamic batcher pads short batches up to it.
+        serving::InferenceSignature sig;
+        sig.inputs = {{PlaceholderName(*session_, stories_), DType::kInt32,
+                       {kSentences, kSentenceLen}},
+                      {PlaceholderName(*session_, questions_), DType::kInt32,
+                       {kSentenceLen}}};
+        sig.fetches = {logits_, predictions_};
+        sig.output_names = {"logits", "predictions"};
+        sig.fixed_batch = batch_;
+        return sig;
+    }
+
+    serving::RequestFeeds
+    SampleServingRequest() override
+    {
+        auto batch = dataset_->NextBatch(1);
+        return {{PlaceholderName(*session_, stories_), batch.stories},
+                {PlaceholderName(*session_, questions_), batch.questions}};
+    }
 
     float
     EvaluateAccuracy(int batches) override

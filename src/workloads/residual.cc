@@ -101,6 +101,28 @@ class ResidualWorkload : public Workload {
 
 
     bool has_accuracy_metric() const override { return true; }
+    bool has_serving_endpoint() const override { return true; }
+
+    serving::InferenceSignature
+    ServingSignature() const override
+    {
+        // The inference path normalizes with the running BN statistics
+        // (plain Variable reads, no stat updates), so it freezes into
+        // a pure subgraph with the EMAs snapshotted as weights.
+        serving::InferenceSignature sig;
+        sig.inputs = {{PlaceholderName(*session_, images_), DType::kFloat32,
+                       {kInput, kInput, 3}}};
+        sig.fetches = {logits_, predictions_};
+        sig.output_names = {"logits", "predictions"};
+        return sig;
+    }
+
+    serving::RequestFeeds
+    SampleServingRequest() override
+    {
+        const auto batch = dataset_->NextBatch(1);
+        return {{PlaceholderName(*session_, images_), batch.images}};
+    }
 
     float
     EvaluateAccuracy(int batches) override

@@ -112,6 +112,10 @@ class Seq2SeqWorkload : public Workload {
 
         // Step-major stacked logits: [(T-1)*B, V].
         logits_ = b.Concat(step_logits, 0);
+        // Batch-major restack for serving: [B, (T-1)*V]. The dynamic
+        // batcher scatters outputs by leading-dimension row, which the
+        // step-major training layout cannot support.
+        serving_logits_ = b.Concat(step_logits, 1);
         const auto xent = b.SoftmaxCrossEntropy(logits_, decoder_targets_);
         loss_ = xent[0];
         // Plain SGD with gradient clipping, as in the original
@@ -120,6 +124,39 @@ class Seq2SeqWorkload : public Workload {
         auto optimizer = nn::OptimizerConfig::Sgd(0.2f);
         optimizer.clip_value = 1.0f;
         train_op_ = nn::Minimize(b, loss_, trainables_, optimizer);
+    }
+
+    bool has_serving_endpoint() const override { return true; }
+
+    serving::InferenceSignature
+    ServingSignature() const override
+    {
+        // The unrolled LSTM stack and attention bake batch_ into the
+        // graph (initial states, Tile widths), so the plan executes at
+        // exactly that batch; the batcher pads shorter batches.
+        serving::InferenceSignature sig;
+        sig.inputs = {{PlaceholderName(*session_, source_), DType::kInt32,
+                       {kSrcLen}},
+                      {PlaceholderName(*session_, decoder_inputs_),
+                       DType::kInt32,
+                       {kTgtLen - 1}}};
+        sig.fetches = {serving_logits_};
+        sig.output_names = {"logits"};
+        sig.fixed_batch = batch_;
+        return sig;
+    }
+
+    serving::RequestFeeds
+    SampleServingRequest() override
+    {
+        const auto batch = dataset_->NextBatch(1);
+        Tensor dec_in(DType::kInt32, Shape{1, kTgtLen - 1});
+        const std::int32_t* tgt = batch.target.data<std::int32_t>();
+        for (std::int64_t t = 0; t < kTgtLen - 1; ++t) {
+            dec_in.data<std::int32_t>()[t] = tgt[t];
+        }
+        return {{PlaceholderName(*session_, source_), batch.source},
+                {PlaceholderName(*session_, decoder_inputs_), dec_in}};
     }
 
     StepResult
@@ -181,6 +218,7 @@ class Seq2SeqWorkload : public Workload {
     std::unique_ptr<data::SyntheticTranslationDataset> dataset_;
     nn::Trainables trainables_;
     Output source_, decoder_inputs_, decoder_targets_, logits_, loss_;
+    Output serving_logits_;
     graph::NodeId train_op_ = -1;
 };
 

@@ -126,6 +126,34 @@ class SpeechWorkload : public Workload {
                                  nn::OptimizerConfig::Momentum(1e-3f, 0.9f));
     }
 
+    bool has_serving_endpoint() const override { return true; }
+
+    serving::InferenceSignature
+    ServingSignature() const override
+    {
+        // The unrolled bidirectional recurrence bakes batch_ into its
+        // zero-state Consts and Reshapes, so the plan runs at exactly
+        // that batch (the batcher pads up to it).
+        serving::InferenceSignature sig;
+        sig.inputs = {{PlaceholderName(*session_, frames_), DType::kFloat32,
+                       {kTime, kFreq}}};
+        sig.fetches = {logits_};
+        sig.output_names = {"logits"};
+        sig.fixed_batch = batch_;
+        return sig;
+    }
+
+    serving::RequestFeeds
+    SampleServingRequest() override
+    {
+        Tensor frames = Tensor::Zeros(Shape{1, kTime, kFreq});
+        const auto utt = dataset_->Next();
+        std::copy(utt.frames.data<float>(),
+                  utt.frames.data<float>() + kTime * kFreq,
+                  frames.data<float>());
+        return {{PlaceholderName(*session_, frames_), frames}};
+    }
+
     StepResult
     RunInference(int steps) override
     {

@@ -28,6 +28,27 @@ Workload::EvaluateAccuracy(int batches)
                            "' has no accuracy metric");
 }
 
+serving::InferenceSignature
+Workload::ServingSignature() const
+{
+    throw std::logic_error("workload '" + name() +
+                           "' has no serving endpoint");
+}
+
+serving::RequestFeeds
+Workload::SampleServingRequest()
+{
+    throw std::logic_error("workload '" + name() +
+                           "' has no serving endpoint");
+}
+
+std::shared_ptr<const serving::FrozenPlan>
+Workload::FreezeServingPlan(const serving::FrozenPlanOptions& options) const
+{
+    return serving::FrozenPlan::Freeze(session(), ServingSignature(),
+                                       options);
+}
+
 runtime::Session&
 Workload::session()
 {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "runtime/session.h"
+#include "serving/frozen_plan.h"
 
 namespace fathom::workloads {
 
@@ -126,6 +127,44 @@ class Workload {
 
     /** @return true if EvaluateAccuracy is meaningful for this model. */
     virtual bool has_accuracy_metric() const { return false; }
+
+    // ---- serving ----------------------------------------------------------
+
+    /**
+     * @return true if the model declares a servable inference endpoint
+     * (all eight Fathom models do; the flag exists so tests and tools
+     * can feature-detect instead of catching).
+     */
+    virtual bool has_serving_endpoint() const { return false; }
+
+    /**
+     * Declares the model's serving endpoint against its live session:
+     * per-example input specs (batch dim excluded), the deterministic
+     * inference fetches, and whether the graph bakes in a fixed batch
+     * size. Valid after Setup; the default throws std::logic_error.
+     *
+     * Models whose training-time inference path is stochastic (the
+     * variational autoencoder samples its code) declare a
+     * deterministic serving head instead — FrozenPlan rejects stateful
+     * ops by design.
+     */
+    virtual serving::InferenceSignature ServingSignature() const;
+
+    /**
+     * @return one synthetic single-example request (each tensor shaped
+     * [1, example dims]), keyed by placeholder node name — what a
+     * client of the serving runtime would Submit(). Draws from the
+     * model's dataset, so repeated calls yield distinct examples.
+     */
+    virtual serving::RequestFeeds SampleServingRequest();
+
+    /**
+     * Freezes the serving endpoint into an immutable, reentrant plan
+     * (see serving::FrozenPlan::Freeze). The workload's session keeps
+     * training independently afterwards.
+     */
+    std::shared_ptr<const serving::FrozenPlan> FreezeServingPlan(
+        const serving::FrozenPlanOptions& options = {}) const;
 
     /** @return the session (graph, variables, trace). Valid after Setup. */
     runtime::Session& session();

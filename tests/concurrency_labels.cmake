@@ -32,6 +32,22 @@ foreach(test IN LISTS kernel_battery_TESTS)
     set_tests_properties("${test}" PROPERTIES
         LABELS "tier1;kernels")
 endforeach()
+foreach(test IN LISTS serving_fast_TESTS)
+    set_tests_properties("${test}" PROPERTIES
+        LABELS "tier1;serving")
+endforeach()
+foreach(test IN LISTS serving_battery_TESTS)
+    # The multi-client battery is the serving layer's race detector
+    # target; it joins `concurrency` so both TSan selections (-L
+    # concurrency and -L serving) cover it.
+    if(test MATCHES "Concurrent")
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;serving;concurrency;slow")
+    else()
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;serving;slow")
+    endif()
+endforeach()
 foreach(test IN LISTS observability_TESTS)
     # The overhead-budget test is a wall-clock assertion; RUN_SERIAL
     # keeps `ctest -j` from co-scheduling 400 other tests against it
