@@ -16,6 +16,8 @@ RunAndTrace(const std::string& name, const SuiteRunOptions& options)
     config.memory_planner = options.memory_planner;
     config.tracing = options.tracing;
     config.telemetry = options.telemetry;
+    config.graph_rewrites = options.graph_rewrites;
+    config.rewrites = options.rewrites;
     workload->Setup(config);
 
     WorkloadTraces traces;

@@ -28,6 +28,18 @@ struct SuiteRunOptions {
     bool memory_planner = true;   ///< liveness-driven early tensor release.
     bool tracing = true;          ///< per-op tracing (required for analyses).
     bool telemetry = false;       ///< process-wide metrics collection.
+
+    /**
+     * Graph rewrites (folding, CSE, transpose folding, fusion,
+     * in-place). Off by default HERE — the figure pipelines profile
+     * the graph as written, per the paper — while WorkloadConfig
+     * defaults rewrites on for throughput runs. Fetched values are
+     * bit-identical either way.
+     */
+    bool graph_rewrites = false;
+
+    /** Per-pattern knobs (effective when graph_rewrites is on). */
+    graph::rewrite::RewriteOptions rewrites;
 };
 
 /** The traces and metadata captured from one workload. */

@@ -80,6 +80,13 @@ Graph::node_by_name(const std::string& name) const
     return node(it->second);
 }
 
+NodeId
+Graph::FindNode(const std::string& name) const
+{
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? -1 : it->second;
+}
+
 std::vector<NodeId>
 Graph::AllNodes() const
 {

@@ -52,6 +52,9 @@ class Graph {
     /** @return node by unique name; throws if absent. */
     const Node& node_by_name(const std::string& name) const;
 
+    /** @return id of the node named @p name, or -1 if absent. */
+    NodeId FindNode(const std::string& name) const;
+
     /** @return total node count. */
     int num_nodes() const { return static_cast<int>(nodes_.size()); }
 

@@ -97,6 +97,15 @@ class OpContext {
     Rng& rng() { return rng_; }
     VariableStore& variables() { return variables_; }
 
+    /**
+     * Executor grant: input 0's buffer dies at this op, so a kernel
+     * whose OpDef sets supports_inplace may write its output there
+     * instead of allocating. Purely an optimization hint — kernels must
+     * produce identical bits either way.
+     */
+    bool may_alias_input() const { return may_alias_input_; }
+    void set_may_alias_input(bool allow) { may_alias_input_ = allow; }
+
   private:
     const Node& node_;
     const std::vector<Tensor>* inputs_;
@@ -104,6 +113,7 @@ class OpContext {
     parallel::ThreadPool& pool_;
     Rng& rng_;
     VariableStore& variables_;
+    bool may_alias_input_ = false;
 };
 
 /** Compute kernel: consumes ctx.input(i), produces ctx.set_output(i). */
@@ -123,6 +133,13 @@ struct OpDef {
     KernelFn kernel;
     CostFn cost;       ///< optional; defaults to a bytes-only estimate.
     bool stateful = false;  ///< mutates variables or draws randomness.
+
+    /**
+     * The kernel honors OpContext::may_alias_input(): when granted, it
+     * may write its output into input 0's buffer (the rewrite layer
+     * marks steps where that input provably dies at this op).
+     */
+    bool supports_inplace = false;
 };
 
 /**

@@ -1,0 +1,46 @@
+#include "graph/rewrite/fusion_stages.h"
+
+#include <stdexcept>
+
+namespace fathom::graph::rewrite {
+
+FusionStageRegistry&
+FusionStageRegistry::Global()
+{
+    static FusionStageRegistry* registry = new FusionStageRegistry();
+    return *registry;
+}
+
+void
+FusionStageRegistry::Register(const std::string& op_type, FusionStage stage)
+{
+    if (stage.arity == 1 ? stage.unary == nullptr
+                         : (stage.arity != 2 || stage.binary == nullptr)) {
+        throw std::logic_error("FusionStageRegistry: stage '" + op_type +
+                               "' has no scalar function for its arity");
+    }
+    if (!stages_.emplace(op_type, std::move(stage)).second) {
+        throw std::logic_error("FusionStageRegistry: duplicate '" + op_type +
+                               "'");
+    }
+}
+
+const FusionStage*
+FusionStageRegistry::Find(const std::string& op_type) const
+{
+    auto it = stages_.find(op_type);
+    return it == stages_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+FusionStageRegistry::Names() const
+{
+    std::vector<std::string> names;
+    names.reserve(stages_.size());
+    for (const auto& [name, stage] : stages_) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+}  // namespace fathom::graph::rewrite

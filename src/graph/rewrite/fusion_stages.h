@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Registry of fusable elementwise stages.
+ *
+ * The elementwise-chain fusion pattern and the FusedElementwise kernel
+ * must agree exactly on (a) which op types are fusable and (b) the
+ * scalar function each stage applies — the fused kernel replays the
+ * same per-element scalar sequence the unfused ops would have run, so
+ * fused results are bit-identical. Registering the scalar function
+ * once, here, and routing both the standalone op kernel and the fused
+ * kernel through it makes that a structural property instead of a
+ * convention.
+ *
+ * This registry lives in the graph layer (not ops) because the fusion
+ * pattern in src/graph/rewrite must consult it and fathom_ops already
+ * depends on fathom_graph; ops register their stages alongside their
+ * kernels in RegisterStandardOps().
+ */
+#ifndef FATHOM_GRAPH_REWRITE_FUSION_STAGES_H
+#define FATHOM_GRAPH_REWRITE_FUSION_STAGES_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fathom::graph::rewrite {
+
+/** One fusable elementwise op: scalar function + static parameters. */
+struct FusionStage {
+    int arity = 1;  ///< 1 (unary) or 2 (binary).
+
+    /** Scalar kernel for unary stages; @p params from param_attrs. */
+    float (*unary)(float x, const float* params) = nullptr;
+
+    /** Scalar kernel for binary stages, in (lhs, rhs) node-input order. */
+    float (*binary)(float a, float b, const float* params) = nullptr;
+
+    /** Node attrs captured as float params (e.g. {"exponent"}). */
+    std::vector<std::string> param_attrs;
+
+    double flops_per_elem = 1.0;  ///< cost-model contribution.
+};
+
+/** Process-wide table of fusable op types. */
+class FusionStageRegistry {
+  public:
+    static FusionStageRegistry& Global();
+
+    /** Registers @p op_type; throws std::logic_error on duplicates. */
+    void Register(const std::string& op_type, FusionStage stage);
+
+    /** @return the stage, or null if @p op_type is not fusable. */
+    const FusionStage* Find(const std::string& op_type) const;
+
+    /** @return all fusable op type names, sorted. */
+    std::vector<std::string> Names() const;
+
+  private:
+    std::map<std::string, FusionStage> stages_;
+};
+
+}  // namespace fathom::graph::rewrite
+
+#endif  // FATHOM_GRAPH_REWRITE_FUSION_STAGES_H

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Pattern-matching graph rewrite framework.
+ *
+ * Generalizes the old ad-hoc optimizer passes (runtime/graph_optimizer)
+ * into the style of popart's willow/src/patterns and TensorFlow's
+ * dataflow rewrites: each rewrite is a Pattern that matches an anchor
+ * node, checks its safety conditions, and applies one local graph
+ * edit. A fixed-point driver runs the enabled patterns over the live
+ * execution order — in deterministic topological order — until no
+ * pattern fires.
+ *
+ * Invariants every pattern must preserve (the repo's core contract):
+ *
+ *  - **Bit identity.** Fetched values, variables, and traces must be
+ *    bitwise unchanged by any rewrite, at any thread count. Folding
+ *    runs the real registered kernel (never shortcut arithmetic, so
+ *    NaN/Inf semantics survive); fusion applies the exact per-element
+ *    scalar sequence of the fused ops; transpose folding relies on the
+ *    GEMM engine treating transposition as a pure stride swap.
+ *  - **Safety classes.** A pattern must never eliminate or merge a
+ *    node that currently produces a fetch/target value (IsProtected),
+ *    a stateful/barrier op, or a pinned op (Placeholder, Variable,
+ *    Assign, NoOp, Apply*). Replacing a protected node with a
+ *    value-identical equivalent is allowed — fetch resolution follows
+ *    the replacement map.
+ *  - **Append-only graph.** Nodes are never removed from the Graph;
+ *    rewrites produce a replacement map plus a pruned execution order.
+ *    New nodes use content-addressed "__rw/..." names so repeated
+ *    planning converges to the same nodes instead of growing the graph.
+ *  - **Determinism.** No iteration over unordered containers decides
+ *    an edit. The same graph + roots + options yields the same result
+ *    on every run and at any inter-op width.
+ *
+ * The four production patterns (constant folding, CSE, transpose /
+ * reshape folding into MatMul flags, elementwise-chain fusion) live in
+ * rewrite.cc; the in-place marking stage runs after the fixed point
+ * over the final order. Each has an enable knob in RewriteOptions and
+ * reports a fire count both in RewriteResult and to the telemetry
+ * registry ("rewrite.fire.<name>").
+ */
+#ifndef FATHOM_GRAPH_REWRITE_REWRITE_H
+#define FATHOM_GRAPH_REWRITE_REWRITE_H
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/op_registry.h"
+
+namespace fathom::graph::rewrite {
+
+/** Per-pattern enable knobs. All production patterns default on. */
+struct RewriteOptions {
+    bool constant_folding = true;   ///< evaluate all-constant pure ops.
+    bool common_subexpression = true;  ///< merge identical pure nodes.
+    bool transpose_folding = true;  ///< Transpose/Reshape into MatMul flags.
+    bool elementwise_fusion = true;  ///< chains -> one FusedElementwise.
+    bool inplace = true;            ///< write into dying input buffers.
+
+    /** Fixed-point guard: hard cap on driver passes (see clipped). */
+    int max_passes = 32;
+
+    /**
+     * Treat Variable reads as foldable constants (serving freeze mode:
+     * weights are snapshotted, so a Variable is a constant). Never set
+     * for a training session.
+     */
+    bool variables_as_constants = false;
+
+    /** @return a compact cache-key encoding of the knobs. */
+    std::string CacheKey() const;
+};
+
+/** Result of rewriting one execution plan. */
+struct RewriteResult {
+    /** Surviving nodes in a valid (original-relative) execution order. */
+    std::vector<NodeId> order;
+
+    /**
+     * Edge redirection, path-compressed: reading (node, index) must
+     * instead read (replacements[node], index) when present. Targets
+     * are always live, folded, or source nodes — never themselves
+     * replaced.
+     */
+    std::unordered_map<NodeId, NodeId> replacements;
+
+    /** Outputs of folded nodes, computed at rewrite time. */
+    std::unordered_map<NodeId, std::vector<Tensor>> folded;
+
+    /**
+     * Parallel to `order`: whether that step's kernel may write its
+     * output into its first input's buffer (statically proven to die at
+     * this consumer; executors additionally verify the runtime
+     * refcount before granting the alias).
+     */
+    std::vector<char> inplace;
+
+    /** Per-pattern fire counts (also exported as telemetry counters). */
+    std::map<std::string, int> fire_counts;
+
+    int passes = 0;        ///< fixed-point passes executed.
+    bool clipped = false;  ///< true if max_passes stopped the driver.
+
+    /** @return the node currently producing @p id's value. */
+    NodeId Resolve(NodeId id) const
+    {
+        auto it = replacements.find(id);
+        return it == replacements.end() ? id : it->second;
+    }
+};
+
+class RewriteState;
+
+/**
+ * One rewrite rule: match an anchor node, check safety, apply.
+ *
+ * Apply() is called once per live node per sweep, in execution order;
+ * it must either make one value-preserving edit through RewriteState
+ * and return true, or leave the state untouched and return false.
+ */
+class Pattern {
+  public:
+    virtual ~Pattern() = default;
+
+    /** Stable snake_case name (knob, metrics, and test key). */
+    virtual std::string name() const = 0;
+
+    /** Hook called once before each sweep (reset sweep-local caches). */
+    virtual void BeginSweep(RewriteState& state) { (void)state; }
+
+    /** @return true if the pattern fired on @p anchor. */
+    virtual bool Apply(RewriteState& state, NodeId anchor) = 0;
+};
+
+/**
+ * The mutable working set a pattern edits: the live execution order,
+ * the replacement map, folded values, and consumer-count indexes.
+ * Created and finalized by the driver.
+ */
+class RewriteState {
+  public:
+    RewriteState(Graph& graph, VariableStore& variables,
+                 const RewriteOptions& options,
+                 std::vector<NodeId> initial_order,
+                 const std::vector<NodeId>& protected_roots);
+
+    Graph& graph() { return *graph_; }
+    VariableStore& variables() { return *variables_; }
+    const RewriteOptions& options() const { return options_; }
+
+    /** @return the current live execution order. */
+    const std::vector<NodeId>& order() const { return order_; }
+
+    bool IsLive(NodeId id) const { return live_.count(id) > 0; }
+
+    /**
+     * @return true if @p id currently produces a fetch or target value.
+     * Protected nodes may be replaced by value-identical equivalents
+     * (the protection follows the replacement) but must never be
+     * absorbed as a fusion interior or removed by DCE.
+     */
+    bool IsProtected(NodeId id) const { return protected_.count(id) > 0; }
+
+    /** Follows the replacement chain to the terminal node. */
+    NodeId Resolve(NodeId id) const;
+    Output ResolveEdge(const Output& edge) const
+    {
+        return {Resolve(edge.node), edge.index};
+    }
+
+    /** @return the op def, or null if the op type is unregistered. */
+    const OpDef* Lookup(const std::string& op_type) const;
+
+    /** Pure = registered, not stateful, not pinned. */
+    bool IsPure(const Node& node) const;
+
+    /** @return true for Placeholder/Variable/Assign/NoOp/Apply*. */
+    static bool IsPinned(const std::string& op_type);
+
+    /** @return true for kernels whose output shares the input buffer. */
+    static bool IsViewOp(const std::string& op_type);
+
+    bool IsFoldedConstant(NodeId id) const { return folded_.count(id) > 0; }
+    const std::vector<Tensor>* FoldedValue(NodeId id) const;
+
+    // ---- consumer info (over live nodes' resolved data edges) ----------
+
+    /** @return how many live data edges read output @p edge. */
+    int EdgeUseCount(const Output& edge) const;
+
+    /** @return live consumers reading any output of @p producer. */
+    int NumDataConsumers(NodeId producer) const;
+
+    /**
+     * @return the single live node reading @p producer, or -1 unless
+     * producer has exactly one reading edge in the whole live plan.
+     */
+    NodeId SoleDataConsumer(NodeId producer) const;
+
+    /** @return live nodes naming @p id as a control input. */
+    int NumControlConsumers(NodeId id) const;
+
+    // ---- mutations -----------------------------------------------------
+
+    /**
+     * Finds or appends a node with a content-addressed "__rw/" name
+     * derived from (@p stem, op type, inputs, attrs), so deterministic
+     * re-rewrites reuse nodes instead of growing the graph. Inputs must
+     * already be resolved by the caller.
+     */
+    NodeId AddOrReuseNode(const std::string& stem, const std::string& op_type,
+                          std::vector<Output> inputs,
+                          std::map<std::string, AttrValue> attrs,
+                          int num_outputs = 1);
+
+    /**
+     * Redirects every read of @p old_node to @p with (value-identical
+     * by the caller's proof) and removes @p old_node from the order.
+     * If @p with is a new node not yet scheduled, it takes old_node's
+     * position in the order.
+     */
+    void ReplaceNode(NodeId old_node, NodeId with);
+
+    /** Records @p id as folded to @p outputs; drops it from the order. */
+    void FoldNode(NodeId id, std::vector<Tensor> outputs);
+
+    /**
+     * Replaces a fused chain: every member redirects to @p fused
+     * (interiors have no other readers by the caller's proof), and
+     * @p fused takes the last member's position in the order.
+     */
+    void FuseChain(const std::vector<NodeId>& members, NodeId fused);
+
+    // ---- driver interface ----------------------------------------------
+
+    /** Removes rewrite-orphaned pure nodes (no readers) from the order. */
+    int RunDeadCodeElimination();
+
+    /** Marks in-place-eligible steps; @return the number marked. */
+    int MarkInPlaceSteps(std::vector<char>* inplace) const;
+
+    /** Path-compresses replacements and moves the result out. */
+    RewriteResult Finalize(std::map<std::string, int> fire_counts,
+                           int passes, bool clipped);
+
+  private:
+    void InvalidateConsumers() { consumers_dirty_ = true; }
+    void RebuildConsumers() const;
+    void RemoveFromOrder(NodeId id);
+
+    Graph* graph_;
+    VariableStore* variables_;
+    RewriteOptions options_;
+
+    std::vector<NodeId> order_;
+    std::unordered_set<NodeId> live_;
+    std::unordered_set<NodeId> protected_;
+    std::unordered_map<NodeId, NodeId> replacements_;
+    std::unordered_map<NodeId, std::vector<Tensor>> folded_;
+
+    // Lazily rebuilt consumer indexes over resolved live edges.
+    mutable bool consumers_dirty_ = true;
+    mutable std::unordered_map<std::uint64_t, int> edge_uses_;
+    mutable std::unordered_map<NodeId, int> data_consumers_;
+    mutable std::unordered_map<NodeId, NodeId> sole_consumer_;
+    mutable std::unordered_map<NodeId, int> control_consumers_;
+};
+
+/** Deterministic serialization of a node's attrs (CSE/content hashing). */
+std::string AttrsSignature(const Node& node);
+
+/**
+ * Runs @p patterns over the subgraph producing @p fetches/@p targets
+ * to a fixed point, then DCE and in-place marking. The custom-pattern
+ * entry point exists for tests (e.g. cyclic-bait termination); use
+ * Rewrite() for the production set.
+ */
+RewriteResult RunPatterns(Graph& graph, const std::vector<Output>& fetches,
+                          const std::vector<NodeId>& targets,
+                          VariableStore& variables,
+                          const std::vector<Pattern*>& patterns,
+                          const RewriteOptions& options);
+
+/** Runs the production patterns enabled in @p options. */
+RewriteResult Rewrite(Graph& graph, const std::vector<Output>& fetches,
+                      const std::vector<NodeId>& targets,
+                      VariableStore& variables,
+                      const RewriteOptions& options = {});
+
+}  // namespace fathom::graph::rewrite
+
+#endif  // FATHOM_GRAPH_REWRITE_REWRITE_H

@@ -31,9 +31,14 @@ BroadcastShape(const Shape& a, const Shape& b)
 
 Tensor
 UnaryMap(const Tensor& input, const std::function<float(float)>& fn,
-         parallel::ThreadPool& pool)
+         parallel::ThreadPool& pool, bool may_alias)
 {
-    Tensor out(DType::kFloat32, input.shape());
+    // Aliasing is safe because the loop below reads in[i] before
+    // writing o[i]; with the same partition and the same fn the bits
+    // are identical either way.
+    Tensor out = (may_alias && input.dtype() == DType::kFloat32)
+                     ? input
+                     : Tensor(DType::kFloat32, input.shape());
     const float* in = input.data<float>();
     float* o = out.data<float>();
     pool.ParallelFor(input.num_elements(), /*grain=*/4096,
@@ -73,13 +78,15 @@ BroadcastStrides(const Shape& s, const Shape& out)
 Tensor
 BinaryMap(const Tensor& a, const Tensor& b,
           const std::function<float(float, float)>& fn,
-          parallel::ThreadPool& pool)
+          parallel::ThreadPool& pool, bool may_alias)
 {
     const float* pa = a.data<float>();
     const float* pb = b.data<float>();
+    const bool alias_ok = may_alias && a.dtype() == DType::kFloat32 &&
+                          b.dtype() == DType::kFloat32;
 
     if (a.shape() == b.shape()) {
-        Tensor out(DType::kFloat32, a.shape());
+        Tensor out = alias_ok ? a : Tensor(DType::kFloat32, a.shape());
         float* o = out.data<float>();
         pool.ParallelFor(a.num_elements(), /*grain=*/4096,
                          [&](std::int64_t i0, std::int64_t i1) {
@@ -91,7 +98,12 @@ BinaryMap(const Tensor& a, const Tensor& b,
     }
 
     const Shape out_shape = BroadcastShape(a.shape(), b.shape());
-    Tensor out(DType::kFloat32, out_shape);
+    // Broadcast path: aliasing needs out slot i to correspond to a's
+    // element i (true exactly when a already has the output shape, so
+    // off_a == flat and each slot is read before written).
+    Tensor out = (alias_ok && out_shape == a.shape())
+                     ? a
+                     : Tensor(DType::kFloat32, out_shape);
     float* o = out.data<float>();
     const int rank = out_shape.rank();
     const auto sa = BroadcastStrides(a.shape(), out_shape);

@@ -22,17 +22,28 @@ namespace fathom::kernels {
  */
 Shape BroadcastShape(const Shape& a, const Shape& b);
 
-/** Applies @p fn elementwise to a float32 tensor. */
+/**
+ * Applies @p fn elementwise to a float32 tensor.
+ *
+ * With @p may_alias the output reuses @p input's buffer instead of
+ * allocating (caller must have proven the input value dies here). The
+ * aliased and non-aliased paths run the identical loop — each element
+ * is read before its slot is written — so results are bit-identical.
+ */
 Tensor UnaryMap(const Tensor& input, const std::function<float(float)>& fn,
-                parallel::ThreadPool& pool);
+                parallel::ThreadPool& pool, bool may_alias = false);
 
 /**
  * Applies @p fn elementwise to two float32 tensors with broadcasting.
  * The fast same-shape path avoids index arithmetic entirely.
+ *
+ * With @p may_alias the output reuses @p a's buffer when shapes permit
+ * (output shape == a's shape, so every element reads a[i] before
+ * writing slot i); otherwise the flag is ignored.
  */
 Tensor BinaryMap(const Tensor& a, const Tensor& b,
                  const std::function<float(float, float)>& fn,
-                 parallel::ThreadPool& pool);
+                 parallel::ThreadPool& pool, bool may_alias = false);
 
 /**
  * Sums a float32 tensor of @p from shape down to @p to shape by

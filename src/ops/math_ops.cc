@@ -6,6 +6,7 @@
 
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/rewrite/fusion_stages.h"
 #include "kernels/elementwise.h"
 #include "ops/common.h"
 #include "ops/register.h"
@@ -24,32 +25,104 @@ using graph::Output;
 
 namespace {
 
-/** Registers a broadcasting binary op. */
-void
-RegisterBinary(const std::string& name, float (*fn)(float, float),
-               double flops_per_elem)
+using graph::rewrite::FusionStage;
+using graph::rewrite::FusionStageRegistry;
+
+// Scalar kernels shared verbatim between the standalone op kernels and
+// the FusedElementwise kernel (via the fusion-stage registry): fusion
+// replays exactly these functions per element, which is what makes
+// fused results bit-identical to the unfused chain. The const float*
+// parameter carries static attr values (e.g. Pow's exponent).
+float AddS(float a, float b, const float*) { return a + b; }
+float SubS(float a, float b, const float*) { return a - b; }
+float MulS(float a, float b, const float*) { return a * b; }
+float DivS(float a, float b, const float*) { return a / b; }
+float NegS(float x, const float*) { return -x; }
+float ExpS(float x, const float*) { return std::exp(x); }
+float LogS(float x, const float*) { return std::log(x); }
+float SqrtS(float x, const float*) { return std::sqrt(x); }
+float SquareS(float x, const float*) { return x * x; }
+float ReluS(float x, const float*) { return x > 0.0f ? x : 0.0f; }
+float SigmoidS(float x, const float*) { return 1.0f / (1.0f + std::exp(-x)); }
+float TanhS(float x, const float*) { return std::tanh(x); }
+float PowS(float x, const float* p) { return std::pow(x, p[0]); }
+float ClipS(float x, const float* p)
 {
-    OpRegistry::Global().Register(OpDef{
-        name, OpClass::kElementwise,
-        [fn](OpContext& ctx) {
-            ctx.set_output(0, kernels::BinaryMap(ctx.input(0), ctx.input(1),
-                                                 fn, ctx.pool()));
-        },
-        ElementwiseCost(flops_per_elem), false});
+    return x < p[0] ? p[0] : (x > p[1] ? p[1] : x);
+}
+float ReluGradS(float g, float x, const float*) { return x > 0.0f ? g : 0.0f; }
+float SigmoidGradS(float g, float y, const float*)
+{
+    return g * y * (1.0f - y);
+}
+float TanhGradS(float g, float y, const float*)
+{
+    return g * (1.0f - y * y);
+}
+float ClipGradS(float g, float x, const float* p)
+{
+    return (x >= p[0] && x <= p[1]) ? g : 0.0f;
 }
 
-/** Registers a unary op. */
+/** Reads @p attrs off the node into a flat param vector. */
+std::vector<float>
+AttrParams(OpContext& ctx, const std::vector<std::string>& attrs)
+{
+    std::vector<float> params;
+    params.reserve(attrs.size());
+    for (const std::string& a : attrs) {
+        params.push_back(ctx.node().attr(a).AsFloat());
+    }
+    return params;
+}
+
+/**
+ * Registers a broadcasting binary op and its fusion stage. All
+ * elementwise ops support in-place output into input 0 when granted.
+ */
 void
-RegisterUnary(const std::string& name, float (*fn)(float),
-              double flops_per_elem)
+RegisterBinary(const std::string& name,
+               float (*fn)(float, float, const float*),
+               double flops_per_elem,
+               std::vector<std::string> param_attrs = {})
 {
     OpRegistry::Global().Register(OpDef{
         name, OpClass::kElementwise,
-        [fn](OpContext& ctx) {
-            ctx.set_output(0,
-                           kernels::UnaryMap(ctx.input(0), fn, ctx.pool()));
+        [fn, param_attrs](OpContext& ctx) {
+            const std::vector<float> params = AttrParams(ctx, param_attrs);
+            const float* p = params.data();
+            ctx.set_output(
+                0, kernels::BinaryMap(
+                       ctx.input(0), ctx.input(1),
+                       [fn, p](float a, float b) { return fn(a, b, p); },
+                       ctx.pool(), ctx.may_alias_input()));
         },
-        ElementwiseCost(flops_per_elem), false});
+        ElementwiseCost(flops_per_elem), false, /*supports_inplace=*/true});
+    FusionStageRegistry::Global().Register(
+        name, FusionStage{2, nullptr, fn, std::move(param_attrs),
+                          flops_per_elem});
+}
+
+/** Registers a unary op and its fusion stage. */
+void
+RegisterUnary(const std::string& name, float (*fn)(float, const float*),
+              double flops_per_elem,
+              std::vector<std::string> param_attrs = {})
+{
+    OpRegistry::Global().Register(OpDef{
+        name, OpClass::kElementwise,
+        [fn, param_attrs](OpContext& ctx) {
+            const std::vector<float> params = AttrParams(ctx, param_attrs);
+            const float* p = params.data();
+            ctx.set_output(0, kernels::UnaryMap(
+                                  ctx.input(0),
+                                  [fn, p](float x) { return fn(x, p); },
+                                  ctx.pool(), ctx.may_alias_input()));
+        },
+        ElementwiseCost(flops_per_elem), false, /*supports_inplace=*/true});
+    FusionStageRegistry::Global().Register(
+        name, FusionStage{1, fn, nullptr, std::move(param_attrs),
+                          flops_per_elem});
 }
 
 /** Reduces @p grad to the broadcast-input's shape. */
@@ -67,41 +140,31 @@ RegisterMathOps()
     OpRegistry& ops = OpRegistry::Global();
     GradientRegistry& grads = GradientRegistry::Global();
 
-    RegisterBinary("Add", [](float a, float b) { return a + b; }, 1.0);
-    RegisterBinary("Sub", [](float a, float b) { return a - b; }, 1.0);
-    RegisterBinary("Mul", [](float a, float b) { return a * b; }, 1.0);
-    RegisterBinary("Div", [](float a, float b) { return a / b; }, 4.0);
+    RegisterBinary("Add", AddS, 1.0);
+    RegisterBinary("Sub", SubS, 1.0);
+    RegisterBinary("Mul", MulS, 1.0);
+    RegisterBinary("Div", DivS, 4.0);
 
-    RegisterUnary("Neg", [](float x) { return -x; }, 1.0);
-    RegisterUnary("Exp", [](float x) { return std::exp(x); }, 10.0);
-    RegisterUnary(
-        "Log", [](float x) { return std::log(x); }, 10.0);
-    RegisterUnary(
-        "Sqrt", [](float x) { return std::sqrt(x); }, 4.0);
-    RegisterUnary("Square", [](float x) { return x * x; }, 1.0);
-    RegisterUnary(
-        "Relu", [](float x) { return x > 0.0f ? x : 0.0f; }, 1.0);
-    RegisterUnary(
-        "Sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
-        12.0);
-    RegisterUnary(
-        "Tanh", [](float x) { return std::tanh(x); }, 12.0);
+    RegisterUnary("Neg", NegS, 1.0);
+    RegisterUnary("Exp", ExpS, 10.0);
+    RegisterUnary("Log", LogS, 10.0);
+    RegisterUnary("Sqrt", SqrtS, 4.0);
+    RegisterUnary("Square", SquareS, 1.0);
+    RegisterUnary("Relu", ReluS, 1.0);
+    RegisterUnary("Sigmoid", SigmoidS, 12.0);
+    RegisterUnary("Tanh", TanhS, 12.0);
 
-    ops.Register(OpDef{
-        "Pow", OpClass::kElementwise,
-        [](OpContext& ctx) {
-            const float p = ctx.node().attr("exponent").AsFloat();
-            ctx.set_output(0, kernels::UnaryMap(
-                                  ctx.input(0),
-                                  [p](float x) { return std::pow(x, p); },
-                                  ctx.pool()));
-        },
-        ElementwiseCost(20.0), false});
+    RegisterUnary("Pow", PowS, 20.0, {"exponent"});
+    RegisterUnary("ClipByValue", ClipS, 2.0, {"clip_min", "clip_max"});
 
     ops.Register(OpDef{
         "AddN", OpClass::kElementwise,
         [](OpContext& ctx) {
-            Tensor acc = ctx.input(0).Clone();
+            // In place the accumulator IS input 0 (whose buffer dies
+            // here); otherwise it starts as a copy — same values.
+            const bool alias = ctx.may_alias_input() &&
+                               ctx.input(0).dtype() == DType::kFloat32;
+            Tensor acc = alias ? ctx.input(0) : ctx.input(0).Clone();
             float* a = acc.data<float>();
             const std::int64_t n = acc.num_elements();
             for (int i = 1; i < ctx.num_inputs(); ++i) {
@@ -115,76 +178,15 @@ RegisterMathOps()
             }
             ctx.set_output(0, std::move(acc));
         },
-        ElementwiseCost(1.0), false});
+        ElementwiseCost(1.0), false, /*supports_inplace=*/true});
 
     // Gradient helper ops (elementwise, appear in backward profiles).
-    ops.Register(OpDef{
-        "ReluGrad", OpClass::kElementwise,
-        [](OpContext& ctx) {
-            // inputs: (grad, x)
-            ctx.set_output(0, kernels::BinaryMap(
-                                  ctx.input(0), ctx.input(1),
-                                  [](float g, float x) {
-                                      return x > 0.0f ? g : 0.0f;
-                                  },
-                                  ctx.pool()));
-        },
-        ElementwiseCost(1.0), false});
-
-    ops.Register(OpDef{
-        "SigmoidGrad", OpClass::kElementwise,
-        [](OpContext& ctx) {
-            // inputs: (grad, y) with y = sigmoid(x)
-            ctx.set_output(0, kernels::BinaryMap(
-                                  ctx.input(0), ctx.input(1),
-                                  [](float g, float y) {
-                                      return g * y * (1.0f - y);
-                                  },
-                                  ctx.pool()));
-        },
-        ElementwiseCost(3.0), false});
-
-    ops.Register(OpDef{
-        "TanhGrad", OpClass::kElementwise,
-        [](OpContext& ctx) {
-            // inputs: (grad, y) with y = tanh(x)
-            ctx.set_output(0, kernels::BinaryMap(
-                                  ctx.input(0), ctx.input(1),
-                                  [](float g, float y) {
-                                      return g * (1.0f - y * y);
-                                  },
-                                  ctx.pool()));
-        },
-        ElementwiseCost(3.0), false});
-
-    ops.Register(OpDef{
-        "ClipByValue", OpClass::kElementwise,
-        [](OpContext& ctx) {
-            const float lo = ctx.node().attr("clip_min").AsFloat();
-            const float hi = ctx.node().attr("clip_max").AsFloat();
-            ctx.set_output(0, kernels::UnaryMap(
-                                  ctx.input(0),
-                                  [lo, hi](float x) {
-                                      return x < lo ? lo : (x > hi ? hi : x);
-                                  },
-                                  ctx.pool()));
-        },
-        ElementwiseCost(2.0), false});
-
-    // inputs: (grad, x); passes gradient only inside the clip range.
-    ops.Register(OpDef{
-        "ClipByValueGrad", OpClass::kElementwise,
-        [](OpContext& ctx) {
-            const float lo = ctx.node().attr("clip_min").AsFloat();
-            const float hi = ctx.node().attr("clip_max").AsFloat();
-            ctx.set_output(0, kernels::BinaryMap(
-                                  ctx.input(0), ctx.input(1),
-                                  [lo, hi](float g, float x) {
-                                      return (x >= lo && x <= hi) ? g : 0.0f;
-                                  },
-                                  ctx.pool()));
-        },
-        ElementwiseCost(2.0), false});
+    // inputs: (grad, x) / (grad, y = forward output).
+    RegisterBinary("ReluGrad", ReluGradS, 1.0);
+    RegisterBinary("SigmoidGrad", SigmoidGradS, 3.0);
+    RegisterBinary("TanhGrad", TanhGradS, 3.0);
+    RegisterBinary("ClipByValueGrad", ClipGradS, 2.0,
+                   {"clip_min", "clip_max"});
 
     // The adjoint of broadcasting: reduce grad down to ref's shape.
     ops.Register(OpDef{

@@ -15,6 +15,7 @@ RegisterStandardOps()
         RegisterConvOps();
         RegisterReductionOps();
         RegisterMovementOps();
+        RegisterFusedOps();
         RegisterRandomOps();
         RegisterLossOps();
         RegisterOptimizerOps();

@@ -21,6 +21,7 @@ void RegisterMatMulOps();
 void RegisterConvOps();
 void RegisterReductionOps();
 void RegisterMovementOps();
+void RegisterFusedOps();
 void RegisterRandomOps();
 void RegisterLossOps();
 void RegisterOptimizerOps();

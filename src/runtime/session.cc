@@ -9,7 +9,6 @@
 #include <stdexcept>
 #include <unordered_set>
 
-#include "runtime/graph_optimizer.h"
 #include "telemetry/metrics.h"
 #include "tensor/buffer_pool.h"
 
@@ -43,6 +42,7 @@ MicrosSince(Clock::time_point start)
 struct SessionMetrics {
     telemetry::Counter& steps;
     telemetry::Counter& ops_executed;
+    telemetry::Counter& inplace_applied;
     telemetry::Counter& parallel_steps;
     telemetry::Counter& worker_busy_us;
     telemetry::Counter& worker_idle_us;
@@ -57,6 +57,7 @@ struct SessionMetrics {
             return new SessionMetrics{
                 r.GetCounter("session.steps"),
                 r.GetCounter("session.ops_executed"),
+                r.GetCounter("rewrite.inplace_applied"),
                 r.GetCounter("executor.parallel_steps"),
                 r.GetCounter("executor.worker_busy_us"),
                 r.GetCounter("executor.worker_idle_us"),
@@ -105,9 +106,12 @@ Session::GetPlan(const std::vector<graph::Output>& fetches,
     }
     // Include graph size: appending nodes (e.g. building the training
     // graph after an inference run) must invalidate nothing but new
-    // fetch sets still plan correctly. The optimizer flag also changes
-    // the plan.
+    // fetch sets still plan correctly. The optimizer flag and rewrite
+    // knobs also change the plan.
     key << "|" << graph_.num_nodes() << "|" << optimize_graphs_;
+    if (optimize_graphs_) {
+        key << "|" << rewrite_options_.CacheKey();
+    }
 
     auto it = plan_cache_.find(key.str());
     if (it != plan_cache_.end()) {
@@ -122,14 +126,22 @@ Session::GetPlan(const std::vector<graph::Output>& fetches,
         roots.push_back(t);
     }
 
-    std::vector<graph::NodeId> order = graph_.TopologicalOrder(roots);
-
     Plan plan;
+    std::vector<graph::NodeId> order;
     if (optimize_graphs_) {
-        auto optimized = OptimizePlan(graph_, order, variables_);
-        order = std::move(optimized.order);
-        plan.replacements = std::move(optimized.replacements);
-        plan.folded = std::move(optimized.folded);
+        // The rewriter may append content-addressed "__rw/..." nodes to
+        // the graph; they are unreachable from user-built roots, so
+        // unoptimized plans and re-rewrites are unaffected (replanning
+        // converges by reusing them, keyed by name).
+        auto rewritten = graph::rewrite::Rewrite(graph_, fetches, targets,
+                                                 variables_,
+                                                 rewrite_options_);
+        order = std::move(rewritten.order);
+        plan.replacements = std::move(rewritten.replacements);
+        plan.folded = std::move(rewritten.folded);
+        plan.inplace = std::move(rewritten.inplace);
+    } else {
+        order = graph_.TopologicalOrder(roots);
     }
 
     // Resolve each node's op definition once at plan time: registry
@@ -282,6 +294,18 @@ Session::RunPlanStep(const Plan& plan, std::size_t seq, const FeedMap& feeds,
 
     const graph::OpDef& def = *step.def;
     graph::OpContext ctx(node, &inputs, *pool_, rng_, variables_);
+
+    // In-place grant: the rewrite proved input 0 statically dies at this
+    // step; the refcount check (values entry + our gathered copy = 2)
+    // rejects anything the static proof cannot see — folded constants,
+    // view-shared buffers, planner-off fetch retention.
+    if (!plan.inplace.empty() && plan.inplace[seq] && !inputs.empty() &&
+        inputs[0].initialized() && inputs[0].buffer_use_count() == 2) {
+        ctx.set_may_alias_input(true);
+        if (telemetry::MetricsEnabled()) {
+            SessionMetrics::Get().inplace_applied.Add(1);
+        }
+    }
 
     // Timestamps are only taken when tracing: the traced-off hot path
     // must stay inside the bench_telemetry overhead budget.

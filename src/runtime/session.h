@@ -23,6 +23,7 @@
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "graph/op_registry.h"
+#include "graph/rewrite/rewrite.h"
 #include "parallel/thread_pool.h"
 #include "runtime/tracer.h"
 #include "tensor/rng.h"
@@ -98,13 +99,27 @@ class Session {
     bool memory_planning() const { return memory_planning_; }
 
     /**
-     * Enables the application-level graph optimizer (constant folding
-     * + common-subexpression elimination) for subsequently planned
-     * fetch sets. Off by default so profiles reflect the graph as
-     * written; see runtime/graph_optimizer.h.
+     * Enables the graph rewrite framework (constant folding, CSE,
+     * transpose folding, elementwise fusion, in-place) for subsequently
+     * planned fetch sets. Off by default so profiles reflect the graph
+     * as written; see graph/rewrite/rewrite.h. Every rewrite preserves
+     * bit-identical fetches, variables, and traces.
      */
     void SetGraphOptimization(bool enabled) { optimize_graphs_ = enabled; }
     bool graph_optimization() const { return optimize_graphs_; }
+
+    /**
+     * Per-pattern rewrite knobs (effective only when graph optimization
+     * is enabled). Takes effect on subsequently planned fetch sets.
+     */
+    void SetRewriteOptions(const graph::rewrite::RewriteOptions& options)
+    {
+        rewrite_options_ = options;
+    }
+    const graph::rewrite::RewriteOptions& rewrite_options() const
+    {
+        return rewrite_options_;
+    }
 
     /**
      * Executes the subgraph producing @p fetches and @p targets.
@@ -137,10 +152,14 @@ class Session {
     /** A cached, possibly optimized, execution plan. */
     struct Plan {
         std::vector<PlanStep> steps;
-        /** CSE edge redirection (empty when optimization is off). */
+        /** Rewrite edge redirection (empty when optimization is off). */
         std::unordered_map<graph::NodeId, graph::NodeId> replacements;
         /** Values pre-computed by constant folding. */
         std::unordered_map<graph::NodeId, std::vector<Tensor>> folded;
+        /** Per step, whether the kernel may write into its first input
+            (statically proven to die here; the executor still verifies
+            the runtime refcount). Empty when optimization is off. */
+        std::vector<char> inplace;
 
         // Dependency structure for the inter-op parallel executor,
         // over plan indices. Stateful steps are barriers: they depend
@@ -208,6 +227,7 @@ class Session {
     std::chrono::steady_clock::time_point step_epoch_;
     bool memory_planning_ = true;
     bool optimize_graphs_ = false;
+    graph::rewrite::RewriteOptions rewrite_options_;
     std::map<std::string, Plan> plan_cache_;
 };
 

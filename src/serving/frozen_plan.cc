@@ -82,7 +82,11 @@ FrozenPlan::Freeze(const runtime::Session& session,
 
     // Copy the reachable subgraph, in topological order so every
     // remapped input already exists, snapshotting state as we go.
+    // Variable values are deep-copied (the source session's in-place
+    // optimizer updates must never reach a frozen plan); Consts are
+    // immutable and share the buffer.
     const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    graph::VariableStore snapshot;
     std::unordered_map<graph::NodeId, graph::NodeId> remap;
     remap.reserve(order.size());
     for (graph::NodeId id : order) {
@@ -108,17 +112,15 @@ FrozenPlan::Freeze(const runtime::Session& session,
             }
             plan->input_nodes_[node.name] = frozen;
         } else if (node.op_type == "Variable") {
-            // Deep copy: the source session's in-place optimizer
-            // updates must never reach a frozen plan.
-            plan->prebound_.emplace_back(
-                frozen, session.variables()
-                            .Get(node.attr("var_name").AsString())
-                            .Clone());
+            const std::string& var = node.attr("var_name").AsString();
+            if (!snapshot.Contains(var)) {
+                snapshot.Set(var, session.variables().Get(var).Clone());
+            }
         } else if (node.op_type == "Const") {
-            // Consts are immutable; share the buffer.
-            plan->prebound_.emplace_back(
-                frozen,
-                session.variables().Get(node.attr("var_name").AsString()));
+            const std::string& var = node.attr("var_name").AsString();
+            if (!snapshot.Contains(var)) {
+                snapshot.Set(var, session.variables().Get(var));
+            }
         } else {
             const graph::OpDef& def = registry.Lookup(node.op_type);
             if (def.stateful) {
@@ -128,11 +130,6 @@ FrozenPlan::Freeze(const runtime::Session& session,
                     node.name + "' (" + node.op_type +
                     "); freeze a deterministic serving head instead");
             }
-            Step step;
-            step.node = frozen;
-            step.def = &def;
-            step.seq = static_cast<std::int32_t>(plan->steps_.size());
-            plan->steps_.push_back(step);
         }
     }
 
@@ -147,6 +144,67 @@ FrozenPlan::Freeze(const runtime::Session& session,
     plan->fetches_.reserve(signature.fetches.size());
     for (const graph::Output& f : signature.fetches) {
         plan->fetches_.push_back({remap.at(f.node), f.index});
+    }
+
+    // Optional rewrite over the private copy. Weights are a frozen
+    // snapshot here, so Variables fold exactly like Consts
+    // (variables_as_constants): whole weight-only expressions are
+    // evaluated once at freeze time instead of per request.
+    std::vector<graph::NodeId> frozen_order;
+    std::vector<char> inplace_by_order;
+    if (options.optimize) {
+        graph::rewrite::RewriteOptions ropts = options.rewrites;
+        ropts.variables_as_constants = true;
+        auto rewritten = graph::rewrite::Rewrite(
+            plan->graph_, plan->fetches_, /*targets=*/{}, snapshot, ropts);
+        frozen_order = std::move(rewritten.order);
+        inplace_by_order = std::move(rewritten.inplace);
+        plan->replacements_ = std::move(rewritten.replacements);
+        plan->folded_ = std::move(rewritten.folded);
+    } else {
+        // The copy appended nodes in topological order, so ids
+        // 0..n-1 ARE the execution order.
+        frozen_order.resize(static_cast<std::size_t>(plan->graph_.num_nodes()));
+        for (std::size_t i = 0; i < frozen_order.size(); ++i) {
+            frozen_order[i] = static_cast<graph::NodeId>(i);
+        }
+        inplace_by_order.assign(frozen_order.size(), 0);
+    }
+
+    // Edge resolution through the (path-compressed) replacement map.
+    auto resolve = [&plan](graph::NodeId id) {
+        auto it = plan->replacements_.find(id);
+        return it == plan->replacements_.end() ? id : it->second;
+    };
+
+    // Build the executable steps from the final order. Placeholders
+    // are fed; surviving Variable/Const reads (folding off, or a
+    // pattern subset) bind their snapshot value; folded nodes carry
+    // their freeze-time value and need no step at all.
+    for (std::size_t oi = 0; oi < frozen_order.size(); ++oi) {
+        const graph::NodeId fid = frozen_order[oi];
+        if (plan->folded_.count(fid)) {
+            continue;
+        }
+        const graph::Node& node = plan->graph_.node(fid);
+        if (node.op_type == "Placeholder") {
+            continue;
+        }
+        if (node.op_type == "Variable" || node.op_type == "Const") {
+            plan->prebound_.emplace_back(
+                fid, snapshot.Get(node.attr("var_name").AsString()));
+            continue;
+        }
+        Step step;
+        step.node = fid;
+        step.def = &registry.Lookup(node.op_type);
+        step.seq = static_cast<std::int32_t>(plan->steps_.size());
+        plan->steps_.push_back(step);
+        plan->step_inplace_.push_back(inplace_by_order[oi]);
+    }
+
+    for (graph::Output& f : plan->fetches_) {
+        f.node = resolve(f.node);
     }
 
     // Dependency + liveness structure over executable steps only
@@ -174,14 +232,14 @@ FrozenPlan::Freeze(const runtime::Session& session,
         deps.clear();
         auto& producers = plan->input_producers_[i];
         for (const graph::Output& in : node.inputs) {
-            auto p = step_of.find(in.node);
+            auto p = step_of.find(resolve(in.node));
             if (p != step_of.end()) {
                 deps.push_back(p->second);
                 producers.push_back(p->second);
             }
         }
         for (graph::NodeId c : node.control_inputs) {
-            auto p = step_of.find(c);
+            auto p = step_of.find(resolve(c));
             if (p != step_of.end()) {
                 deps.push_back(p->second);
             }
@@ -242,12 +300,15 @@ FrozenPlan::RunStep(std::size_t seq,
     std::vector<Tensor> inputs;
     inputs.reserve(node.inputs.size());
     for (const graph::Output& in : node.inputs) {
-        const auto& produced = values[static_cast<std::size_t>(in.node)];
+        auto rep = replacements_.find(in.node);
+        const graph::NodeId source =
+            rep == replacements_.end() ? in.node : rep->second;
+        const auto& produced = values[static_cast<std::size_t>(source)];
         if (static_cast<std::size_t>(in.index) >= produced.size() ||
             !produced[static_cast<std::size_t>(in.index)].initialized()) {
             throw std::logic_error("FrozenPlan: node '" + node.name +
                                    "' input from '" +
-                                   graph_.node(in.node).name +
+                                   graph_.node(source).name +
                                    "' was not produced");
         }
         inputs.push_back(produced[static_cast<std::size_t>(in.index)]);
@@ -255,6 +316,13 @@ FrozenPlan::RunStep(std::size_t seq,
 
     graph::OpContext ctx(node, &inputs, *intra_pool_, rng_,
                          empty_variables_);
+    // In-place grant: the rewrite proved input 0 dies here; the
+    // use_count gate proves no other run, fold, prebound value, or
+    // view still holds the buffer (values slot + our gathered copy).
+    if (step_inplace_[seq] && !inputs.empty() && inputs[0].initialized() &&
+        inputs[0].buffer_use_count() == 2) {
+        ctx.set_may_alias_input(true);
+    }
     try {
         step.def->kernel(ctx);
     } catch (const std::exception& e) {
@@ -405,6 +473,9 @@ FrozenPlan::Run(const std::map<std::string, Tensor>& feeds) const
         static_cast<std::size_t>(graph_.num_nodes()));
     for (const auto& [id, value] : prebound_) {
         values[static_cast<std::size_t>(id)] = {value};
+    }
+    for (const auto& [id, outputs] : folded_) {
+        values[static_cast<std::size_t>(id)] = outputs;
     }
     for (const TensorSpec& spec : signature_.inputs) {
         auto fed = feeds.find(spec.name);

@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -73,6 +74,17 @@ struct InferenceSignature {
 struct FrozenPlanOptions {
     int intra_op_threads = 1;  ///< kernel-internal pool width.
     int inter_op_threads = 1;  ///< concurrent ops per execution.
+
+    /**
+     * Run the graph rewrite framework over the frozen subgraph (with
+     * Variables treated as constants — weights are snapshotted, so
+     * whole weight-only expressions fold at freeze time). On by
+     * default; outputs are bit-identical either way.
+     */
+    bool optimize = true;
+
+    /** Per-pattern knobs (effective when optimize is on). */
+    graph::rewrite::RewriteOptions rewrites;
 };
 
 /** Feeds for one single-example request: name -> [1, ...] tensor. */
@@ -168,6 +180,12 @@ class FrozenPlan {
     std::map<std::string, graph::NodeId> input_nodes_;
     /** Weight/const values bound before execution (frozen node -> value). */
     std::vector<std::pair<graph::NodeId, Tensor>> prebound_;
+    /** Rewrite edge redirection over the frozen graph (maybe empty). */
+    std::unordered_map<graph::NodeId, graph::NodeId> replacements_;
+    /** Values computed by freeze-time constant folding. */
+    std::unordered_map<graph::NodeId, std::vector<Tensor>> folded_;
+    /** Per step, in-place grant from the rewrite's liveness proof. */
+    std::vector<char> step_inplace_;
 
     std::vector<Step> steps_;
     /** Per step, steps unblocked by its completion. */

@@ -125,6 +125,19 @@ class Tensor {
     /** @return buffer size in bytes. */
     std::size_t byte_size() const;
 
+    /**
+     * @return the number of Tensor handles sharing this buffer (0 for
+     * an empty tensor). Executors use this to verify an input buffer is
+     * exclusively held before granting an in-place write.
+     */
+    long buffer_use_count() const { return buffer_.use_count(); }
+
+    /** @return true if @p other shares this tensor's buffer. */
+    bool SharesBufferWith(const Tensor& other) const
+    {
+        return buffer_ != nullptr && buffer_ == other.buffer_;
+    }
+
   private:
     void CheckType(DType expected) const;
 

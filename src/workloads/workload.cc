@@ -15,6 +15,8 @@ Workload::MakeSession(const WorkloadConfig& config)
     session->SetThreads(config.threads);
     session->SetInterOpThreads(config.inter_op_threads);
     session->SetMemoryPlanning(config.memory_planner);
+    session->SetGraphOptimization(config.graph_rewrites);
+    session->SetRewriteOptions(config.rewrites);
     session->tracer().set_enabled(config.tracing);
     telemetry::MetricsRegistry::set_enabled(config.telemetry);
     return session;

@@ -63,6 +63,17 @@ struct WorkloadConfig {
      * workloads.
      */
     bool telemetry = false;
+
+    /**
+     * Graph rewrite framework (constant folding, CSE, transpose
+     * folding, elementwise fusion, in-place). Default on — every
+     * pattern preserves bit-identical fetches, variables, and traces;
+     * see graph/rewrite/rewrite.h.
+     */
+    bool graph_rewrites = true;
+
+    /** Per-pattern knobs (effective when graph_rewrites is on). */
+    graph::rewrite::RewriteOptions rewrites;
 };
 
 /** Aggregate result of a timed run of steps. */
