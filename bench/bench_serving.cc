@@ -9,8 +9,12 @@
  * loop, the classic serving-benchmark shape: offered load tracks
  * achieved throughput, so the system is never driven into unbounded
  * queueing). Reported per configuration: QPS, client-observed p50/p99
- * latency, p99 time-in-queue (the batcher's budget guarantee), and the
- * mean formed batch size from the telemetry registry.
+ * latency decomposed into time-in-queue (the batcher's budget
+ * guarantee) and execution time (batch formation -> response), and the
+ * mean formed batch size from the telemetry registry. The queue/exec
+ * split shows where each configuration's latency lives: batch-1 pays
+ * in queueing (requests serialize behind each other), dynamic batching
+ * pays a bounded queue wait to buy amortized execution.
  *
  * The headline comparison is max_batch=1 (no coalescing — every
  * request executes alone) against max_batch=8 under the same latency
@@ -116,7 +120,10 @@ struct ConfigResult {
     double qps = 0.0;
     double p50_ms = 0.0;
     double p99_ms = 0.0;
+    double queue_p50_ms = 0.0;
     double queue_p99_ms = 0.0;
+    double exec_p50_ms = 0.0;
+    double exec_p99_ms = 0.0;
     double mean_batch = 0.0;
 };
 
@@ -152,6 +159,8 @@ RunConfig(const std::string& name,
         static_cast<std::size_t>(clients));
     std::vector<std::vector<double>> queue_times(
         static_cast<std::size_t>(clients));
+    std::vector<std::vector<double>> exec_times(
+        static_cast<std::size_t>(clients));
 
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -160,6 +169,7 @@ RunConfig(const std::string& name,
         threads.emplace_back([&, c] {
             auto& lat = latencies[static_cast<std::size_t>(c)];
             auto& que = queue_times[static_cast<std::size_t>(c)];
+            auto& exe = exec_times[static_cast<std::size_t>(c)];
             lat.reserve(static_cast<std::size_t>(requests_per_client));
             for (int r = 0; r < requests_per_client; ++r) {
                 const auto& request =
@@ -172,6 +182,10 @@ RunConfig(const std::string& name,
                                   std::chrono::steady_clock::now() - t0)
                                   .count());
                 que.push_back(response.queue_seconds);
+                // Batch formation -> completion: the part of the
+                // latency spent executing rather than waiting.
+                exe.push_back(response.latency_seconds -
+                              response.queue_seconds);
             }
         });
     }
@@ -185,6 +199,7 @@ RunConfig(const std::string& name,
 
     std::vector<double> all_lat;
     std::vector<double> all_queue;
+    std::vector<double> all_exec;
     for (int c = 0; c < clients; ++c) {
         all_lat.insert(all_lat.end(),
                        latencies[static_cast<std::size_t>(c)].begin(),
@@ -192,6 +207,9 @@ RunConfig(const std::string& name,
         all_queue.insert(all_queue.end(),
                          queue_times[static_cast<std::size_t>(c)].begin(),
                          queue_times[static_cast<std::size_t>(c)].end());
+        all_exec.insert(all_exec.end(),
+                        exec_times[static_cast<std::size_t>(c)].begin(),
+                        exec_times[static_cast<std::size_t>(c)].end());
     }
 
     const auto snapshot = telemetry::MetricsRegistry::Global().Snapshot();
@@ -212,7 +230,10 @@ RunConfig(const std::string& name,
     result.qps = static_cast<double>(all_lat.size()) / wall;
     result.p50_ms = Percentile(all_lat, 0.50) * 1e3;
     result.p99_ms = Percentile(all_lat, 0.99) * 1e3;
+    result.queue_p50_ms = Percentile(all_queue, 0.50) * 1e3;
     result.queue_p99_ms = Percentile(all_queue, 0.99) * 1e3;
+    result.exec_p50_ms = Percentile(all_exec, 0.50) * 1e3;
+    result.exec_p99_ms = Percentile(all_exec, 0.99) * 1e3;
     result.mean_batch =
         snapshot.HistogramValue("serving.batch_size").Mean();
     return result;
@@ -225,16 +246,19 @@ PrintTable(std::ostream& os, const std::vector<ConfigResult>& results)
        << std::setw(9) << "clients" << std::setw(11) << "budget_us"
        << std::setw(10) << "max_batch" << std::setw(10) << "qps"
        << std::setw(10) << "p50_ms" << std::setw(10) << "p99_ms"
-       << std::setw(13) << "queue_p99_ms" << std::setw(11) << "mean_batch"
-       << "\n";
-    os << std::string(94, '-') << "\n";
+       << std::setw(11) << "queue_p50" << std::setw(11) << "queue_p99"
+       << std::setw(10) << "exec_p50" << std::setw(10) << "exec_p99"
+       << std::setw(11) << "mean_batch" << "\n";
+    os << std::string(113, '-') << "\n";
     for (const auto& r : results) {
         os << std::left << std::setw(10) << r.workload << std::right
            << std::setw(9) << r.clients << std::setw(11) << r.budget_us
            << std::setw(10) << r.max_batch << std::setw(10) << std::fixed
            << std::setprecision(1) << r.qps << std::setw(10)
            << std::setprecision(2) << r.p50_ms << std::setw(10) << r.p99_ms
-           << std::setw(13) << r.queue_p99_ms << std::setw(11)
+           << std::setw(11) << r.queue_p50_ms << std::setw(11)
+           << r.queue_p99_ms << std::setw(10) << r.exec_p50_ms
+           << std::setw(10) << r.exec_p99_ms << std::setw(11)
            << std::setprecision(2) << r.mean_batch << "\n";
     }
 }

@@ -107,14 +107,18 @@ TraceToChromeJson(const runtime::Tracer& tracer)
     };
 
     // Lane naming: tid 0 carries the step spans, tid k+1 the ops that
-    // executor worker k ran. Emit metadata for every lane any record
-    // references so the viewer shows "worker-k" instead of bare tids.
+    // executor worker k ran, and registered aux lanes (pipeline
+    // producers, serving batchers) follow after the workers. Emit
+    // metadata for every lane any record references so the viewer
+    // shows "worker-k" / "alexnet/train-producer-0" instead of bare
+    // tids.
     int max_worker = -1;
     for (const auto& step : tracer.steps()) {
         for (const auto& r : step.records) {
             max_worker = std::max(max_worker, r.worker);
         }
     }
+    const int aux_tid_base = max_worker + 2;
     emit() << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
            << "\"args\": {\"name\": \"fathom\"}}";
     emit() << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
@@ -124,13 +128,40 @@ TraceToChromeJson(const runtime::Tracer& tracer)
                << "\"tid\": " << (w + 1) << ", \"args\": {\"name\": "
                << "\"worker-" << w << "\"}}";
     }
+    const auto& aux_lanes = tracer.aux_lanes();
+    for (std::size_t lane = 0; lane < aux_lanes.size(); ++lane) {
+        emit() << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               << "\"tid\": " << (aux_tid_base + static_cast<int>(lane))
+               << ", \"args\": {\"name\": \""
+               << Escape(aux_lanes[lane]) << "\"}}";
+    }
 
-    // Steps are rebased end-to-end on one global timeline; within a
-    // step every op keeps its true monotonic start offset, so the
-    // viewer shows real concurrency (overlapping ops overlap).
+    // Aux spans carry absolute run-epoch timestamps, so they only
+    // render against steps placed on the same absolute timeline. Use
+    // true-timeline placement whenever the trace has the data for it
+    // (any stamped step start or any aux span); otherwise fall back to
+    // the legacy end-to-end packing, which older traces rely on.
+    bool true_timeline = !tracer.aux_spans().empty();
+    for (const auto& step : tracer.steps()) {
+        true_timeline = true_timeline || step.start_seconds > 0.0;
+    }
+    for (const auto& span : tracer.aux_spans()) {
+        emit() << "{\"name\": \"" << Escape(span.label)
+               << "\", \"cat\": \"pipeline\", \"ph\": \"X\", \"ts\": "
+               << span.start_seconds * 1e6
+               << ", \"dur\": " << span.dur_seconds * 1e6
+               << ", \"pid\": 1, \"tid\": " << (aux_tid_base + span.lane)
+               << "}";
+    }
+
+    // Within a step every op keeps its true monotonic start offset, so
+    // the viewer shows real concurrency (overlapping ops overlap).
     double step_base_us = 0.0;
     int step_index = 0;
     for (const auto& step : tracer.steps()) {
+        if (true_timeline) {
+            step_base_us = step.start_seconds * 1e6;
+        }
         emit() << "{\"name\": \"step " << step_index
                << "\", \"cat\": \"step\", \"ph\": \"X\", \"ts\": "
                << step_base_us << ", \"dur\": "
@@ -161,7 +192,9 @@ TraceToChromeJson(const runtime::Tracer& tracer)
                << ", \"allocations\": " << step.memory.allocations
                << ", \"fresh_allocs\": " << step.memory.fresh_allocs
                << ", \"pool_hits\": " << step.memory.pool_hits << "}}";
-        step_base_us += step.wall_seconds * 1e6;
+        if (!true_timeline) {
+            step_base_us += step.wall_seconds * 1e6;
+        }
         ++step_index;
     }
     out << "\n]\n";

@@ -18,6 +18,8 @@ RunAndTrace(const std::string& name, const SuiteRunOptions& options)
     config.telemetry = options.telemetry;
     config.graph_rewrites = options.graph_rewrites;
     config.rewrites = options.rewrites;
+    config.prefetch_depth = options.prefetch_depth;
+    config.producer_threads = options.producer_threads;
     workload->Setup(config);
 
     WorkloadTraces traces;

@@ -40,6 +40,17 @@ struct SuiteRunOptions {
 
     /** Per-pattern knobs (effective when graph_rewrites is on). */
     graph::rewrite::RewriteOptions rewrites;
+
+    /**
+     * Input-pipeline prefetch depth (0 = inline generation, the
+     * historical behavior; >= 1 overlaps batch materialization with
+     * step execution). Batches are bit-identical at every depth; see
+     * data::InputPipeline.
+     */
+    int prefetch_depth = 2;
+
+    /** Background batch-producer threads (effective when depth > 0). */
+    int producer_threads = 1;
 };
 
 /** The traces and metadata captured from one workload. */

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * A bounded multi-producer multi-consumer queue with stop/drain
+ * semantics — the shared machinery under both the input pipeline's
+ * prefetch buffer and the serving runtime's dynamic batcher.
+ *
+ * The contract mirrors what both clients need:
+ *  - Push blocks while full (prefetch backpressure: producers cannot
+ *    run unboundedly ahead of the consumer).
+ *  - TryPush never blocks and reports full/stopped distinctly (the
+ *    serving admission path rejects instead of stalling callers).
+ *  - Pop/PopBatch block while empty, and after Stop() keep returning
+ *    queued items until the queue is drained — no accepted item is
+ *    ever dropped — then report stopped.
+ *  - PopBatch implements the dynamic-batching policy: return as soon
+ *    as @p max items are available, or when the oldest queued item has
+ *    waited @p max_delay, whichever comes first.
+ */
+#ifndef FATHOM_DATA_PIPELINE_BOUNDED_QUEUE_H
+#define FATHOM_DATA_PIPELINE_BOUNDED_QUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace fathom::data {
+
+/** Outcome of a non-blocking push. */
+enum class QueuePushResult {
+    kOk,       ///< item accepted.
+    kFull,     ///< at capacity; caller may retry or reject.
+    kStopped,  ///< Stop() was called; the queue accepts nothing more.
+};
+
+template <typename T>
+class BoundedQueue {
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity)
+    {
+        if (capacity == 0) {
+            throw std::invalid_argument(
+                "BoundedQueue: capacity must be > 0");
+        }
+    }
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /**
+     * Blocks until there is room, then enqueues.
+     * @return false if the queue was stopped (item not enqueued).
+     */
+    bool Push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock, [this] {
+            return stopped_ || items_.size() < capacity_;
+        });
+        if (stopped_) {
+            return false;
+        }
+        items_.push_back(Entry{std::move(item), Clock::now()});
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /** Non-blocking push; see QueuePushResult. */
+    QueuePushResult TryPush(T item)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) {
+            return QueuePushResult::kStopped;
+        }
+        if (items_.size() >= capacity_) {
+            return QueuePushResult::kFull;
+        }
+        items_.push_back(Entry{std::move(item), Clock::now()});
+        not_empty_.notify_one();
+        return QueuePushResult::kOk;
+    }
+
+    /**
+     * Blocks until an item is available or the queue is stopped and
+     * drained. @return nullopt only when stopped with nothing left.
+     */
+    std::optional<T> Pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock,
+                        [this] { return stopped_ || !items_.empty(); });
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        T value = std::move(items_.front().value);
+        items_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /**
+     * Pops a batch under the dynamic-batching policy: blocks until any
+     * item is queued, then returns once @p max items are available or
+     * the *oldest* queued item has waited @p max_delay since enqueue —
+     * bounding per-item latency while still coalescing bursts. After
+     * Stop(), drains immediately (no deadline wait) batch by batch.
+     *
+     * @param out cleared and filled with 1..max items, oldest first.
+     * @return false only when stopped and fully drained.
+     */
+    bool PopBatch(std::size_t max, std::chrono::microseconds max_delay,
+                  std::vector<T>* out)
+    {
+        out->clear();
+        std::unique_lock<std::mutex> lock(mu_);
+        for (;;) {
+            not_empty_.wait(
+                lock, [this] { return stopped_ || !items_.empty(); });
+            if (items_.empty()) {
+                return false;  // stopped and drained.
+            }
+            while (!stopped_ && items_.size() < max) {
+                const auto deadline = items_.front().enqueued + max_delay;
+                if (Clock::now() >= deadline) {
+                    break;
+                }
+                not_empty_.wait_until(lock, deadline);
+                if (items_.empty()) {
+                    break;  // raced with another consumer; re-wait.
+                }
+            }
+            if (!items_.empty()) {
+                break;
+            }
+        }
+        const std::size_t take = std::min(items_.size(), max);
+        out->reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+            out->push_back(std::move(items_.front().value));
+            items_.pop_front();
+        }
+        not_full_.notify_all();
+        if (!items_.empty()) {
+            // Leftovers from a burst: hand them to a sibling consumer
+            // instead of waiting for the next push's notify.
+            not_empty_.notify_one();
+        }
+        return true;
+    }
+
+    /**
+     * Stops the queue: wakes every waiter, rejects all future pushes.
+     * Already-queued items remain poppable (drain semantics).
+     */
+    void Stop()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopped_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+    bool stopped() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stopped_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    /** Enqueue timestamps drive PopBatch's oldest-item deadline. */
+    struct Entry {
+        T value;
+        Clock::time_point enqueued;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<Entry> items_;
+    bool stopped_ = false;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_PIPELINE_BOUNDED_QUEUE_H

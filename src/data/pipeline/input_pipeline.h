@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Asynchronous input pipeline: prefetch queue plus double buffering.
+ *
+ * Fathom's workloads historically synthesized every input batch inline
+ * with the step that consumed it, serializing data generation with
+ * graph execution — exactly the host-side stall the paper's breakdown
+ * methodology is built to expose. InputPipeline overlaps the two: N
+ * producer threads materialize feed batches into a bounded prefetch
+ * queue while the consumer runs the current step, so with any depth
+ * >= 2 step t executes while batch t+1 is generated (double
+ * buffering), and deeper queues absorb producer jitter.
+ *
+ * Determinism is the design center. Batch t is a pure function of
+ * (batch function, t): producers claim step indices from an atomic
+ * ticket and the batch function derives all randomness from the index
+ * (datasets expose BatchAt(index, n), seeded Rng(MixSeed(seed,
+ * index))). Neither the producer count nor the queue depth — including
+ * depth 0, the inline fallback — changes a single byte of any batch,
+ * so fetches, losses, and canonical traces stay bit-identical across
+ * every configuration. Producers may *complete* out of order; the
+ * consumer reorders by step index, so delivery order is always
+ * 0, 1, 2, ...
+ *
+ * Telemetry (when enabled): `pipeline.queue_depth`,
+ * `pipeline.produce_us`, `pipeline.stall_us`,
+ * `pipeline.batches_produced`. With a Tracer attached, each producer
+ * gets a named aux lane ("<name>-producer-k") whose spans show batch
+ * materialization overlapping step execution in Chrome traces.
+ */
+#ifndef FATHOM_DATA_PIPELINE_INPUT_PIPELINE_H
+#define FATHOM_DATA_PIPELINE_INPUT_PIPELINE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/pipeline/bounded_queue.h"
+#include "graph/node.h"
+#include "runtime/tracer.h"
+#include "tensor/tensor.h"
+
+namespace fathom::data {
+
+/** Placeholder feeds for one step (== runtime::FeedMap). */
+using FeedBatch = std::map<graph::NodeId, Tensor>;
+
+/**
+ * Materializes the feed batch for step @p step. Must be a pure
+ * function of the step index when the pipeline runs asynchronously
+ * (prefetch_depth > 0): producers invoke it concurrently and out of
+ * order. Stateful functions (deepq's policy-in-the-loop generation)
+ * are allowed only with prefetch_depth == 0, where the pipeline calls
+ * them inline, in order, on the consumer thread.
+ */
+using BatchFn = std::function<FeedBatch(std::int64_t step)>;
+
+struct InputPipelineOptions {
+    /**
+     * Bound of the prefetch queue (how many batches may be ready and
+     * waiting). 0 disables the background machinery entirely: Next()
+     * calls the batch function inline — the deterministic baseline and
+     * the only mode that admits stateful batch functions. 1 is classic
+     * double buffering; >= 2 also absorbs producer jitter.
+     */
+    int prefetch_depth = 2;
+
+    /** Background producer threads (ignored when depth is 0). */
+    int producer_threads = 1;
+
+    /** Step index of the first batch Next() returns. */
+    std::int64_t start_step = 0;
+
+    /**
+     * Optional tracer for producer aux lanes; must outlive the
+     * pipeline. Null disables span recording.
+     */
+    runtime::Tracer* tracer = nullptr;
+
+    /** Lane-name prefix, e.g. "speech/train". */
+    std::string name = "input";
+};
+
+class InputPipeline {
+  public:
+    /** Starts the producers (unless inline). */
+    InputPipeline(BatchFn fn, InputPipelineOptions options);
+
+    InputPipeline(const InputPipeline&) = delete;
+    InputPipeline& operator=(const InputPipeline&) = delete;
+
+    /** Stops and joins the producers; queued batches are discarded. */
+    ~InputPipeline();
+
+    /**
+     * @return the batch for the next step index, in order: start_step,
+     * start_step + 1, ... Blocks while the queue is empty (the stall
+     * telemetry measures exactly this wait).
+     * @throws std::logic_error if called after Stop().
+     */
+    FeedBatch Next();
+
+    /** Stops producers early; Next() becomes invalid. Idempotent. */
+    void Stop();
+
+    /** @return the step index the next call to Next() will return. */
+    std::int64_t next_step() const { return next_step_; }
+
+    const InputPipelineOptions& options() const { return options_; }
+
+    /** @return true when running without background producers. */
+    bool inline_mode() const { return inline_mode_; }
+
+  private:
+    struct Produced {
+        std::int64_t step = 0;
+        FeedBatch batch;
+    };
+
+    void ProducerLoop(std::size_t producer_index);
+
+    BatchFn fn_;
+    InputPipelineOptions options_;
+    bool inline_mode_ = false;
+    std::int64_t next_step_ = 0;
+
+    /** Next unclaimed step index; producers fetch_add to claim. */
+    std::atomic<std::int64_t> ticket_;
+
+    std::unique_ptr<BoundedQueue<Produced>> queue_;
+    /** Consumer-side stash for batches that completed out of order;
+        bounded by depth + producers. */
+    std::map<std::int64_t, FeedBatch> reordered_;
+    std::vector<int> lanes_;  ///< tracer aux lane per producer.
+    std::vector<std::thread> producers_;
+};
+
+}  // namespace fathom::data
+
+#endif  // FATHOM_DATA_PIPELINE_INPUT_PIPELINE_H

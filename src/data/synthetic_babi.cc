@@ -21,7 +21,7 @@ SyntheticBabiDataset::SyntheticBabiDataset(std::int64_t num_sentences,
                                            std::int64_t sentence_len,
                                            bool two_hop, std::uint64_t seed)
     : num_sentences_(num_sentences), sentence_len_(sentence_len),
-      two_hop_(two_hop), rng_(seed)
+      two_hop_(two_hop), seed_(seed), rng_(seed)
 {
     if (sentence_len < 3) {
         throw std::invalid_argument("bAbI sentences need >= 3 token slots");
@@ -104,7 +104,7 @@ SyntheticBabiDataset::TokenName(std::int32_t token) const
 }
 
 BabiSample
-SyntheticBabiDataset::NextSample()
+SyntheticBabiDataset::SampleFrom(Rng& rng) const
 {
     BabiSample sample;
     sample.story =
@@ -119,17 +119,17 @@ SyntheticBabiDataset::NextSample()
     for (std::int64_t s = 0; s < num_sentences_; ++s) {
         std::int32_t* sentence = story + s * sentence_len_;
         const bool take =
-            two_hop_ && s > 0 && rng_.Uniform() < 0.4;
+            two_hop_ && s > 0 && rng.Uniform() < 0.4;
         if (take) {
-            const std::int64_t actor = rng_.UniformInt(kNumActors);
-            const std::int64_t object = rng_.UniformInt(kNumObjects);
+            const std::int64_t actor = rng.UniformInt(kNumActors);
+            const std::int64_t object = rng.UniformInt(kNumObjects);
             sentence[0] = ActorToken(actor);
             sentence[1] = kTook;
             sentence[2] = ObjectToken(object);
             object_holder[static_cast<std::size_t>(object)] = actor;
         } else {
-            const std::int64_t actor = rng_.UniformInt(kNumActors);
-            const std::int64_t loc = rng_.UniformInt(kNumLocations);
+            const std::int64_t actor = rng.UniformInt(kNumActors);
+            const std::int64_t loc = rng.UniformInt(kNumLocations);
             sentence[0] = ActorToken(actor);
             sentence[1] = kMoved;
             sentence[2] = LocationToken(loc);
@@ -143,7 +143,7 @@ SyntheticBabiDataset::NextSample()
     if (two_hop_) {
         // Pick a held object whose holder has a known location.
         for (std::int64_t attempt = 0; attempt < 64; ++attempt) {
-            const std::int64_t object = rng_.UniformInt(kNumObjects);
+            const std::int64_t object = rng.UniformInt(kNumObjects);
             const std::int64_t holder =
                 object_holder[static_cast<std::size_t>(object)];
             if (holder >= 0 &&
@@ -158,7 +158,7 @@ SyntheticBabiDataset::NextSample()
     }
 
     for (;;) {
-        const std::int64_t actor = rng_.UniformInt(kNumActors);
+        const std::int64_t actor = rng.UniformInt(kNumActors);
         if (actor_loc[static_cast<std::size_t>(actor)] >= 0) {
             question[1] = ActorToken(actor);
             sample.answer =
@@ -169,7 +169,7 @@ SyntheticBabiDataset::NextSample()
 }
 
 BabiBatch
-SyntheticBabiDataset::NextBatch(std::int64_t n)
+SyntheticBabiDataset::Materialize(Rng& rng, std::int64_t n) const
 {
     BabiBatch batch;
     batch.stories =
@@ -178,7 +178,7 @@ SyntheticBabiDataset::NextBatch(std::int64_t n)
     batch.answers = Tensor(DType::kInt32, Shape{n});
     const std::int64_t story_stride = num_sentences_ * sentence_len_;
     for (std::int64_t i = 0; i < n; ++i) {
-        const BabiSample sample = NextSample();
+        const BabiSample sample = SampleFrom(rng);
         std::memcpy(batch.stories.data<std::int32_t>() + i * story_stride,
                     sample.story.data<std::int32_t>(),
                     static_cast<std::size_t>(story_stride) * sizeof(int));
@@ -188,6 +188,25 @@ SyntheticBabiDataset::NextBatch(std::int64_t n)
         batch.answers.data<std::int32_t>()[i] = AnswerClass(sample.answer);
     }
     return batch;
+}
+
+BabiSample
+SyntheticBabiDataset::NextSample()
+{
+    return SampleFrom(rng_);
+}
+
+BabiBatch
+SyntheticBabiDataset::NextBatch(std::int64_t n)
+{
+    return Materialize(rng_, n);
+}
+
+BabiBatch
+SyntheticBabiDataset::BatchAt(std::uint64_t index, std::int64_t n) const
+{
+    Rng rng(MixSeed(seed_, index));
+    return Materialize(rng, n);
 }
 
 }  // namespace fathom::data

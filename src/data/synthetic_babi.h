@@ -51,6 +51,13 @@ class SyntheticBabiDataset {
     BabiBatch NextBatch(std::int64_t n);
     BabiSample NextSample();
 
+    /**
+     * Materializes batch @p index of the indexed stream: a pure
+     * function of (seed, index) — the input pipeline's
+     * batch-materialize entry point (safe to call concurrently).
+     */
+    BabiBatch BatchAt(std::uint64_t index, std::int64_t n) const;
+
     /** Vocabulary size (pad + verbs + actors + objects + locations). */
     std::int64_t vocab() const;
 
@@ -75,9 +82,13 @@ class SyntheticBabiDataset {
     std::int32_t ObjectToken(std::int64_t i) const;
     std::int32_t LocationToken(std::int64_t i) const;
 
+    BabiSample SampleFrom(Rng& rng) const;
+    BabiBatch Materialize(Rng& rng, std::int64_t n) const;
+
     std::int64_t num_sentences_;
     std::int64_t sentence_len_;
     bool two_hop_;
+    std::uint64_t seed_;
     Rng rng_;
 };
 

@@ -8,12 +8,14 @@ SyntheticImageDataset::SyntheticImageDataset(std::int64_t size,
                                              std::int64_t channels,
                                              std::int64_t num_classes,
                                              std::uint64_t seed)
-    : size_(size), channels_(channels), num_classes_(num_classes), rng_(seed)
+    : size_(size), channels_(channels), num_classes_(num_classes),
+      seed_(seed), rng_(seed)
 {
 }
 
 void
-SyntheticImageDataset::RenderSample(float* pixels, std::int64_t label)
+SyntheticImageDataset::RenderSample(Rng& rng, float* pixels,
+                                    std::int64_t label) const
 {
     // Class-deterministic geometry: a per-class RNG drives blob centers
     // and texture orientation, the instance RNG adds jitter and noise.
@@ -29,8 +31,8 @@ SyntheticImageDataset::RenderSample(float* pixels, std::int64_t label)
     const float ca = std::cos(angle);
     const float sa = std::sin(angle);
 
-    const float jitter_x = rng_.Normal(0.0f, 1.5f);
-    const float jitter_y = rng_.Normal(0.0f, 1.5f);
+    const float jitter_x = rng.Normal(0.0f, 1.5f);
+    const float jitter_y = rng.Normal(0.0f, 1.5f);
 
     for (std::int64_t y = 0; y < size_; ++y) {
         for (std::int64_t x = 0; x < size_; ++x) {
@@ -46,14 +48,14 @@ SyntheticImageDataset::RenderSample(float* pixels, std::int64_t label)
                     0.25f * static_cast<float>(c + 1);
                 pixels[(y * size_ + x) * channels_ + c] =
                     blob * channel_phase + texture +
-                    rng_.Normal(0.0f, 0.05f);
+                    rng.Normal(0.0f, 0.05f);
             }
         }
     }
 }
 
 ImageBatch
-SyntheticImageDataset::NextBatch(std::int64_t n)
+SyntheticImageDataset::Materialize(Rng& rng, std::int64_t n) const
 {
     ImageBatch batch;
     batch.images =
@@ -63,11 +65,24 @@ SyntheticImageDataset::NextBatch(std::int64_t n)
     std::int32_t* labels = batch.labels.data<std::int32_t>();
     const std::int64_t stride = size_ * size_ * channels_;
     for (std::int64_t i = 0; i < n; ++i) {
-        const std::int64_t label = rng_.UniformInt(num_classes_);
+        const std::int64_t label = rng.UniformInt(num_classes_);
         labels[i] = static_cast<std::int32_t>(label);
-        RenderSample(pixels + i * stride, label);
+        RenderSample(rng, pixels + i * stride, label);
     }
     return batch;
+}
+
+ImageBatch
+SyntheticImageDataset::NextBatch(std::int64_t n)
+{
+    return Materialize(rng_, n);
+}
+
+ImageBatch
+SyntheticImageDataset::BatchAt(std::uint64_t index, std::int64_t n) const
+{
+    Rng rng(MixSeed(seed_, index));
+    return Materialize(rng, n);
 }
 
 }  // namespace fathom::data

@@ -41,16 +41,26 @@ class SyntheticImageDataset {
     /** @return the next batch of @p n samples. */
     ImageBatch NextBatch(std::int64_t n);
 
+    /**
+     * Materializes batch @p index of the indexed stream: a pure
+     * function of (seed, index), independent of calls to NextBatch or
+     * other indices — the input pipeline's batch-materialize entry
+     * point (safe to call concurrently).
+     */
+    ImageBatch BatchAt(std::uint64_t index, std::int64_t n) const;
+
     std::int64_t size() const { return size_; }
     std::int64_t channels() const { return channels_; }
     std::int64_t num_classes() const { return num_classes_; }
 
   private:
-    void RenderSample(float* pixels, std::int64_t label);
+    ImageBatch Materialize(Rng& rng, std::int64_t n) const;
+    void RenderSample(Rng& rng, float* pixels, std::int64_t label) const;
 
     std::int64_t size_;
     std::int64_t channels_;
     std::int64_t num_classes_;
+    std::uint64_t seed_;
     Rng rng_;
 };
 

@@ -5,7 +5,8 @@
 
 namespace fathom::data {
 
-SyntheticMnistDataset::SyntheticMnistDataset(std::uint64_t seed) : rng_(seed)
+SyntheticMnistDataset::SyntheticMnistDataset(std::uint64_t seed)
+    : seed_(seed), rng_(seed)
 {
 }
 
@@ -42,7 +43,8 @@ DrawStroke(float* pixels, float x0, float y0, float x1, float y1,
 }  // namespace
 
 void
-SyntheticMnistDataset::RenderDigit(float* pixels, std::int64_t label)
+SyntheticMnistDataset::RenderDigit(Rng& rng, float* pixels,
+                                   std::int64_t label) const
 {
     std::fill(pixels, pixels + kFeatures, 0.0f);
     // Class-conditioned stroke endpoints with per-sample jitter.
@@ -50,30 +52,43 @@ SyntheticMnistDataset::RenderDigit(float* pixels, std::int64_t label)
     const int strokes = 2 + static_cast<int>(label % 2);
     for (int s = 0; s < strokes; ++s) {
         const float x0 = class_rng.UniformFloat(4.0f, 24.0f) +
-                         rng_.Normal(0.0f, 1.0f);
+                         rng.Normal(0.0f, 1.0f);
         const float y0 = class_rng.UniformFloat(4.0f, 24.0f) +
-                         rng_.Normal(0.0f, 1.0f);
+                         rng.Normal(0.0f, 1.0f);
         const float x1 = class_rng.UniformFloat(4.0f, 24.0f) +
-                         rng_.Normal(0.0f, 1.0f);
+                         rng.Normal(0.0f, 1.0f);
         const float y1 = class_rng.UniformFloat(4.0f, 24.0f) +
-                         rng_.Normal(0.0f, 1.0f);
+                         rng.Normal(0.0f, 1.0f);
         DrawStroke(pixels, x0, y0, x1, y1, 1.2f);
     }
 }
 
 MnistBatch
-SyntheticMnistDataset::NextBatch(std::int64_t n)
+SyntheticMnistDataset::Materialize(Rng& rng, std::int64_t n) const
 {
     MnistBatch batch;
     batch.images = Tensor(DType::kFloat32, Shape{n, kFeatures});
     batch.labels = Tensor(DType::kInt32, Shape{n});
     for (std::int64_t i = 0; i < n; ++i) {
-        const std::int64_t label = rng_.UniformInt(10);
+        const std::int64_t label = rng.UniformInt(10);
         batch.labels.data<std::int32_t>()[i] =
             static_cast<std::int32_t>(label);
-        RenderDigit(batch.images.data<float>() + i * kFeatures, label);
+        RenderDigit(rng, batch.images.data<float>() + i * kFeatures, label);
     }
     return batch;
+}
+
+MnistBatch
+SyntheticMnistDataset::NextBatch(std::int64_t n)
+{
+    return Materialize(rng_, n);
+}
+
+MnistBatch
+SyntheticMnistDataset::BatchAt(std::uint64_t index, std::int64_t n) const
+{
+    Rng rng(MixSeed(seed_, index));
+    return Materialize(rng, n);
 }
 
 }  // namespace fathom::data

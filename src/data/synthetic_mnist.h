@@ -32,6 +32,13 @@ class SyntheticMnistDataset {
 
     MnistBatch NextBatch(std::int64_t n);
 
+    /**
+     * Materializes batch @p index of the indexed stream: a pure
+     * function of (seed, index) — the input pipeline's
+     * batch-materialize entry point (safe to call concurrently).
+     */
+    MnistBatch BatchAt(std::uint64_t index, std::int64_t n) const;
+
     /** Image side length (28, matching MNIST). */
     static constexpr std::int64_t kSize = 28;
 
@@ -39,8 +46,10 @@ class SyntheticMnistDataset {
     static constexpr std::int64_t kFeatures = kSize * kSize;
 
   private:
-    void RenderDigit(float* pixels, std::int64_t label);
+    MnistBatch Materialize(Rng& rng, std::int64_t n) const;
+    void RenderDigit(Rng& rng, float* pixels, std::int64_t label) const;
 
+    std::uint64_t seed_;
     Rng rng_;
 };
 

@@ -10,12 +10,12 @@ SyntheticTimitDataset::SyntheticTimitDataset(std::int64_t freq_bins,
                                              std::int64_t max_time,
                                              std::uint64_t seed)
     : freq_bins_(freq_bins), num_phonemes_(num_phonemes),
-      max_time_(max_time), rng_(seed)
+      max_time_(max_time), seed_(seed), rng_(seed)
 {
 }
 
 Utterance
-SyntheticTimitDataset::Next()
+SyntheticTimitDataset::Materialize(Rng& rng) const
 {
     Utterance utt;
     utt.frames = Tensor::Zeros(Shape{max_time_, freq_bins_});
@@ -25,8 +25,8 @@ SyntheticTimitDataset::Next()
     std::int64_t t = 0;
     while (t < max_time_) {
         const std::int32_t phoneme =
-            static_cast<std::int32_t>(1 + rng_.UniformInt(num_phonemes_));
-        const std::int64_t dwell = 2 + rng_.UniformInt(4);
+            static_cast<std::int32_t>(1 + rng.UniformInt(num_phonemes_));
+        const std::int64_t dwell = 2 + rng.UniformInt(4);
         // Phoneme-deterministic formant peaks.
         Rng ph_rng(0xF02337ull + static_cast<std::uint64_t>(phoneme) * 31ull);
         const float f1 = ph_rng.UniformFloat(0.1f, 0.45f) *
@@ -43,7 +43,7 @@ SyntheticTimitDataset::Next()
                 frames[t * freq_bins_ + f] =
                     std::exp(-0.5f * d1 * d1) +
                     0.7f * std::exp(-0.5f * d2 * d2) +
-                    rng_.Normal(0.0f, 0.05f);
+                    rng.Normal(0.0f, 0.05f);
             }
             emitted_frames = true;
         }
@@ -64,6 +64,24 @@ SyntheticTimitDataset::Next()
         utt.labels.resize(static_cast<std::size_t>(max_labels));
     }
     return utt;
+}
+
+Utterance
+SyntheticTimitDataset::Next()
+{
+    return Materialize(rng_);
+}
+
+std::vector<Utterance>
+SyntheticTimitDataset::BatchAt(std::uint64_t index, std::int64_t n) const
+{
+    Rng rng(MixSeed(seed_, index));
+    std::vector<Utterance> batch;
+    batch.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        batch.push_back(Materialize(rng));
+    }
+    return batch;
 }
 
 }  // namespace fathom::data

@@ -41,14 +41,25 @@ class SyntheticTimitDataset {
     /** @return the next utterance. */
     Utterance Next();
 
+    /**
+     * Materializes the @p n utterances of batch @p index: a pure
+     * function of (seed, index) — the input pipeline's
+     * batch-materialize entry point (safe to call concurrently).
+     */
+    std::vector<Utterance> BatchAt(std::uint64_t index,
+                                   std::int64_t n) const;
+
     std::int64_t freq_bins() const { return freq_bins_; }
     std::int64_t num_phonemes() const { return num_phonemes_; }
     std::int64_t max_time() const { return max_time_; }
 
   private:
+    Utterance Materialize(Rng& rng) const;
+
     std::int64_t freq_bins_;
     std::int64_t num_phonemes_;
     std::int64_t max_time_;
+    std::uint64_t seed_;
     Rng rng_;
 };
 

@@ -9,7 +9,7 @@ namespace fathom::data {
 SyntheticTranslationDataset::SyntheticTranslationDataset(std::int64_t vocab,
                                                          std::int64_t src_len,
                                                          std::uint64_t seed)
-    : vocab_(vocab), src_len_(src_len), rng_(seed)
+    : vocab_(vocab), src_len_(src_len), seed_(seed), rng_(seed)
 {
     if (vocab < kFirstWordToken + 1) {
         throw std::invalid_argument("translation vocab too small");
@@ -34,7 +34,7 @@ SyntheticTranslationDataset::Translate(std::int32_t token) const
 }
 
 TranslationBatch
-SyntheticTranslationDataset::NextBatch(std::int64_t n)
+SyntheticTranslationDataset::Materialize(Rng& rng, std::int64_t n) const
 {
     TranslationBatch batch;
     batch.source = Tensor(DType::kInt32, Shape{n, src_len_});
@@ -45,14 +45,14 @@ SyntheticTranslationDataset::NextBatch(std::int64_t n)
     for (std::int64_t i = 0; i < n; ++i) {
         // Sentence length in [src_len/2, src_len]; the tail is padding.
         const std::int64_t words =
-            src_len_ / 2 + rng_.UniformInt(src_len_ - src_len_ / 2 + 1);
+            src_len_ / 2 + rng.UniformInt(src_len_ - src_len_ / 2 + 1);
         std::vector<std::int32_t> sentence;
         for (std::int64_t w = 0; w < src_len_; ++w) {
             std::int32_t token = kPadToken;
             if (w < words) {
                 token = static_cast<std::int32_t>(
-                    kFirstWordToken + rng_.UniformInt(vocab_ -
-                                                      kFirstWordToken));
+                    kFirstWordToken + rng.UniformInt(vocab_ -
+                                                     kFirstWordToken));
                 sentence.push_back(token);
             }
             src[i * src_len_ + w] = token;
@@ -69,6 +69,20 @@ SyntheticTranslationDataset::NextBatch(std::int64_t n)
         }
     }
     return batch;
+}
+
+TranslationBatch
+SyntheticTranslationDataset::NextBatch(std::int64_t n)
+{
+    return Materialize(rng_, n);
+}
+
+TranslationBatch
+SyntheticTranslationDataset::BatchAt(std::uint64_t index,
+                                     std::int64_t n) const
+{
+    Rng rng(MixSeed(seed_, index));
+    return Materialize(rng, n);
 }
 
 }  // namespace fathom::data

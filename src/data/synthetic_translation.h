@@ -46,6 +46,13 @@ class SyntheticTranslationDataset {
 
     TranslationBatch NextBatch(std::int64_t n);
 
+    /**
+     * Materializes batch @p index of the indexed stream: a pure
+     * function of (seed, index) — the input pipeline's
+     * batch-materialize entry point (safe to call concurrently).
+     */
+    TranslationBatch BatchAt(std::uint64_t index, std::int64_t n) const;
+
     /** @return the translation of one source token. */
     std::int32_t Translate(std::int32_t token) const;
 
@@ -56,9 +63,12 @@ class SyntheticTranslationDataset {
     std::int64_t tgt_len() const { return src_len_ + 2; }
 
   private:
+    TranslationBatch Materialize(Rng& rng, std::int64_t n) const;
+
     std::int64_t vocab_;
     std::int64_t src_len_;
     std::vector<std::int32_t> permutation_;  ///< word -> translated word.
+    std::uint64_t seed_;
     Rng rng_;
 };
 

@@ -56,7 +56,9 @@ StepTrace::OverheadSeconds() const
 
 Tracer::Tracer(const Tracer& other)
     : enabled_(other.enabled_), in_step_(other.in_step_),
-      steps_(other.steps_)
+      steps_(other.steps_), aux_lanes_(other.aux_lanes_),
+      aux_spans_(other.aux_spans_), has_epoch_(other.has_epoch_),
+      epoch_(other.epoch_)
 {
 }
 
@@ -67,13 +69,20 @@ Tracer::operator=(const Tracer& other)
         enabled_ = other.enabled_;
         in_step_ = other.in_step_;
         steps_ = other.steps_;
+        aux_lanes_ = other.aux_lanes_;
+        aux_spans_ = other.aux_spans_;
+        has_epoch_ = other.has_epoch_;
+        epoch_ = other.epoch_;
     }
     return *this;
 }
 
 Tracer::Tracer(Tracer&& other) noexcept
     : enabled_(other.enabled_), in_step_(other.in_step_),
-      steps_(std::move(other.steps_))
+      steps_(std::move(other.steps_)),
+      aux_lanes_(std::move(other.aux_lanes_)),
+      aux_spans_(std::move(other.aux_spans_)),
+      has_epoch_(other.has_epoch_), epoch_(other.epoch_)
 {
 }
 
@@ -84,6 +93,10 @@ Tracer::operator=(Tracer&& other) noexcept
         enabled_ = other.enabled_;
         in_step_ = other.in_step_;
         steps_ = std::move(other.steps_);
+        aux_lanes_ = std::move(other.aux_lanes_);
+        aux_spans_ = std::move(other.aux_spans_);
+        has_epoch_ = other.has_epoch_;
+        epoch_ = other.epoch_;
     }
     return *this;
 }
@@ -95,6 +108,7 @@ Tracer::BeginStep()
         return;
     }
     steps_.emplace_back();
+    steps_.back().start_seconds = NowSeconds();
     in_step_ = true;
 }
 
@@ -129,6 +143,63 @@ Tracer::EndStep(double step_wall_seconds, const StepMemStats& memory)
         });
     step.wall_seconds = step_wall_seconds;
     in_step_ = false;
+}
+
+int
+Tracer::RegisterAuxLane(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < aux_lanes_.size(); ++i) {
+        if (aux_lanes_[i] == name) {
+            return static_cast<int>(i);
+        }
+    }
+    aux_lanes_.push_back(name);
+    return static_cast<int>(aux_lanes_.size() - 1);
+}
+
+void
+Tracer::RecordAux(int lane, std::string label, double start_seconds,
+                  double dur_seconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_ || lane < 0 ||
+        static_cast<std::size_t>(lane) >= aux_lanes_.size()) {
+        return;
+    }
+    AuxSpan span;
+    span.lane = lane;
+    span.label = std::move(label);
+    span.start_seconds = start_seconds;
+    span.dur_seconds = dur_seconds;
+    aux_spans_.push_back(std::move(span));
+}
+
+double
+Tracer::NowSeconds()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return NowSecondsLocked();
+}
+
+double
+Tracer::NowSecondsLocked()
+{
+    const auto now = std::chrono::steady_clock::now();
+    if (!has_epoch_) {
+        epoch_ = now;
+        has_epoch_ = true;
+    }
+    return std::chrono::duration<double>(now - epoch_).count();
+}
+
+void
+Tracer::Clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    steps_.clear();
+    aux_spans_.clear();
+    has_epoch_ = false;
 }
 
 }  // namespace fathom::runtime

@@ -17,6 +17,7 @@
 #ifndef FATHOM_RUNTIME_TRACER_H
 #define FATHOM_RUNTIME_TRACER_H
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -70,11 +71,36 @@ struct StepMemStats {
     std::uint64_t pool_hits = 0;     ///< requests served from free lists.
 };
 
+/**
+ * One span on an auxiliary trace lane: work that happens outside the
+ * op executor but belongs on the same timeline — input-pipeline
+ * producers materializing batches, the serving batcher forming and
+ * running batches. Timestamps are offsets from the tracer's run epoch
+ * (see Tracer::NowSeconds), so aux spans and steps share one timebase
+ * and exported timelines show the overlap. Scheduling-dependent by
+ * nature: analyses that must be bit-identical across thread counts
+ * never consume aux spans.
+ */
+struct AuxSpan {
+    int lane = 0;  ///< index into Tracer's registered aux lanes.
+    std::string label;
+    double start_seconds = 0.0;  ///< offset from the run epoch.
+    double dur_seconds = 0.0;
+};
+
 /** One Session::Run invocation. */
 struct StepTrace {
     std::vector<OpExecRecord> records;
     double wall_seconds = 0.0;  ///< whole-step time, including framework.
     StepMemStats memory;        ///< allocator activity during the step.
+
+    /**
+     * Offset of BeginStep from the tracer's run epoch (0 when the step
+     * opened the epoch). Lets the exporter place steps at their true
+     * wall-clock position relative to aux-lane spans instead of packing
+     * them end-to-end.
+     */
+    double start_seconds = 0.0;
 
     /** @return summed op wall time (counts concurrent ops multiply). */
     double OpSeconds() const;
@@ -132,14 +158,48 @@ class Tracer {
     /** Ends the step, canonicalizing record order by sequence id. */
     void EndStep(double step_wall_seconds, const StepMemStats& memory = {});
 
+    // ---- auxiliary lanes --------------------------------------------------
+    // Named timeline lanes for work outside the op executor (pipeline
+    // producers, the serving batcher). Lanes render labeled in Chrome
+    // traces alongside the executor workers. All three calls are
+    // thread-safe; RegisterAuxLane dedups by name so reconstructing a
+    // pipeline reuses its lane.
+
+    /** @return the lane id for @p name, registering it if new. */
+    int RegisterAuxLane(const std::string& name);
+
+    /** Appends a span to @p lane. No-op when tracing is disabled. */
+    void RecordAux(int lane, std::string label, double start_seconds,
+                   double dur_seconds);
+
+    /**
+     * @return seconds since this tracer's run epoch. The first call
+     * (from any thread) establishes the epoch; BeginStep stamps each
+     * step's start_seconds with it, so aux spans and steps share one
+     * timebase.
+     */
+    double NowSeconds();
+
+    const std::vector<std::string>& aux_lanes() const { return aux_lanes_; }
+    const std::vector<AuxSpan>& aux_spans() const { return aux_spans_; }
+
     const std::vector<StepTrace>& steps() const { return steps_; }
-    void Clear() { steps_.clear(); }
+
+    /** Drops steps and aux spans and re-opens the run epoch. */
+    void Clear();
 
   private:
+    /** NowSeconds with mu_ already held. */
+    double NowSecondsLocked();
+
     bool enabled_ = true;
     bool in_step_ = false;
     std::vector<StepTrace> steps_;
-    std::mutex mu_;  ///< guards steps_.back().records during a step.
+    std::vector<std::string> aux_lanes_;
+    std::vector<AuxSpan> aux_spans_;
+    bool has_epoch_ = false;
+    std::chrono::steady_clock::time_point epoch_{};
+    std::mutex mu_;  ///< guards records/aux state during a step.
 };
 
 }  // namespace fathom::runtime

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "telemetry/metrics.h"
@@ -53,27 +54,40 @@ ElapsedMicros(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
-ServingRuntime::ServingRuntime(std::shared_ptr<const FrozenPlan> plan,
-                               ServingOptions options)
-    : plan_(std::move(plan)), options_(options)
+ServingOptions
+ServingRuntime::Normalize(const FrozenPlan* plan, ServingOptions options)
 {
-    if (!plan_) {
+    if (!plan) {
         throw std::invalid_argument("ServingRuntime: null plan");
     }
     // A fixed-batch graph cannot execute more rows than it bakes in,
     // so larger requested batches would only add padding work.
-    if (plan_->fixed_batch() > 0) {
-        options_.max_batch =
-            std::min(options_.max_batch, plan_->fixed_batch());
+    if (plan->fixed_batch() > 0) {
+        options.max_batch = std::min(options.max_batch, plan->fixed_batch());
     }
-    options_.max_batch = std::max<std::int64_t>(options_.max_batch, 1);
-    options_.max_queue_depth = std::max<std::size_t>(
-        options_.max_queue_depth, static_cast<std::size_t>(1));
-    options_.executors = std::max(options_.executors, 1);
+    options.max_batch = std::max<std::int64_t>(options.max_batch, 1);
+    options.max_queue_depth = std::max<std::size_t>(
+        options.max_queue_depth, static_cast<std::size_t>(1));
+    options.executors = std::max(options.executors, 1);
+    return options;
+}
 
+ServingRuntime::ServingRuntime(std::shared_ptr<const FrozenPlan> plan,
+                               ServingOptions options)
+    : plan_(std::move(plan)),
+      options_(Normalize(plan_.get(), options)),
+      queue_(options_.max_queue_depth)
+{
+    if (options_.tracer != nullptr) {
+        lanes_.reserve(static_cast<std::size_t>(options_.executors));
+        for (int i = 0; i < options_.executors; ++i) {
+            lanes_.push_back(options_.tracer->RegisterAuxLane(
+                "batcher-" + std::to_string(i)));
+        }
+    }
     executors_.reserve(static_cast<std::size_t>(options_.executors));
     for (int i = 0; i < options_.executors; ++i) {
-        executors_.emplace_back([this] { ExecutorLoop(); });
+        executors_.emplace_back([this, i] { ExecutorLoop(i); });
     }
 }
 
@@ -84,7 +98,7 @@ ServingRuntime::Submit(RequestFeeds feeds)
 {
     auto& metrics = ServingMetrics::Get();
 
-    // Validate against the signature before taking the queue lock:
+    // Validate against the signature before touching the queue:
     // malformed requests fail fast at the submitter and a formed batch
     // can only fail on execution errors, not on feed-shape errors
     // introduced by a co-batched stranger.
@@ -121,69 +135,45 @@ ServingRuntime::Submit(RequestFeeds feeds)
     request.enqueued = std::chrono::steady_clock::now();
     std::future<InferenceResponse> future = request.promise.get_future();
 
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (stopping_) {
+    switch (queue_.TryPush(std::move(request))) {
+        case data::QueuePushResult::kOk:
+            break;
+        case data::QueuePushResult::kStopped:
             metrics.rejected.Add();
             throw std::runtime_error(
                 "ServingRuntime::Submit: runtime is stopped");
-        }
-        if (queue_.size() >= options_.max_queue_depth) {
+        case data::QueuePushResult::kFull:
             metrics.rejected.Add();
             throw std::runtime_error(
                 "ServingRuntime::Submit: queue full (depth " +
                 std::to_string(queue_.size()) + ")");
-        }
-        queue_.push_back(std::move(request));
-        metrics.requests.Add();
-        metrics.queue_depth.Observe(queue_.size());
     }
-    cv_.notify_one();
+    metrics.requests.Add();
+    metrics.queue_depth.Observe(queue_.size());
     return future;
 }
 
 void
-ServingRuntime::ExecutorLoop()
+ServingRuntime::ExecutorLoop(int worker)
 {
     const auto batch_target = static_cast<std::size_t>(options_.max_batch);
-    for (;;) {
-        std::vector<Pending> batch;
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) {
-                return;  // stopping_ and fully drained.
-            }
-            // The dynamic-batching policy: launch as soon as a full
-            // batch is waiting, or when the *oldest* queued request
-            // exhausts its latency budget, or on shutdown (drain now).
-            // The deadline re-derives from front() each wakeup —
-            // another executor may have consumed our former oldest.
-            while (!stopping_ && queue_.size() < batch_target) {
-                auto deadline = queue_.front().enqueued +
-                                options_.max_queue_delay;
-                if (std::chrono::steady_clock::now() >= deadline) {
-                    break;
-                }
-                cv_.wait_until(lock, deadline);
-                if (queue_.empty()) {
-                    break;  // raced with another executor; start over.
-                }
-            }
-            if (queue_.empty()) {
-                continue;
-            }
-            const std::size_t take = std::min(queue_.size(), batch_target);
-            batch.reserve(take);
-            for (std::size_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
-            }
-        }
-        // More work may remain (a burst larger than one batch, or a
-        // drain with multiple batches queued); wake a sibling.
-        cv_.notify_one();
+    const bool traced = options_.tracer != nullptr &&
+                        static_cast<std::size_t>(worker) < lanes_.size();
+    std::vector<Pending> batch;
+    // PopBatch is the dynamic-batching policy: it returns a formed
+    // batch as soon as batch_target requests are waiting, or when the
+    // oldest has exhausted its latency budget; after Stop() it drains
+    // batch by batch and finally reports false.
+    while (queue_.PopBatch(batch_target, options_.max_queue_delay, &batch)) {
+        const double start = traced ? options_.tracer->NowSeconds() : 0.0;
+        const auto n = batch.size();
         RunBatch(std::move(batch));
+        if (traced) {
+            options_.tracer->RecordAux(
+                lanes_[static_cast<std::size_t>(worker)],
+                "batch x" + std::to_string(n), start,
+                options_.tracer->NowSeconds() - start);
+        }
     }
 }
 
@@ -241,11 +231,7 @@ ServingRuntime::RunBatch(std::vector<Pending> batch)
 void
 ServingRuntime::Stop()
 {
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        stopping_ = true;
-    }
-    cv_.notify_all();
+    queue_.Stop();
     // Joining is serialized so concurrent Stop()/destructor races are
     // safe; executors exit only once the queue is fully drained.
     std::lock_guard<std::mutex> join_lock(join_mu_);
@@ -254,13 +240,6 @@ ServingRuntime::Stop()
             t.join();
         }
     }
-}
-
-bool
-ServingRuntime::stopped() const
-{
-    std::lock_guard<std::mutex> lock(mu_);
-    return stopping_;
 }
 
 }  // namespace fathom::serving

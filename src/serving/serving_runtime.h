@@ -13,6 +13,10 @@
  * formed batch, and scatter the batched outputs back to per-request
  * futures.
  *
+ * The batcher rides on data::BoundedQueue — the same bounded
+ * stop/drain queue under the training input pipeline — whose
+ * PopBatch() implements the dynamic-batching policy directly.
+ *
  * Shutdown contract (enforced by a timeout-guarded test): Stop() and
  * the destructor reject new submissions and then *drain* — every
  * request accepted before the stop completes (or fails with its
@@ -22,15 +26,15 @@
 #define FATHOM_SERVING_SERVING_RUNTIME_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "data/pipeline/bounded_queue.h"
+#include "runtime/tracer.h"
 #include "serving/frozen_plan.h"
 
 namespace fathom::serving {
@@ -56,6 +60,14 @@ struct ServingOptions {
 
     /** Executor threads forming and running batches. */
     int executors = 1;
+
+    /**
+     * Optional tracer for batcher lanes: each executor registers a
+     * "batcher-k" aux lane and records one span per formed batch, so
+     * Chrome traces show the batchers as labeled threads. Must
+     * outlive the runtime when set.
+     */
+    runtime::Tracer* tracer = nullptr;
 };
 
 /** What a fulfilled request future resolves to. */
@@ -100,7 +112,7 @@ class ServingRuntime {
      */
     void Stop();
 
-    bool stopped() const;
+    bool stopped() const { return queue_.stopped(); }
 
   private:
     struct Pending {
@@ -109,7 +121,11 @@ class ServingRuntime {
         std::chrono::steady_clock::time_point enqueued;
     };
 
-    void ExecutorLoop();
+    /** Clamps the knobs (and validates @p plan) before queue_ init. */
+    static ServingOptions Normalize(const FrozenPlan* plan,
+                                    ServingOptions options);
+
+    void ExecutorLoop(int worker);
 
     /** Runs one formed batch and settles its promises. */
     void RunBatch(std::vector<Pending> batch);
@@ -117,10 +133,11 @@ class ServingRuntime {
     std::shared_ptr<const FrozenPlan> plan_;
     ServingOptions options_;
 
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<Pending> queue_;
-    bool stopping_ = false;
+    /** Request queue; PopBatch is the dynamic-batching policy. */
+    data::BoundedQueue<Pending> queue_;
+
+    /** Per-executor tracer aux lane ids (empty without a tracer). */
+    std::vector<int> lanes_;
 
     std::mutex join_mu_;  ///< serializes Stop()/~ServingRuntime joins.
     std::vector<std::thread> executors_;

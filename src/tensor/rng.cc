@@ -121,4 +121,17 @@ Rng::Split()
     return Rng(NextU64() ^ 0xa0761d6478bd642full);
 }
 
+std::uint64_t
+MixSeed(std::uint64_t seed, std::uint64_t index)
+{
+    // Two rounds of the splitmix64 finalizer over seed then index:
+    // adjacent indices map to decorrelated seeds, and (seed, index)
+    // pairs never collide for distinct small inputs in practice.
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = SplitMix64(x);
+    x = z ^ (index + 0xbf58476d1ce4e5b9ull);
+    z = SplitMix64(x);
+    return z;
+}
+
 }  // namespace fathom

@@ -63,6 +63,18 @@ class Rng {
     float cached_normal_ = 0.0f;
 };
 
+/**
+ * Mixes a base seed with a stream index into a decorrelated seed
+ * (splitmix64-style finalization over the pair).
+ *
+ * This is the seeding scheme behind deterministic prefetch: batch *t*
+ * of a dataset is materialized from `Rng(MixSeed(dataset_seed, t))`,
+ * which depends only on the pair — never on which thread ran the
+ * materialization or in what order — so pipelined batches are
+ * bit-identical to inline generation.
+ */
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t index);
+
 }  // namespace fathom
 
 #endif  // FATHOM_TENSOR_RNG_H

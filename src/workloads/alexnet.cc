@@ -127,50 +127,75 @@ class AlexNetWorkload : public Workload {
     float
     EvaluateAccuracy(int batches) override
     {
+        auto pipeline =
+            MakePipeline("eval", eval_step_, [this](std::int64_t t) {
+                return BatchFeeds(kEvalStreamBase + t);
+            });
         int correct = 0;
         int total = 0;
         for (int i = 0; i < batches; ++i) {
-            const auto batch = dataset_->NextBatch(batch_);
-            runtime::FeedMap feeds;
-            feeds[images_.node] = batch.images;
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {predictions_});
+            const Tensor& labels = feeds.at(labels_.node);
             for (std::int64_t j = 0; j < batch_; ++j) {
                 correct += out[0].data<std::int32_t>()[j] ==
-                           batch.labels.data<std::int32_t>()[j];
+                           labels.data<std::int32_t>()[j];
                 ++total;
             }
         }
+        eval_step_ += batches;
         return static_cast<float>(correct) / static_cast<float>(total);
     }
 
     StepResult
     RunInference(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            const auto batch = dataset_->NextBatch(batch_);
-            runtime::FeedMap feeds;
-            feeds[images_.node] = batch.images;
+        auto pipeline =
+            MakePipeline("infer", infer_step_, [this](std::int64_t t) {
+                return BatchFeeds(kInferStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             session_->Run(feeds, {predictions_});
             return 0.0f;
         });
+        infer_step_ += steps;
+        return result;
     }
 
     StepResult
     RunTraining(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            const auto batch = dataset_->NextBatch(batch_);
-            runtime::FeedMap feeds;
-            feeds[images_.node] = batch.images;
-            feeds[labels_.node] = batch.labels;
+        auto pipeline =
+            MakePipeline("train", train_step_, [this](std::int64_t t) {
+                return BatchFeeds(kTrainStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {loss_}, {train_op_});
             return out[0].scalar_value();
         });
+        train_step_ += steps;
+        return result;
     }
 
   private:
     static constexpr std::int64_t kInput = 64;
     static constexpr std::int64_t kClasses = 16;
+
+    /**
+     * Materializes stream batch @p index as a full feed map. The label
+     * feed is unused (pruned) on the inference path but carried anyway
+     * so accuracy evaluation reads labels from the same batch the
+     * predictions came from.
+     */
+    data::FeedBatch
+    BatchFeeds(std::int64_t index) const
+    {
+        const auto batch =
+            dataset_->BatchAt(static_cast<std::uint64_t>(index), batch_);
+        return {{images_.node, batch.images}, {labels_.node, batch.labels}};
+    }
 
     std::int64_t batch_ = 4;
     std::unique_ptr<data::SyntheticImageDataset> dataset_;

@@ -131,30 +131,48 @@ class AutoencWorkload : public Workload {
     RunInference(int steps) override
     {
         // VAE inference reconstructs through the stochastic embedding.
-        return TimeSteps(steps, [this](int) {
-            const auto batch = dataset_->NextBatch(batch_);
-            runtime::FeedMap feeds;
-            feeds[inputs_.node] = batch.images;
+        auto pipeline =
+            MakePipeline("infer", infer_step_, [this](std::int64_t t) {
+                return BatchFeeds(kInferStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             session_->Run(feeds, {reconstruction_});
             return 0.0f;
         });
+        infer_step_ += steps;
+        return result;
     }
 
     StepResult
     RunTraining(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            const auto batch = dataset_->NextBatch(batch_);
-            runtime::FeedMap feeds;
-            feeds[inputs_.node] = batch.images;
+        auto pipeline =
+            MakePipeline("train", train_step_, [this](std::int64_t t) {
+                return BatchFeeds(kTrainStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {loss_}, {train_op_});
             return out[0].scalar_value();
         });
+        train_step_ += steps;
+        return result;
     }
 
   private:
     static constexpr std::int64_t kHidden = 256;
     static constexpr std::int64_t kLatent = 32;
+
+    /** Materializes stream batch @p index as a feed map (images only:
+        the VAE is unsupervised). */
+    data::FeedBatch
+    BatchFeeds(std::int64_t index) const
+    {
+        const auto batch =
+            dataset_->BatchAt(static_cast<std::uint64_t>(index), batch_);
+        return {{inputs_.node, batch.images}};
+    }
 
     std::int64_t batch_ = 16;
     std::unique_ptr<data::SyntheticMnistDataset> dataset_;

@@ -117,15 +117,25 @@ class DeepQWorkload : public Workload {
     StepResult
     RunInference(int steps) override
     {
-        // Forward-only play: greedy policy, no learning.
-        return TimeSteps(steps, [this](int) {
-            const Tensor state = CurrentState(1);
-            runtime::FeedMap feeds;
-            feeds[states_.node] = state;
+        // Forward-only play: greedy policy, no learning. The
+        // observation depends on the previous step's action (the RL
+        // feedback loop), so the batch function is stateful and the
+        // pipeline runs in forced-inline mode — prefetching a future
+        // observation is impossible by construction.
+        auto pipeline = MakePipeline(
+            "infer", infer_step_,
+            [this](std::int64_t) {
+                return data::FeedBatch{{states_.node, CurrentState(1)}};
+            },
+            /*stateful=*/true);
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {greedy_action_});
             StepEnv(out[0].data<std::int32_t>()[0]);
             return 0.0f;
         });
+        infer_step_ += steps;
+        return result;
     }
 
     StepResult
@@ -135,15 +145,29 @@ class DeepQWorkload : public Workload {
         while (static_cast<std::int64_t>(replay_.size()) < batch_ * 4) {
             ActAndRecord(/*epsilon=*/1.0f);
         }
-        return TimeSteps(steps, [this](int step) {
-            // Annealed epsilon-greedy exploration.
-            const float epsilon =
-                std::max(0.1f, 1.0f - static_cast<float>(total_updates_) /
-                                          500.0f);
-            ActAndRecord(epsilon);
-            (void)step;
-            return TrainOnMinibatch();
+        // The behaviour policy runs the *current* network and the
+        // replay sample feeds the update that changes it: batch t+1
+        // cannot be generated until step t finished. Stateful batch
+        // function, forced-inline pipeline (see RunInference).
+        auto pipeline = MakePipeline(
+            "train", train_step_,
+            [this](std::int64_t) {
+                // Annealed epsilon-greedy exploration.
+                const float epsilon = std::max(
+                    0.1f, 1.0f - static_cast<float>(total_updates_) /
+                                     500.0f);
+                ActAndRecord(epsilon);
+                return AssembleMinibatch();
+            },
+            /*stateful=*/true);
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
+            const auto out = session_->Run(feeds, {loss_}, {train_op_});
+            ++total_updates_;
+            return out[0].scalar_value();
         });
+        train_step_ += steps;
+        return result;
     }
 
     /** @return the environment's completed-episode count (for examples). */
@@ -252,8 +276,13 @@ class DeepQWorkload : public Workload {
         }
     }
 
-    float
-    TrainOnMinibatch()
+    /**
+     * Samples a replay minibatch and computes Bellman targets (running
+     * the current network for max_a' Q(s', a')), returning the full
+     * training feed map. The caller runs the update step.
+     */
+    data::FeedBatch
+    AssembleMinibatch()
     {
         const std::int64_t size = env_->frame_size();
         Tensor states = Tensor::Zeros(Shape{batch_, size, size, kFrames});
@@ -297,13 +326,9 @@ class DeepQWorkload : public Workload {
                 (done[static_cast<std::size_t>(i)] ? 0.0f : kGamma * best);
         }
 
-        runtime::FeedMap feeds;
-        feeds[states_.node] = states;
-        feeds[actions_.node] = actions;
-        feeds[targets_.node] = targets;
-        const auto out = session_->Run(feeds, {loss_}, {train_op_});
-        ++total_updates_;
-        return out[0].scalar_value();
+        return {{states_.node, states},
+                {actions_.node, actions},
+                {targets_.node, targets}};
     }
 
     static constexpr std::int64_t kGrid = 21;

@@ -156,46 +156,58 @@ class MemNetWorkload : public Workload {
     float
     EvaluateAccuracy(int batches) override
     {
-        const std::int32_t location_base = static_cast<std::int32_t>(
-            vocab_ - data::SyntheticBabiDataset::kNumLocations);
+        auto pipeline =
+            MakePipeline("eval", eval_step_, [this](std::int64_t t) {
+                return BatchFeeds(kEvalStreamBase + t);
+            });
         int correct = 0;
         int total = 0;
         for (int i = 0; i < batches; ++i) {
-            auto batch = dataset_->NextBatch(batch_);
-            runtime::FeedMap feeds;
-            feeds[stories_.node] = batch.stories;
-            feeds[questions_.node] = batch.questions;
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {predictions_});
+            // The answer feed already carries vocabulary token ids, so
+            // predictions compare directly.
+            const Tensor& labels = feeds.at(answers_.node);
             for (std::int64_t j = 0; j < batch_; ++j) {
-                correct +=
-                    out[0].data<std::int32_t>()[j] ==
-                    location_base + batch.answers.data<std::int32_t>()[j];
+                correct += out[0].data<std::int32_t>()[j] ==
+                           labels.data<std::int32_t>()[j];
                 ++total;
             }
         }
+        eval_step_ += batches;
         return static_cast<float>(correct) / static_cast<float>(total);
     }
 
     StepResult
     RunInference(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            runtime::FeedMap feeds;
-            FillFeeds(&feeds);
+        auto pipeline =
+            MakePipeline("infer", infer_step_, [this](std::int64_t t) {
+                return BatchFeeds(kInferStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             session_->Run(feeds, {predictions_});
             return 0.0f;
         });
+        infer_step_ += steps;
+        return result;
     }
 
     StepResult
     RunTraining(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            runtime::FeedMap feeds;
-            FillFeeds(&feeds);
+        auto pipeline =
+            MakePipeline("train", train_step_, [this](std::int64_t t) {
+                return BatchFeeds(kTrainStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {loss_}, {train_op_});
             return out[0].scalar_value();
         });
+        train_step_ += steps;
+        return result;
     }
 
   private:
@@ -226,14 +238,17 @@ class MemNetWorkload : public Workload {
         return pe;
     }
 
-    void
-    FillFeeds(runtime::FeedMap* feeds)
+    /**
+     * Materializes stream batch @p index as a full feed map. The
+     * answer feed carries vocabulary token ids (the answer word),
+     * matching the original model's vocabulary-wide softmax; it is
+     * unused (pruned) on the inference path.
+     */
+    data::FeedBatch
+    BatchFeeds(std::int64_t index) const
     {
-        auto batch = dataset_->NextBatch(batch_);
-        (*feeds)[stories_.node] = batch.stories;
-        (*feeds)[questions_.node] = batch.questions;
-        // Labels are vocabulary token ids (the answer word), matching
-        // the original model's vocabulary-wide softmax.
+        const auto batch =
+            dataset_->BatchAt(static_cast<std::uint64_t>(index), batch_);
         Tensor labels(DType::kInt32, Shape{batch_});
         const std::int32_t location_base = static_cast<std::int32_t>(
             vocab_ - data::SyntheticBabiDataset::kNumLocations);
@@ -241,7 +256,9 @@ class MemNetWorkload : public Workload {
             labels.data<std::int32_t>()[i] =
                 location_base + batch.answers.data<std::int32_t>()[i];
         }
-        (*feeds)[answers_.node] = labels;
+        return {{stories_.node, batch.stories},
+                {questions_.node, batch.questions},
+                {answers_.node, labels}};
     }
 
     static constexpr std::int64_t kSentences = 20;

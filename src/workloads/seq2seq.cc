@@ -162,33 +162,48 @@ class Seq2SeqWorkload : public Workload {
     StepResult
     RunInference(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            runtime::FeedMap feeds;
-            FillFeeds(&feeds, /*with_targets=*/false);
+        auto pipeline =
+            MakePipeline("infer", infer_step_, [this](std::int64_t t) {
+                return BatchFeeds(kInferStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             session_->Run(feeds, {logits_});
             return 0.0f;
         });
+        infer_step_ += steps;
+        return result;
     }
 
     StepResult
     RunTraining(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            runtime::FeedMap feeds;
-            FillFeeds(&feeds, /*with_targets=*/true);
+        auto pipeline =
+            MakePipeline("train", train_step_, [this](std::int64_t t) {
+                return BatchFeeds(kTrainStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {loss_}, {train_op_});
             return out[0].scalar_value();
         });
+        train_step_ += steps;
+        return result;
     }
 
   private:
-    void
-    FillFeeds(runtime::FeedMap* feeds, bool with_targets)
+    /**
+     * Materializes stream batch @p index as a full feed map: source
+     * tokens, teacher-forced decoder inputs (target[:, :-1]), and
+     * step-major targets. The target feed is unused (pruned) on the
+     * inference path.
+     */
+    data::FeedBatch
+    BatchFeeds(std::int64_t index) const
     {
-        const auto batch = dataset_->NextBatch(batch_);
-        (*feeds)[source_.node] = batch.source;
+        const auto batch =
+            dataset_->BatchAt(static_cast<std::uint64_t>(index), batch_);
 
-        // Teacher forcing: decoder inputs are target[:, :-1].
         Tensor dec_in(DType::kInt32, Shape{batch_, kTgtLen - 1});
         Tensor dec_tgt(DType::kInt32, Shape{(kTgtLen - 1) * batch_});
         const std::int32_t* tgt = batch.target.data<std::int32_t>();
@@ -201,10 +216,9 @@ class Seq2SeqWorkload : public Workload {
                     tgt[i * kTgtLen + t + 1];
             }
         }
-        (*feeds)[decoder_inputs_.node] = dec_in;
-        if (with_targets) {
-            (*feeds)[decoder_targets_.node] = dec_tgt;
-        }
+        return {{source_.node, batch.source},
+                {decoder_inputs_.node, dec_in},
+                {decoder_targets_.node, dec_tgt}};
     }
 
     static constexpr std::int64_t kVocab = 128;

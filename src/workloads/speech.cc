@@ -157,38 +157,52 @@ class SpeechWorkload : public Workload {
     StepResult
     RunInference(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            runtime::FeedMap feeds;
-            feeds[frames_.node] = NextFrames(nullptr);
+        auto pipeline =
+            MakePipeline("infer", infer_step_, [this](std::int64_t t) {
+                return BatchFeeds(kInferStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             session_->Run(feeds, {logits_});
             return 0.0f;
         });
+        infer_step_ += steps;
+        return result;
     }
 
     StepResult
     RunTraining(int steps) override
     {
-        return TimeSteps(steps, [this](int) {
-            Tensor labels;
-            runtime::FeedMap feeds;
-            feeds[frames_.node] = NextFrames(&labels);
-            feeds[labels_.node] = labels;
+        auto pipeline =
+            MakePipeline("train", train_step_, [this](std::int64_t t) {
+                return BatchFeeds(kTrainStreamBase + t);
+            });
+        auto result = TimeSteps(steps, [&](int) {
+            const runtime::FeedMap feeds = pipeline->Next();
             const auto out = session_->Run(feeds, {loss_}, {train_op_});
             return out[0].scalar_value();
         });
+        train_step_ += steps;
+        return result;
     }
 
   private:
-    /** Assembles a batch of utterances; labels are -1 padded. */
-    Tensor
-    NextFrames(Tensor* out_labels)
+    /**
+     * Materializes stream batch @p index: a batch of utterances
+     * assembled into [B, T, F] frames plus -1-padded labels. The label
+     * feed is unused (pruned) on the inference path.
+     */
+    data::FeedBatch
+    BatchFeeds(std::int64_t index) const
     {
+        const auto utterances =
+            dataset_->BatchAt(static_cast<std::uint64_t>(index), batch_);
         Tensor frames = Tensor::Zeros(Shape{batch_, kTime, kFreq});
         Tensor labels = Tensor(DType::kInt32, Shape{batch_, kMaxLabels});
         std::int32_t* lp = labels.data<std::int32_t>();
         std::fill(lp, lp + labels.num_elements(), -1);
         for (std::int64_t i = 0; i < batch_; ++i) {
-            const auto utt = dataset_->Next();
+            const auto& utt = utterances[static_cast<std::size_t>(i)];
             std::copy(utt.frames.data<float>(),
                       utt.frames.data<float>() + kTime * kFreq,
                       frames.data<float>() + i * kTime * kFreq);
@@ -199,10 +213,7 @@ class SpeechWorkload : public Workload {
                     utt.labels[static_cast<std::size_t>(l)];
             }
         }
-        if (out_labels != nullptr) {
-            *out_labels = labels;
-        }
-        return frames;
+        return {{frames_.node, frames}, {labels_.node, labels}};
     }
 
     static constexpr std::int64_t kTime = 30;

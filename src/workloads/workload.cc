@@ -11,6 +11,7 @@ namespace fathom::workloads {
 std::unique_ptr<runtime::Session>
 Workload::MakeSession(const WorkloadConfig& config)
 {
+    config_ = config;
     auto session = std::make_unique<runtime::Session>(config.seed);
     session->SetThreads(config.threads);
     session->SetInterOpThreads(config.inter_op_threads);
@@ -20,6 +21,22 @@ Workload::MakeSession(const WorkloadConfig& config)
     session->tracer().set_enabled(config.tracing);
     telemetry::MetricsRegistry::set_enabled(config.telemetry);
     return session;
+}
+
+std::unique_ptr<data::InputPipeline>
+Workload::MakePipeline(const std::string& stream, std::int64_t start_step,
+                       data::BatchFn fn, bool stateful)
+{
+    data::InputPipelineOptions options;
+    options.prefetch_depth = stateful ? 0 : config_.prefetch_depth;
+    options.producer_threads = config_.producer_threads;
+    options.start_step = start_step;
+    if (session_ && session_->tracer().enabled()) {
+        options.tracer = &session_->tracer();
+    }
+    options.name = name() + "/" + stream;
+    return std::make_unique<data::InputPipeline>(std::move(fn),
+                                                 std::move(options));
 }
 
 float

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "data/pipeline/input_pipeline.h"
 #include "runtime/session.h"
 #include "serving/frozen_plan.h"
 
@@ -74,6 +75,20 @@ struct WorkloadConfig {
 
     /** Per-pattern knobs (effective when graph_rewrites is on). */
     graph::rewrite::RewriteOptions rewrites;
+
+    /**
+     * Input-pipeline prefetch depth: how many pre-materialized feed
+     * batches may wait in the bounded queue ahead of the consuming
+     * step. 0 generates batches inline with each step (the historical
+     * behavior); 1 is classic double buffering; >= 2 also absorbs
+     * producer jitter. Batches are a pure function of (seed, step), so
+     * fetches, losses, and traces are bit-identical at every depth;
+     * see data::InputPipeline.
+     */
+    int prefetch_depth = 2;
+
+    /** Background batch-producer threads (effective when depth > 0). */
+    int producer_threads = 1;
 };
 
 /** Aggregate result of a timed run of steps. */
@@ -189,13 +204,52 @@ class Workload {
      * @return a session with every WorkloadConfig execution knob
      * applied (threads, inter-op width, memory planner, tracing,
      * telemetry). Every model's Setup() starts with this, so a new
-     * knob lands in all eight workloads at once.
+     * knob lands in all eight workloads at once. Also retains the
+     * config, which MakePipeline reads for the pipeline knobs.
      */
-    static std::unique_ptr<runtime::Session> MakeSession(
+    std::unique_ptr<runtime::Session> MakeSession(
         const WorkloadConfig& config);
 
+    /**
+     * Builds the input pipeline for one run loop. Every workload's
+     * RunTraining/RunInference/EvaluateAccuracy drains one of these
+     * instead of generating batches inline; the WorkloadConfig
+     * prefetch knobs apply uniformly this way.
+     *
+     * @param stream     lane-name suffix, e.g. "train".
+     * @param start_step first step index the loop consumes (workloads
+     *                   keep per-stream counters so repeated runs
+     *                   continue their stream).
+     * @param fn         the batch function; pure unless @p stateful.
+     * @param stateful   true when @p fn must run inline, in order, on
+     *                   the consumer thread (deepq's
+     *                   policy-in-the-loop generation) — forces
+     *                   prefetch depth 0 regardless of the config.
+     */
+    std::unique_ptr<data::InputPipeline> MakePipeline(
+        const std::string& stream, std::int64_t start_step,
+        data::BatchFn fn, bool stateful = false);
+
     std::unique_ptr<runtime::Session> session_;
+    WorkloadConfig config_;
+
+    // Per-stream step counters: each run loop continues its stream
+    // where the previous call left off, so e.g. two RunTraining(2)
+    // calls consume the same batches as one RunTraining(4).
+    std::int64_t train_step_ = 0;
+    std::int64_t infer_step_ = 0;
+    std::int64_t eval_step_ = 0;
 };
+
+/**
+ * Disjoint index bases for a model's independent batch streams.
+ * Training batch t draws from stream index kTrainStreamBase + t,
+ * inference from kInferStreamBase + t, etc., so the streams never
+ * collide for any realistic step count.
+ */
+inline constexpr std::int64_t kTrainStreamBase = 0;
+inline constexpr std::int64_t kInferStreamBase = std::int64_t{1} << 40;
+inline constexpr std::int64_t kEvalStreamBase = std::int64_t{1} << 41;
 
 /** Factory registry over the eight models. */
 class WorkloadRegistry {

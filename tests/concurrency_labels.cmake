@@ -48,6 +48,23 @@ foreach(test IN LISTS serving_battery_TESTS)
             LABELS "tier1;serving;slow")
     endif()
 endforeach()
+foreach(test IN LISTS pipeline_fast_TESTS)
+    set_tests_properties("${test}" PROPERTIES
+        LABELS "tier1;pipeline")
+endforeach()
+foreach(test IN LISTS pipeline_battery_TESTS)
+    # The queue hammers are the pipeline's race-detector targets; they
+    # join `concurrency` so both TSan selections (-L concurrency and
+    # -L pipeline) cover them. The all-workloads bit-identity battery
+    # is wall-clock heavy, hence `slow`.
+    if(test MATCHES "Concurrent")
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;pipeline;concurrency")
+    else()
+        set_tests_properties("${test}" PROPERTIES
+            LABELS "tier1;pipeline;slow")
+    endif()
+endforeach()
 foreach(test IN LISTS observability_TESTS)
     # The overhead-budget test is a wall-clock assertion; RUN_SERIAL
     # keeps `ctest -j` from co-scheduling 400 other tests against it
