@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "graph/rewrite/fusion_stages.h"
+#include "graph/verify/verifier.h"
 #include "parallel/thread_pool.h"
 #include "telemetry/metrics.h"
 #include "tensor/rng.h"
@@ -114,7 +115,7 @@ RewriteOptions::CacheKey() const
     key[7] = elementwise_fusion ? '1' : '0';
     key[9] = inplace ? '1' : '0';
     key[11] = variables_as_constants ? '1' : '0';
-    return key + std::to_string(max_passes);
+    return key + std::to_string(max_passes) + (verify ? "y1" : "y0");
 }
 
 // ---------------------------------------------------------------------------
@@ -980,6 +981,21 @@ RunPatterns(Graph& graph, const std::vector<Output>& fetches,
 
     RewriteResult result = state.Finalize(std::move(fires), passes, clipped);
     result.inplace = std::move(inplace);
+
+    // Post-condition on the fixed point: the produced order must verify
+    // (structure, type inference without feed seeds, and the aliasing/
+    // determinism lints). Catches a broken pattern before a single
+    // kernel runs on its output.
+    if (options.verify) {
+        verify::VerifyOptions vopts;
+        vopts.variables = &variables;
+        verify::PlanFacts facts;
+        facts.order = &result.order;
+        facts.replacements = &result.replacements;
+        facts.folded = &result.folded;
+        facts.inplace = result.inplace.empty() ? nullptr : &result.inplace;
+        verify::VerifyOrThrow(graph, fetches, targets, vopts, &facts);
+    }
 
     if (telemetry::MetricsEnabled()) {
         auto& registry = telemetry::MetricsRegistry::Global();

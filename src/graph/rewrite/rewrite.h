@@ -71,6 +71,16 @@ struct RewriteOptions {
      */
     bool variables_as_constants = false;
 
+    /**
+     * Run the static graph verifier as a post-condition on the rewrite
+     * fixed point (structure, type inference, aliasing and determinism
+     * lints over the produced order); a violation throws. On by
+     * default. Session plan build turns this off when it is about to
+     * run the stronger feed-seeded, liveness-checking verification on
+     * the same plan.
+     */
+    bool verify = true;
+
     /** @return a compact cache-key encoding of the knobs. */
     std::string CacheKey() const;
 };

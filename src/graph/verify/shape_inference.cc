@@ -1,0 +1,194 @@
+#include "graph/verify/shape_inference.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tensor/dtype.h"
+
+namespace fathom::graph::verify {
+
+std::string
+TypeInfo::ToString() const
+{
+    std::ostringstream out;
+    out << (has_dtype ? DTypeName(dtype) : std::string("?"));
+    out << (has_shape ? shape.ToString() : std::string("[?]"));
+    return out.str();
+}
+
+const TypeInfo&
+InferenceContext::input(int i) const
+{
+    if (i < 0 || i >= static_cast<int>(inputs_.size())) {
+        Fail("shape fn read input " + std::to_string(i) + " but node has " +
+             std::to_string(inputs_.size()) + " inputs");
+    }
+    return inputs_[static_cast<std::size_t>(i)];
+}
+
+void
+InferenceContext::set_output(int i, TypeInfo type)
+{
+    if (i < 0 || i >= static_cast<int>(outputs_.size())) {
+        Fail("shape fn set output " + std::to_string(i) + " but node has " +
+             std::to_string(outputs_.size()) + " outputs");
+    }
+    outputs_[static_cast<std::size_t>(i)] = std::move(type);
+}
+
+void
+InferenceContext::Fail(const std::string& message) const
+{
+    throw InferenceError("node '" + node_.name + "' (" + node_.op_type +
+                         "): " + message);
+}
+
+std::int64_t
+InferenceContext::RequireIntAttr(const std::string& key) const
+{
+    auto it = node_.attrs.find(key);
+    if (it == node_.attrs.end()) {
+        Fail("missing required int attr '" + key + "'");
+    }
+    try {
+        return it->second.AsInt();
+    } catch (const std::logic_error&) {
+        Fail("attr '" + key + "' is not an int");
+    }
+}
+
+float
+InferenceContext::RequireFloatAttr(const std::string& key) const
+{
+    auto it = node_.attrs.find(key);
+    if (it == node_.attrs.end()) {
+        Fail("missing required float attr '" + key + "'");
+    }
+    try {
+        return it->second.AsFloat();
+    } catch (const std::logic_error&) {
+        Fail("attr '" + key + "' is not a float");
+    }
+}
+
+const std::string&
+InferenceContext::RequireStringAttr(const std::string& key) const
+{
+    auto it = node_.attrs.find(key);
+    if (it == node_.attrs.end()) {
+        Fail("missing required string attr '" + key + "'");
+    }
+    try {
+        return it->second.AsString();
+    } catch (const std::logic_error&) {
+        Fail("attr '" + key + "' is not a string");
+    }
+}
+
+const std::vector<std::int64_t>&
+InferenceContext::RequireIntListAttr(const std::string& key) const
+{
+    auto it = node_.attrs.find(key);
+    if (it == node_.attrs.end()) {
+        Fail("missing required int-list attr '" + key + "'");
+    }
+    try {
+        return it->second.AsIntList();
+    } catch (const std::logic_error&) {
+        Fail("attr '" + key + "' is not an int list");
+    }
+}
+
+void
+InferenceContext::ExpectDType(int i, DType expected) const
+{
+    const TypeInfo& t = input(i);
+    if (t.has_dtype && t.dtype != expected) {
+        Fail("input " + std::to_string(i) + " dtype: expected " +
+             DTypeName(expected) + ", got " + DTypeName(t.dtype));
+    }
+}
+
+void
+InferenceContext::ExpectRank(int i, int expected) const
+{
+    const TypeInfo& t = input(i);
+    if (t.has_shape && t.shape.rank() != expected) {
+        Fail("input " + std::to_string(i) + " rank: expected " +
+             std::to_string(expected) + ", got " +
+             std::to_string(t.shape.rank()) + " (shape " +
+             t.shape.ToString() + ")");
+    }
+}
+
+void
+InferenceContext::ExpectSameShape(int a, int b) const
+{
+    const TypeInfo& ta = input(a);
+    const TypeInfo& tb = input(b);
+    if (ta.has_shape && tb.has_shape && ta.shape != tb.shape) {
+        Fail("inputs " + std::to_string(a) + " and " + std::to_string(b) +
+             " shapes: expected identical, got " + ta.shape.ToString() +
+             " vs " + tb.shape.ToString());
+    }
+}
+
+ShapeFnRegistry&
+ShapeFnRegistry::Global()
+{
+    static ShapeFnRegistry registry;
+    return registry;
+}
+
+void
+ShapeFnRegistry::Register(const std::string& op_type, ShapeFn fn)
+{
+    if (fns_.count(op_type) > 0) {
+        throw std::logic_error("ShapeFnRegistry: duplicate shape fn for op '" +
+                               op_type + "'");
+    }
+    fns_[op_type] = std::move(fn);
+}
+
+const ShapeFn*
+ShapeFnRegistry::Find(const std::string& op_type) const
+{
+    auto it = fns_.find(op_type);
+    return it == fns_.end() ? nullptr : &it->second;
+}
+
+bool
+ShapeFnRegistry::Contains(const std::string& op_type) const
+{
+    return fns_.count(op_type) > 0;
+}
+
+std::vector<std::string>
+ShapeFnRegistry::Names() const
+{
+    std::vector<std::string> names;
+    names.reserve(fns_.size());
+    for (const auto& [name, fn] : fns_) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+Shape
+BroadcastShapes(const Shape& a, const Shape& b)
+{
+    const int rank = std::max(a.rank(), b.rank());
+    std::vector<std::int64_t> dims(static_cast<std::size_t>(rank), 1);
+    for (int axis = 1; axis <= rank; ++axis) {
+        const std::int64_t da = axis <= a.rank() ? a.dim(-axis) : 1;
+        const std::int64_t db = axis <= b.rank() ? b.dim(-axis) : 1;
+        if (da != db && da != 1 && db != 1) {
+            throw InferenceError("shapes " + a.ToString() + " and " +
+                                 b.ToString() + " are not broadcastable");
+        }
+        dims[static_cast<std::size_t>(rank - axis)] = std::max(da, db);
+    }
+    return Shape(std::move(dims));
+}
+
+}  // namespace fathom::graph::verify

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Per-op static shape/dtype inference.
+ *
+ * Every registered operation carries a ShapeFn next to its kernel and
+ * cost hook: a pure function from the static types of a node's inputs
+ * (plus its attrs and, for Variable/Const reads, the variable store) to
+ * the static types of its outputs. The graph verifier folds these
+ * functions over a topological order to type a whole graph before any
+ * kernel runs, exactly as TensorFlow validates graphs with per-op shape
+ * functions before placement.
+ *
+ * Types are optionally known: a Placeholder carries no shape attr, so
+ * its type is unknown until the verifier seeds it from a feed tensor
+ * (Session::Run) or a serving TensorSpec (FrozenPlan::Freeze). Shape
+ * functions must degrade gracefully — check what is known, propagate
+ * what is derivable, and leave the rest unknown — so the same function
+ * serves both the fully-seeded plan-build check and the unseeded
+ * whole-graph lint (tools/graph_lint).
+ *
+ * Failures throw InferenceError with the node name baked into the
+ * message ("node 'x' (Op): ..."); the verifier converts them into named
+ * diagnostics instead of letting them escape.
+ */
+#ifndef FATHOM_GRAPH_VERIFY_SHAPE_INFERENCE_H
+#define FATHOM_GRAPH_VERIFY_SHAPE_INFERENCE_H
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+#include "graph/op_registry.h"
+#include "tensor/shape.h"
+
+namespace fathom::graph::verify {
+
+/** A shape-inference failure, carrying the offending node's name. */
+class InferenceError : public std::invalid_argument {
+  public:
+    explicit InferenceError(const std::string& message)
+        : std::invalid_argument(message)
+    {
+    }
+};
+
+/**
+ * The statically known type of one tensor value: dtype and shape are
+ * independently optional (a fed placeholder of declared dtype may have
+ * an unknown batch-dependent shape, and vice versa).
+ */
+struct TypeInfo {
+    bool has_dtype = false;
+    DType dtype = DType::kFloat32;
+    bool has_shape = false;
+    Shape shape;
+
+    static TypeInfo Unknown() { return {}; }
+
+    static TypeInfo
+    Of(DType d, Shape s)
+    {
+        TypeInfo t;
+        t.has_dtype = true;
+        t.dtype = d;
+        t.has_shape = true;
+        t.shape = std::move(s);
+        return t;
+    }
+
+    static TypeInfo
+    OfDType(DType d)
+    {
+        TypeInfo t;
+        t.has_dtype = true;
+        t.dtype = d;
+        return t;
+    }
+
+    bool fully_known() const { return has_dtype && has_shape; }
+
+    bool
+    operator==(const TypeInfo& other) const
+    {
+        return has_dtype == other.has_dtype && has_shape == other.has_shape &&
+               (!has_dtype || dtype == other.dtype) &&
+               (!has_shape || shape == other.shape);
+    }
+
+    /** @return e.g. "float32[2, 3]", "int32[?]", "?[?]". */
+    std::string ToString() const;
+};
+
+/**
+ * Everything one shape function sees: the node (attrs), the inferred
+ * input types, and the variable store for Variable/Const resolution.
+ * Output types default to Unknown; functions overwrite what they can
+ * derive and Fail() on provable inconsistencies.
+ */
+class InferenceContext {
+  public:
+    InferenceContext(const Node& node, std::vector<TypeInfo> inputs,
+                     const VariableStore* variables)
+        : node_(node), inputs_(std::move(inputs)), variables_(variables)
+    {
+        outputs_.resize(static_cast<std::size_t>(node.num_outputs));
+    }
+
+    const Node& node() const { return node_; }
+    int num_inputs() const { return static_cast<int>(inputs_.size()); }
+
+    const TypeInfo& input(int i) const;
+
+    /** Input @p i's dtype/shape are statically known. */
+    bool KnownDType(int i) const { return input(i).has_dtype; }
+    bool KnownShape(int i) const { return input(i).has_shape; }
+
+    /** @return the variable store, or null in store-free contexts. */
+    const VariableStore* variables() const { return variables_; }
+
+    void set_output(int i, TypeInfo type);
+    int num_outputs() const { return static_cast<int>(outputs_.size()); }
+    std::vector<TypeInfo>& outputs() { return outputs_; }
+
+    /**
+     * Declares that this op's kernel produces no output values at all
+     * (Assign, Apply*, NoOp). Fetching any output of such a node is a
+     * static error the verifier reports.
+     */
+    void MarkProducesNoOutput() { produces_no_output_ = true; }
+    bool produces_no_output() const { return produces_no_output_; }
+
+    /** Throws InferenceError("node 'name' (Op): message"). */
+    [[noreturn]] void Fail(const std::string& message) const;
+
+    // ---- attr schema helpers (Fail on missing/mistyped attrs) ----------
+
+    std::int64_t RequireIntAttr(const std::string& key) const;
+    float RequireFloatAttr(const std::string& key) const;
+    const std::string& RequireStringAttr(const std::string& key) const;
+    const std::vector<std::int64_t>& RequireIntListAttr(
+        const std::string& key) const;
+
+    // ---- expectation helpers (no-ops on unknown inputs) ----------------
+
+    /** Fails "expected/got" if input @p i's dtype is known and differs. */
+    void ExpectDType(int i, DType expected) const;
+
+    /** Fails if input @p i's rank is known and differs. */
+    void ExpectRank(int i, int expected) const;
+
+    /** Fails if both shapes are known and differ. */
+    void ExpectSameShape(int a, int b) const;
+
+  private:
+    const Node& node_;
+    std::vector<TypeInfo> inputs_;
+    std::vector<TypeInfo> outputs_;
+    const VariableStore* variables_;
+    bool produces_no_output_ = false;
+};
+
+/** One op type's static inference function. */
+using ShapeFn = std::function<void(InferenceContext&)>;
+
+/**
+ * The registry of shape functions, keyed by op type. Populated by
+ * ops::RegisterStandardOps alongside each kernel registration; the
+ * registry audit test fails by name on any op missing an entry.
+ */
+class ShapeFnRegistry {
+  public:
+    static ShapeFnRegistry& Global();
+
+    /** Registers a shape fn; throws std::logic_error on duplicates. */
+    void Register(const std::string& op_type, ShapeFn fn);
+
+    /** @return the fn, or null if the op type has none. */
+    const ShapeFn* Find(const std::string& op_type) const;
+
+    bool Contains(const std::string& op_type) const;
+
+    /** @return all op types with a shape fn, sorted. */
+    std::vector<std::string> Names() const;
+
+  private:
+    std::map<std::string, ShapeFn> fns_;
+};
+
+/**
+ * NumPy-style broadcast of two known shapes.
+ * @throws InferenceError-compatible std::invalid_argument on
+ *         incompatible extents.
+ */
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+}  // namespace fathom::graph::verify
+
+#endif  // FATHOM_GRAPH_VERIFY_SHAPE_INFERENCE_H

@@ -8,6 +8,7 @@
 
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "kernels/conv2d.h"
 #include "kernels/gemm.h"
 #include "kernels/normalization.h"
@@ -387,6 +388,241 @@ RegisterConvOps()
                  Output{node.id, 2}, g[0]},
                 {}, /*num_outputs=*/3);
             return {Output{id, 0}, Output{id, 1}, Output{id, 2}};
+        });
+
+    // ---- shape/dtype inference -------------------------------------------
+
+    using graph::verify::InferenceContext;
+    using graph::verify::TypeInfo;
+    auto& shapes = graph::verify::ShapeFnRegistry::Global();
+
+    // Conv attr schema: stride + padding string, resolved through the
+    // same kernels::ResolveConv2D the kernel itself uses, so the static
+    // check and the runtime geometry can never disagree.
+    auto conv_geometry = [](InferenceContext& ctx, const Shape& input,
+                            const Shape& filter) {
+        try {
+            return kernels::ResolveConv2D(
+                input, filter, ctx.RequireIntAttr("stride"),
+                ParsePadding(ctx.RequireStringAttr("padding")));
+        } catch (const graph::verify::InferenceError&) {
+            throw;
+        } catch (const std::exception& e) {
+            ctx.Fail(e.what());
+        }
+    };
+
+    shapes.Register("Conv2D", [conv_geometry](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected 2 inputs (input, filter), got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.ExpectDType(1, DType::kFloat32);
+        ctx.ExpectRank(0, 4);
+        ctx.ExpectRank(1, 4);
+        TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+        if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+            const auto g = conv_geometry(ctx, ctx.input(0).shape,
+                                         ctx.input(1).shape);
+            out.has_shape = true;
+            out.shape = Shape{g.batch, g.out_h, g.out_w, g.out_c};
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register(
+        "Conv2DBackpropInput", [conv_geometry](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 3) {
+                ctx.Fail("expected 3 inputs (input ref, filter, grad), "
+                         "got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            for (int i = 0; i < 3; ++i) {
+                ctx.ExpectDType(i, DType::kFloat32);
+                ctx.ExpectRank(i, 4);
+            }
+            if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+                const auto g = conv_geometry(ctx, ctx.input(0).shape,
+                                             ctx.input(1).shape);
+                const Shape expect{g.batch, g.out_h, g.out_w, g.out_c};
+                if (ctx.KnownShape(2) && ctx.input(2).shape != expect) {
+                    ctx.Fail("grad shape: expected " + expect.ToString() +
+                             ", got " + ctx.input(2).shape.ToString());
+                }
+            }
+            ctx.set_output(0, ctx.input(0));
+        });
+
+    shapes.Register(
+        "Conv2DBackpropFilter", [conv_geometry](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 3) {
+                ctx.Fail("expected 3 inputs (input, filter ref, grad), "
+                         "got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            for (int i = 0; i < 3; ++i) {
+                ctx.ExpectDType(i, DType::kFloat32);
+                ctx.ExpectRank(i, 4);
+            }
+            if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+                conv_geometry(ctx, ctx.input(0).shape, ctx.input(1).shape);
+            }
+            ctx.set_output(0, ctx.input(1));
+        });
+
+    auto pool_geometry = [](InferenceContext& ctx, const Shape& input) {
+        try {
+            return kernels::ResolvePool(
+                input, ctx.RequireIntAttr("window"),
+                ctx.RequireIntAttr("stride"),
+                ParsePadding(ctx.RequireStringAttr("padding")));
+        } catch (const graph::verify::InferenceError&) {
+            throw;
+        } catch (const std::exception& e) {
+            ctx.Fail(e.what());
+        }
+    };
+
+    auto pool_shape = [pool_geometry](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.ExpectRank(0, 4);
+        TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+        if (ctx.KnownShape(0)) {
+            const auto g = pool_geometry(ctx, ctx.input(0).shape);
+            out.has_shape = true;
+            out.shape = Shape{g.batch, g.out_h, g.out_w, g.channels};
+        }
+        ctx.set_output(0, out);
+    };
+    shapes.Register("MaxPool", pool_shape);
+    shapes.Register("AvgPool", pool_shape);
+
+    auto pool_grad_shape = [pool_geometry](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected 2 inputs (input, grad), got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.ExpectDType(1, DType::kFloat32);
+        ctx.ExpectRank(0, 4);
+        if (ctx.KnownShape(0)) {
+            const auto g = pool_geometry(ctx, ctx.input(0).shape);
+            const Shape expect{g.batch, g.out_h, g.out_w, g.channels};
+            if (ctx.KnownShape(1) && ctx.input(1).shape != expect) {
+                ctx.Fail("grad shape: expected " + expect.ToString() +
+                         ", got " + ctx.input(1).shape.ToString());
+            }
+        }
+        ctx.set_output(0, ctx.input(0));
+    };
+    shapes.Register("MaxPoolGrad", pool_grad_shape);
+    shapes.Register("AvgPoolGrad", pool_grad_shape);
+
+    shapes.Register("Lrn", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.set_output(0, ctx.input(0));
+    });
+    shapes.Register("LrnGrad", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected 2 inputs (input, grad), got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.ExpectDType(1, DType::kFloat32);
+        ctx.ExpectSameShape(0, 1);
+        ctx.set_output(0, ctx.input(0));
+    });
+
+    // Per-channel parameter vectors must hold exactly x.dim(-1) values.
+    auto expect_channel_param = [](InferenceContext& ctx, int i,
+                                   std::int64_t channels) {
+        ctx.ExpectDType(i, DType::kFloat32);
+        if (ctx.KnownShape(i) &&
+            ctx.input(i).shape.num_elements() != channels) {
+            ctx.Fail("input " + std::to_string(i) +
+                     " per-channel parameter: expected " +
+                     std::to_string(channels) + " elements, got " +
+                     std::to_string(ctx.input(i).shape.num_elements()) +
+                     " (shape " + ctx.input(i).shape.ToString() + ")");
+        }
+    };
+
+    shapes.Register(
+        "BatchNorm", [expect_channel_param](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 3) {
+                ctx.Fail("expected 3 inputs (x, gamma, beta), got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            ctx.set_output(0, ctx.input(0));
+            if (ctx.KnownShape(0)) {
+                if (ctx.input(0).shape.rank() < 1) {
+                    ctx.Fail("x must have rank >= 1 (channels-last)");
+                }
+                const std::int64_t c = ctx.input(0).shape.dim(-1);
+                expect_channel_param(ctx, 1, c);
+                expect_channel_param(ctx, 2, c);
+                ctx.set_output(1, TypeInfo::Of(DType::kFloat32, Shape{c}));
+                ctx.set_output(2, TypeInfo::Of(DType::kFloat32, Shape{c}));
+            } else {
+                ctx.set_output(1, TypeInfo::OfDType(DType::kFloat32));
+                ctx.set_output(2, TypeInfo::OfDType(DType::kFloat32));
+            }
+        });
+
+    shapes.Register(
+        "BatchNormInference", [expect_channel_param](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 5) {
+                ctx.Fail("expected 5 inputs (x, gamma, beta, mean, var), "
+                         "got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            if (ctx.KnownShape(0)) {
+                if (ctx.input(0).shape.rank() < 1) {
+                    ctx.Fail("x must have rank >= 1 (channels-last)");
+                }
+                const std::int64_t c = ctx.input(0).shape.dim(-1);
+                for (int i = 1; i < 5; ++i) {
+                    expect_channel_param(ctx, i, c);
+                }
+            }
+            ctx.set_output(0, ctx.input(0));
+        });
+
+    shapes.Register(
+        "BatchNormGrad", [expect_channel_param](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 5) {
+                ctx.Fail("expected 5 inputs (x, gamma, mean, inv_std, "
+                         "grad_y), got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            ctx.ExpectSameShape(0, 4);
+            ctx.set_output(0, ctx.input(0));
+            if (ctx.KnownShape(0)) {
+                if (ctx.input(0).shape.rank() < 1) {
+                    ctx.Fail("x must have rank >= 1 (channels-last)");
+                }
+                const std::int64_t c = ctx.input(0).shape.dim(-1);
+                for (int i = 1; i < 4; ++i) {
+                    expect_channel_param(ctx, i, c);
+                }
+                ctx.set_output(1, TypeInfo::Of(DType::kFloat32, Shape{c}));
+                ctx.set_output(2, TypeInfo::Of(DType::kFloat32, Shape{c}));
+            } else {
+                ctx.set_output(1, TypeInfo::OfDType(DType::kFloat32));
+                ctx.set_output(2, TypeInfo::OfDType(DType::kFloat32));
+            }
         });
 }
 

@@ -20,6 +20,7 @@
 
 #include "graph/op_registry.h"
 #include "graph/rewrite/fusion_stages.h"
+#include "graph/verify/shape_inference.h"
 #include "kernels/elementwise.h"
 #include "ops/common.h"
 #include "ops/register.h"
@@ -218,6 +219,63 @@ RegisterFusedOps()
     OpRegistry::Global().Register(OpDef{
         "FusedElementwise", OpClass::kElementwise, FusedElementwiseKernel,
         FusedElementwiseCost, false, /*supports_inplace=*/true});
+
+    // Attr-schema check: the encoded chain must decode against the
+    // FusionStageRegistry (every stage known, kinds parallel to ops,
+    // every captured param attr present) and the input count must match
+    // the number of binary stages.
+    graph::verify::ShapeFnRegistry::Global().Register(
+        "FusedElementwise", [](graph::verify::InferenceContext& ctx) {
+            using graph::verify::TypeInfo;
+            if (ctx.num_inputs() < 1) {
+                ctx.Fail("expected at least 1 input");
+            }
+            std::vector<DecodedStage> stages;
+            try {
+                stages = DecodeStages(ctx.node());
+            } catch (const std::exception& e) {
+                ctx.Fail(e.what());
+            }
+            int expected = 1;
+            for (const DecodedStage& s : stages) {
+                if (s.kind < 0 || s.kind > 2) {
+                    ctx.Fail("kinds attr entry out of range: " +
+                             std::to_string(s.kind));
+                }
+                if (s.kind != 0) {
+                    ++expected;
+                }
+            }
+            if (ctx.num_inputs() != expected) {
+                ctx.Fail("encoded chain needs " + std::to_string(expected) +
+                         " inputs, got " + std::to_string(ctx.num_inputs()));
+            }
+            bool all_known = true;
+            for (int i = 0; i < ctx.num_inputs(); ++i) {
+                ctx.ExpectDType(i, DType::kFloat32);
+                if (!ctx.KnownShape(i)) {
+                    all_known = false;
+                }
+            }
+            TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+            if (all_known) {
+                Shape chain = ctx.input(0).shape;
+                for (const DecodedStage& s : stages) {
+                    if (s.kind == 0) {
+                        continue;
+                    }
+                    try {
+                        chain = graph::verify::BroadcastShapes(
+                            chain, ctx.input(s.side_input).shape);
+                    } catch (const std::exception& e) {
+                        ctx.Fail(e.what());
+                    }
+                }
+                out.has_shape = true;
+                out.shape = chain;
+            }
+            ctx.set_output(0, out);
+        });
 }
 
 }  // namespace fathom::ops

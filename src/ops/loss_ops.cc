@@ -11,6 +11,7 @@
 
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "kernels/ctc.h"
 #include "kernels/reduction.h"
 #include "ops/common.h"
@@ -140,6 +141,50 @@ RegisterLossOps()
             }
             return {b.Mul(g[0], Output{node.id, 1}), std::nullopt};
         });
+
+    // ---- shape/dtype inference -------------------------------------------
+
+    using graph::verify::InferenceContext;
+    using graph::verify::TypeInfo;
+    auto& shapes = graph::verify::ShapeFnRegistry::Global();
+
+    shapes.Register("SoftmaxCrossEntropy", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected (logits, labels) inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.ExpectDType(1, DType::kInt32);
+        ctx.ExpectRank(0, 2);
+        ctx.set_output(0, TypeInfo::Of(DType::kFloat32, Shape{}));
+        TypeInfo grad = TypeInfo::OfDType(DType::kFloat32);
+        if (ctx.KnownShape(0)) {
+            const Shape& logits = ctx.input(0).shape;
+            if (ctx.KnownShape(1) &&
+                ctx.input(1).shape.num_elements() != logits.dim(0)) {
+                ctx.Fail("labels: expected " +
+                         std::to_string(logits.dim(0)) +
+                         " elements, got " +
+                         std::to_string(ctx.input(1).shape.num_elements()));
+            }
+            grad.has_shape = true;
+            grad.shape = logits;
+        }
+        ctx.set_output(1, grad);
+    });
+
+    shapes.Register("CtcLoss", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected (logits, labels) inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.ExpectDType(1, DType::kInt32);
+        ctx.ExpectRank(0, 2);
+        ctx.RequireIntAttr("blank");
+        ctx.set_output(0, TypeInfo::Of(DType::kFloat32, Shape{}));
+        ctx.set_output(1, ctx.input(0));
+    });
 }
 
 }  // namespace fathom::ops

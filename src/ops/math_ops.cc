@@ -7,6 +7,7 @@
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
 #include "graph/rewrite/fusion_stages.h"
+#include "graph/verify/shape_inference.h"
 #include "kernels/elementwise.h"
 #include "ops/common.h"
 #include "ops/register.h"
@@ -27,6 +28,68 @@ namespace {
 
 using graph::rewrite::FusionStage;
 using graph::rewrite::FusionStageRegistry;
+using graph::verify::InferenceContext;
+using graph::verify::ShapeFnRegistry;
+using graph::verify::TypeInfo;
+
+/**
+ * Shape fn shared by all broadcasting float binaries: both inputs
+ * float32, output is their NumPy broadcast; @p param_attrs are the
+ * required static float attrs (e.g. ClipByValueGrad's bounds).
+ */
+void
+RegisterBinaryShapeFn(const std::string& name,
+                      std::vector<std::string> param_attrs)
+{
+    ShapeFnRegistry::Global().Register(
+        name, [param_attrs](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 2) {
+                ctx.Fail("expected 2 inputs, got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            for (const std::string& a : param_attrs) {
+                ctx.RequireFloatAttr(a);
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            ctx.ExpectDType(1, DType::kFloat32);
+            TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+            if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+                try {
+                    out = TypeInfo::Of(
+                        DType::kFloat32,
+                        graph::verify::BroadcastShapes(
+                            ctx.input(0).shape, ctx.input(1).shape));
+                } catch (const std::exception& e) {
+                    ctx.Fail(e.what());
+                }
+            }
+            ctx.set_output(0, out);
+        });
+}
+
+/** Shape fn shared by the float unaries: output mirrors the input. */
+void
+RegisterUnaryShapeFn(const std::string& name,
+                     std::vector<std::string> param_attrs)
+{
+    ShapeFnRegistry::Global().Register(
+        name, [param_attrs](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 1) {
+                ctx.Fail("expected 1 input, got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            for (const std::string& a : param_attrs) {
+                ctx.RequireFloatAttr(a);
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+            if (ctx.KnownShape(0)) {
+                out.has_shape = true;
+                out.shape = ctx.input(0).shape;
+            }
+            ctx.set_output(0, out);
+        });
+}
 
 // Scalar kernels shared verbatim between the standalone op kernels and
 // the FusedElementwise kernel (via the fusion-stage registry): fusion
@@ -98,6 +161,7 @@ RegisterBinary(const std::string& name,
                        ctx.pool(), ctx.may_alias_input()));
         },
         ElementwiseCost(flops_per_elem), false, /*supports_inplace=*/true});
+    RegisterBinaryShapeFn(name, param_attrs);
     FusionStageRegistry::Global().Register(
         name, FusionStage{2, nullptr, fn, std::move(param_attrs),
                           flops_per_elem});
@@ -120,6 +184,7 @@ RegisterUnary(const std::string& name, float (*fn)(float, const float*),
                                   ctx.pool(), ctx.may_alias_input()));
         },
         ElementwiseCost(flops_per_elem), false, /*supports_inplace=*/true});
+    RegisterUnaryShapeFn(name, param_attrs);
     FusionStageRegistry::Global().Register(
         name, FusionStage{1, fn, nullptr, std::move(param_attrs),
                           flops_per_elem});
@@ -179,6 +244,21 @@ RegisterMathOps()
             ctx.set_output(0, std::move(acc));
         },
         ElementwiseCost(1.0), false, /*supports_inplace=*/true});
+    ShapeFnRegistry::Global().Register("AddN", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() < 1) {
+            ctx.Fail("expected at least 1 input");
+        }
+        TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+        for (int i = 0; i < ctx.num_inputs(); ++i) {
+            ctx.ExpectDType(i, DType::kFloat32);
+            ctx.ExpectSameShape(0, i);
+            if (ctx.KnownShape(i)) {
+                out.has_shape = true;
+                out.shape = ctx.input(i).shape;
+            }
+        }
+        ctx.set_output(0, out);
+    });
 
     // Gradient helper ops (elementwise, appear in backward profiles).
     // inputs: (grad, x) / (grad, y = forward output).
@@ -197,6 +277,20 @@ RegisterMathOps()
                                   ctx.pool()));
         },
         SerialCost(1.0), false});
+    ShapeFnRegistry::Global().Register(
+        "SumToShapeOf", [](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 2) {
+                ctx.Fail("expected 2 inputs (grad, shape ref), got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+            if (ctx.KnownShape(1)) {
+                out.has_shape = true;
+                out.shape = ctx.input(1).shape;
+            }
+            ctx.set_output(0, out);
+        });
 
     // ---- gradients -------------------------------------------------------
 

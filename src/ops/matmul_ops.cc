@@ -4,6 +4,7 @@
  */
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "kernels/gemm.h"
 #include "kernels/matmul.h"
 #include "ops/common.h"
@@ -73,6 +74,41 @@ RegisterMatMulOps()
                 gb = b.MatMul(g[0], a, true, true);
             }
             return {ga, gb};
+        });
+
+    graph::verify::ShapeFnRegistry::Global().Register(
+        "MatMul", [](graph::verify::InferenceContext& ctx) {
+            using graph::verify::TypeInfo;
+            if (ctx.num_inputs() != 2) {
+                ctx.Fail("expected 2 inputs, got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            ctx.ExpectDType(1, DType::kFloat32);
+            ctx.ExpectRank(0, 2);
+            ctx.ExpectRank(1, 2);
+            const bool ta = ctx.node().attr_bool("transpose_a", false);
+            const bool tb = ctx.node().attr_bool("transpose_b", false);
+            TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+            // Effective [m, k] x [k, n]: the inner dims must agree.
+            if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+                const Shape& a = ctx.input(0).shape;
+                const Shape& b = ctx.input(1).shape;
+                const std::int64_t m = ta ? a.dim(1) : a.dim(0);
+                const std::int64_t ka = ta ? a.dim(0) : a.dim(1);
+                const std::int64_t kb = tb ? b.dim(1) : b.dim(0);
+                const std::int64_t n = tb ? b.dim(0) : b.dim(1);
+                if (ka != kb) {
+                    ctx.Fail("inner dimensions: expected equal, got " +
+                             std::to_string(ka) + " vs " +
+                             std::to_string(kb) + " (" + a.ToString() +
+                             (ta ? "^T" : "") + " x " + b.ToString() +
+                             (tb ? "^T" : "") + ")");
+                }
+                out.has_shape = true;
+                out.shape = Shape{m, n};
+            }
+            ctx.set_output(0, out);
         });
 }
 

@@ -7,6 +7,7 @@
 
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "kernels/data_movement.h"
 #include "ops/common.h"
 #include "ops/register.h"
@@ -368,6 +369,457 @@ RegisterMovementOps()
             return {b.AddOp("pad_grad", "PadGrad", {g[0]},
                             {{"paddings", node.attr("paddings")}})};
         });
+
+    // ---- shape/dtype inference -------------------------------------------
+
+    using graph::verify::InferenceContext;
+    using graph::verify::TypeInfo;
+    auto& shapes = graph::verify::ShapeFnRegistry::Global();
+
+    // Normalizes a (possibly negative) axis attr against a rank.
+    auto norm_axis = [](InferenceContext& ctx, std::int64_t axis,
+                        int rank) -> int {
+        std::int64_t a = axis;
+        if (a < 0) {
+            a += rank;
+        }
+        if (a < 0 || a >= rank) {
+            ctx.Fail("axis " + std::to_string(axis) +
+                     " out of range for rank " + std::to_string(rank));
+        }
+        return static_cast<int>(a);
+    };
+
+    shapes.Register("Reshape", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const auto& target = ctx.RequireIntListAttr("shape");
+        bool wildcard = false;
+        for (std::int64_t d : target) {
+            if (d == -1) {
+                wildcard = true;
+            }
+        }
+        TypeInfo out;
+        if (ctx.KnownDType(0)) {
+            out.has_dtype = true;
+            out.dtype = ctx.input(0).dtype;
+        }
+        if (!wildcard) {
+            out.has_shape = true;
+            out.shape = Shape(target);
+            if (ctx.KnownShape(0) &&
+                out.shape.num_elements() !=
+                    ctx.input(0).shape.num_elements()) {
+                ctx.Fail("cannot reshape " + ctx.input(0).shape.ToString() +
+                         " to " + out.shape.ToString());
+            }
+        } else if (ctx.KnownShape(0)) {
+            try {
+                out.has_shape = true;
+                out.shape = ResolveReshape(ctx.input(0).shape, target);
+            } catch (const graph::verify::InferenceError&) {
+                throw;
+            } catch (const std::exception& e) {
+                ctx.Fail(e.what());
+            }
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("ReshapeLike", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected (x, ref) inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        TypeInfo out;
+        if (ctx.KnownDType(0)) {
+            out.has_dtype = true;
+            out.dtype = ctx.input(0).dtype;
+        }
+        if (ctx.KnownShape(1)) {
+            out.has_shape = true;
+            out.shape = ctx.input(1).shape;
+        }
+        if (ctx.KnownShape(0) && ctx.KnownShape(1) &&
+            ctx.input(0).shape.num_elements() !=
+                ctx.input(1).shape.num_elements()) {
+            ctx.Fail("cannot reshape " + ctx.input(0).shape.ToString() +
+                     " like " + ctx.input(1).shape.ToString() +
+                     ": element counts differ");
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("Transpose", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const auto& perm = ctx.RequireIntListAttr("perm");
+        TypeInfo out;
+        if (ctx.KnownDType(0)) {
+            out.has_dtype = true;
+            out.dtype = ctx.input(0).dtype;
+        }
+        if (ctx.KnownShape(0)) {
+            const Shape& in = ctx.input(0).shape;
+            if (static_cast<int>(perm.size()) != in.rank()) {
+                ctx.Fail("perm has " + std::to_string(perm.size()) +
+                         " entries for rank " + std::to_string(in.rank()));
+            }
+            std::vector<bool> seen(perm.size(), false);
+            std::vector<std::int64_t> dims(perm.size());
+            for (std::size_t i = 0; i < perm.size(); ++i) {
+                const std::int64_t p = perm[i];
+                if (p < 0 || p >= in.rank() ||
+                    seen[static_cast<std::size_t>(p)]) {
+                    ctx.Fail("perm is not a permutation of [0, " +
+                             std::to_string(in.rank()) + ")");
+                }
+                seen[static_cast<std::size_t>(p)] = true;
+                dims[i] = in.dim(static_cast<int>(p));
+            }
+            out.has_shape = true;
+            out.shape = Shape(dims);
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("Concat", [norm_axis](InferenceContext& ctx) {
+        if (ctx.num_inputs() < 1) {
+            ctx.Fail("expected at least 1 input");
+        }
+        const std::int64_t axis_attr = ctx.RequireIntAttr("axis");
+        TypeInfo out;
+        for (int i = 0; i < ctx.num_inputs(); ++i) {
+            if (!ctx.KnownDType(i)) {
+                continue;
+            }
+            if (!out.has_dtype) {
+                out.has_dtype = true;
+                out.dtype = ctx.input(i).dtype;
+            } else if (out.dtype != ctx.input(i).dtype) {
+                ctx.Fail("input dtypes differ: expected " +
+                         std::string(DTypeName(out.dtype)) + ", got " +
+                         std::string(DTypeName(ctx.input(i).dtype)) +
+                         " (input " + std::to_string(i) + ")");
+            }
+        }
+        bool all_known = true;
+        for (int i = 0; i < ctx.num_inputs(); ++i) {
+            if (!ctx.KnownShape(i)) {
+                all_known = false;
+            }
+        }
+        if (all_known) {
+            const Shape& first = ctx.input(0).shape;
+            const int axis = norm_axis(ctx, axis_attr, first.rank());
+            std::vector<std::int64_t> dims = first.dims();
+            for (int i = 1; i < ctx.num_inputs(); ++i) {
+                const Shape& s = ctx.input(i).shape;
+                if (s.rank() != first.rank()) {
+                    ctx.Fail("rank mismatch: expected " +
+                             std::to_string(first.rank()) + ", got " +
+                             std::to_string(s.rank()) + " (input " +
+                             std::to_string(i) + ")");
+                }
+                for (int d = 0; d < first.rank(); ++d) {
+                    if (d != axis && s.dim(d) != first.dim(d)) {
+                        ctx.Fail("dim " + std::to_string(d) +
+                                 ": expected " +
+                                 std::to_string(first.dim(d)) + ", got " +
+                                 std::to_string(s.dim(d)) + " (input " +
+                                 std::to_string(i) + ")");
+                    }
+                }
+                dims[static_cast<std::size_t>(axis)] += s.dim(axis);
+            }
+            out.has_shape = true;
+            out.shape = Shape(dims);
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("ConcatGrad", [norm_axis](InferenceContext& ctx) {
+        if (ctx.num_inputs() < 2) {
+            ctx.Fail("expected (grad, ref...) inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        if (ctx.num_outputs() != ctx.num_inputs() - 1) {
+            ctx.Fail("expected " + std::to_string(ctx.num_inputs() - 1) +
+                     " outputs, got " + std::to_string(ctx.num_outputs()));
+        }
+        const std::int64_t axis_attr = ctx.RequireIntAttr("axis");
+        for (int i = 1; i < ctx.num_inputs(); ++i) {
+            ctx.set_output(i - 1, ctx.input(i));
+        }
+        if (!ctx.KnownShape(0)) {
+            return;
+        }
+        const Shape& grad = ctx.input(0).shape;
+        const int axis = norm_axis(ctx, axis_attr, grad.rank());
+        bool all_known = true;
+        std::int64_t total = 0;
+        for (int i = 1; i < ctx.num_inputs(); ++i) {
+            if (!ctx.KnownShape(i)) {
+                all_known = false;
+                continue;
+            }
+            const Shape& ref = ctx.input(i).shape;
+            if (ref.rank() != grad.rank()) {
+                ctx.Fail("rank mismatch: expected " +
+                         std::to_string(grad.rank()) + ", got " +
+                         std::to_string(ref.rank()) + " (input " +
+                         std::to_string(i) + ")");
+            }
+            total += ref.dim(axis);
+        }
+        if (all_known && total != grad.dim(axis)) {
+            ctx.Fail("concat axis extents: expected " +
+                     std::to_string(grad.dim(axis)) + ", got " +
+                     std::to_string(total));
+        }
+    });
+
+    shapes.Register("Split", [norm_axis](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const std::int64_t n = ctx.RequireIntAttr("num_splits");
+        const std::int64_t axis_attr = ctx.RequireIntAttr("axis");
+        if (n < 1) {
+            ctx.Fail("num_splits must be >= 1, got " + std::to_string(n));
+        }
+        if (ctx.num_outputs() != static_cast<int>(n)) {
+            ctx.Fail("expected " + std::to_string(n) + " outputs, got " +
+                     std::to_string(ctx.num_outputs()));
+        }
+        TypeInfo part;
+        if (ctx.KnownDType(0)) {
+            part.has_dtype = true;
+            part.dtype = ctx.input(0).dtype;
+        }
+        if (ctx.KnownShape(0)) {
+            const Shape& in = ctx.input(0).shape;
+            const int axis = norm_axis(ctx, axis_attr, in.rank());
+            if (in.dim(axis) % n != 0) {
+                ctx.Fail("axis extent " + std::to_string(in.dim(axis)) +
+                         " not divisible into " + std::to_string(n) +
+                         " parts");
+            }
+            std::vector<std::int64_t> dims = in.dims();
+            dims[static_cast<std::size_t>(axis)] /= n;
+            part.has_shape = true;
+            part.shape = Shape(dims);
+        }
+        for (int i = 0; i < ctx.num_outputs(); ++i) {
+            ctx.set_output(i, part);
+        }
+    });
+
+    shapes.Register("Slice", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const auto& begin = ctx.RequireIntListAttr("begin");
+        const auto& size = ctx.RequireIntListAttr("size");
+        if (begin.size() != size.size()) {
+            ctx.Fail("begin has " + std::to_string(begin.size()) +
+                     " entries, size has " + std::to_string(size.size()));
+        }
+        TypeInfo out;
+        if (ctx.KnownDType(0)) {
+            out.has_dtype = true;
+            out.dtype = ctx.input(0).dtype;
+        }
+        if (ctx.KnownShape(0)) {
+            const Shape& in = ctx.input(0).shape;
+            if (static_cast<int>(begin.size()) != in.rank()) {
+                ctx.Fail("begin has " + std::to_string(begin.size()) +
+                         " entries for rank " + std::to_string(in.rank()));
+            }
+            std::vector<std::int64_t> dims(begin.size());
+            for (int d = 0; d < in.rank(); ++d) {
+                const std::int64_t b = begin[static_cast<std::size_t>(d)];
+                // -1 = "to the end of the axis", as the kernel resolves.
+                const std::int64_t s =
+                    size[static_cast<std::size_t>(d)] == -1
+                        ? in.dim(d) - b
+                        : size[static_cast<std::size_t>(d)];
+                if (b < 0 || s < 0 || b + s > in.dim(d)) {
+                    ctx.Fail("dim " + std::to_string(d) + ": slice [" +
+                             std::to_string(b) + ", " +
+                             std::to_string(b + s) +
+                             ") out of range [0, " +
+                             std::to_string(in.dim(d)) + ")");
+                }
+                dims[static_cast<std::size_t>(d)] = s;
+            }
+            out.has_shape = true;
+            out.shape = Shape(dims);
+        } else {
+            bool sizes_known = true;
+            for (std::int64_t s : size) {
+                if (s < 0) {
+                    sizes_known = false;
+                }
+            }
+            if (sizes_known) {
+                out.has_shape = true;
+                out.shape = Shape(size);
+            }
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("SliceGrad", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected (grad, ref) inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const auto& begin = ctx.RequireIntListAttr("begin");
+        if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+            const Shape& grad = ctx.input(0).shape;
+            const Shape& ref = ctx.input(1).shape;
+            if (grad.rank() != ref.rank() ||
+                static_cast<int>(begin.size()) != ref.rank()) {
+                ctx.Fail("rank mismatch between grad " + grad.ToString() +
+                         ", ref " + ref.ToString() + ", and begin of " +
+                         std::to_string(begin.size()) + " entries");
+            }
+            for (int d = 0; d < ref.rank(); ++d) {
+                const std::int64_t b = begin[static_cast<std::size_t>(d)];
+                if (b < 0 || b + grad.dim(d) > ref.dim(d)) {
+                    ctx.Fail("dim " + std::to_string(d) +
+                             ": scattered slice [" + std::to_string(b) +
+                             ", " + std::to_string(b + grad.dim(d)) +
+                             ") out of range [0, " +
+                             std::to_string(ref.dim(d)) + ")");
+                }
+            }
+        }
+        ctx.set_output(0, ctx.input(1));
+    });
+
+    shapes.Register("Gather", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected (params, indices) inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(1, DType::kInt32);
+        TypeInfo out;
+        if (ctx.KnownDType(0)) {
+            out.has_dtype = true;
+            out.dtype = ctx.input(0).dtype;
+        }
+        if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+            const Shape& params = ctx.input(0).shape;
+            if (params.rank() < 1) {
+                ctx.Fail("params must have rank >= 1, got " +
+                         params.ToString());
+            }
+            std::vector<std::int64_t> dims = ctx.input(1).shape.dims();
+            for (int d = 1; d < params.rank(); ++d) {
+                dims.push_back(params.dim(d));
+            }
+            out.has_shape = true;
+            out.shape = Shape(dims);
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("GatherGrad", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 3) {
+            ctx.Fail("expected (params_ref, indices, grad) inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(1, DType::kInt32);
+        if (ctx.KnownShape(0) && ctx.KnownShape(1) && ctx.KnownShape(2)) {
+            const Shape& params = ctx.input(0).shape;
+            std::vector<std::int64_t> dims = ctx.input(1).shape.dims();
+            for (int d = 1; d < params.rank(); ++d) {
+                dims.push_back(params.dim(d));
+            }
+            const Shape expected(dims);
+            if (!(ctx.input(2).shape == expected)) {
+                ctx.Fail("grad shape: expected " + expected.ToString() +
+                         ", got " + ctx.input(2).shape.ToString());
+            }
+        }
+        ctx.set_output(0, ctx.input(0));
+    });
+
+    shapes.Register("OneHot", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kInt32);
+        const std::int64_t depth = ctx.RequireIntAttr("depth");
+        if (depth < 1) {
+            ctx.Fail("depth must be >= 1, got " + std::to_string(depth));
+        }
+        TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+        if (ctx.KnownShape(0)) {
+            std::vector<std::int64_t> dims = ctx.input(0).shape.dims();
+            dims.push_back(depth);
+            out.has_shape = true;
+            out.shape = Shape(dims);
+        }
+        ctx.set_output(0, out);
+    });
+
+    // Pad adds (before + after) to each dim; PadGrad removes it.
+    auto pad_shape = [](InferenceContext& ctx, std::int64_t sign) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const auto& flat = ctx.RequireIntListAttr("paddings");
+        if (flat.size() % 2 != 0) {
+            ctx.Fail("paddings attr must have even length, got " +
+                     std::to_string(flat.size()));
+        }
+        TypeInfo out;
+        if (ctx.KnownDType(0)) {
+            out.has_dtype = true;
+            out.dtype = ctx.input(0).dtype;
+        }
+        if (ctx.KnownShape(0)) {
+            const Shape& in = ctx.input(0).shape;
+            if (static_cast<int>(flat.size()) != 2 * in.rank()) {
+                ctx.Fail("paddings has " + std::to_string(flat.size()) +
+                         " entries for rank " + std::to_string(in.rank()));
+            }
+            std::vector<std::int64_t> dims(
+                static_cast<std::size_t>(in.rank()));
+            for (int d = 0; d < in.rank(); ++d) {
+                const std::int64_t v =
+                    in.dim(d) +
+                    sign * (flat[static_cast<std::size_t>(2 * d)] +
+                            flat[static_cast<std::size_t>(2 * d + 1)]);
+                if (v < 0) {
+                    ctx.Fail("dim " + std::to_string(d) +
+                             ": padded extent is negative (" +
+                             std::to_string(v) + ")");
+                }
+                dims[static_cast<std::size_t>(d)] = v;
+            }
+            out.has_shape = true;
+            out.shape = Shape(dims);
+        }
+        ctx.set_output(0, out);
+    };
+    shapes.Register("Pad",
+                    [pad_shape](InferenceContext& ctx) { pad_shape(ctx, 1); });
+    shapes.Register("PadGrad", [pad_shape](InferenceContext& ctx) {
+        pad_shape(ctx, -1);
+    });
 }
 
 }  // namespace fathom::ops

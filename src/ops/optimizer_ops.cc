@@ -10,6 +10,7 @@
 #include <cmath>
 
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "ops/common.h"
 #include "ops/register.h"
 
@@ -174,6 +175,63 @@ RegisterOptimizerOps()
                                 ctx.input(0).Clone());
         },
         MovedBytesCost(), true});
+
+    // ---- shape/dtype inference -------------------------------------------
+
+    using graph::verify::InferenceContext;
+    auto& shapes = graph::verify::ShapeFnRegistry::Global();
+
+    // All Apply* updates take one (grad) input, name their variable via
+    // the "var_name" attr, and produce no tensor output — they are pure
+    // side-effect barriers in the plan.
+    auto apply_update = [](InferenceContext& ctx,
+                           const std::vector<std::string>& float_attrs) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected (grad) input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        const std::string& key = ctx.RequireStringAttr("var_name");
+        for (const std::string& attr : float_attrs) {
+            ctx.RequireFloatAttr(attr);
+        }
+        if (ctx.variables() != nullptr) {
+            if (!ctx.variables()->Contains(key)) {
+                ctx.Fail("variable '" + key + "' is not in the store");
+            }
+            const Tensor& var = ctx.variables()->Get(key);
+            if (ctx.KnownShape(0) &&
+                ctx.input(0).shape.num_elements() != var.num_elements()) {
+                ctx.Fail("grad has " +
+                         std::to_string(ctx.input(0).shape.num_elements()) +
+                         " elements, variable '" + key + "' has " +
+                         std::to_string(var.num_elements()));
+            }
+        }
+        ctx.MarkProducesNoOutput();
+    };
+    shapes.Register("ApplyGradientDescent",
+                    [apply_update](InferenceContext& ctx) {
+                        apply_update(ctx, {"lr"});
+                    });
+    shapes.Register("ApplyMomentum", [apply_update](InferenceContext& ctx) {
+        apply_update(ctx, {"lr", "momentum"});
+    });
+    shapes.Register("ApplyRMSProp", [apply_update](InferenceContext& ctx) {
+        apply_update(ctx, {"lr", "decay", "epsilon"});
+    });
+    shapes.Register("ApplyAdam", [apply_update](InferenceContext& ctx) {
+        apply_update(ctx, {"lr", "beta1", "beta2", "epsilon"});
+    });
+
+    shapes.Register("Assign", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected (value) input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.RequireStringAttr("var_name");
+        ctx.MarkProducesNoOutput();
+    });
 }
 
 }  // namespace fathom::ops

@@ -8,6 +8,7 @@
  */
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "ops/common.h"
 #include "ops/register.h"
 
@@ -93,6 +94,48 @@ RegisterRandomOps()
         "DropoutMask",
         [](GraphBuilder&, const Node&, const std::vector<Output>&)
             -> std::vector<std::optional<Output>> { return {std::nullopt}; });
+
+    // ---- shape/dtype inference -------------------------------------------
+
+    using graph::verify::InferenceContext;
+    using graph::verify::TypeInfo;
+    auto& shapes = graph::verify::ShapeFnRegistry::Global();
+
+    // Samplers draw a fresh float32 tensor of the "shape" attr.
+    auto sampled = [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 0) {
+            ctx.Fail("expected 0 inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const auto& dims = ctx.RequireIntListAttr("shape");
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+            if (dims[i] < 0) {
+                ctx.Fail("shape attr dim " + std::to_string(i) +
+                         " is negative (" + std::to_string(dims[i]) + ")");
+            }
+        }
+        ctx.set_output(0, TypeInfo::Of(DType::kFloat32, Shape(dims)));
+    };
+    shapes.Register("RandomNormal", sampled);
+    shapes.Register("RandomUniform", sampled);
+
+    shapes.Register("DropoutMask", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const float keep = ctx.node().attr_float("keep_prob", 0.5f);
+        if (keep <= 0.0f || keep > 1.0f) {
+            ctx.Fail("keep_prob must be in (0, 1], got " +
+                     std::to_string(keep));
+        }
+        TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+        if (ctx.KnownShape(0)) {
+            out.has_shape = true;
+            out.shape = ctx.input(0).shape;
+        }
+        ctx.set_output(0, out);
+    });
 }
 
 }  // namespace fathom::ops

@@ -7,6 +7,7 @@
 
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "kernels/elementwise.h"
 #include "kernels/reduction.h"
 #include "ops/common.h"
@@ -36,6 +37,51 @@ AxesFromNode(const Node& node)
     return axes;
 }
 
+using graph::verify::InferenceContext;
+using graph::verify::TypeInfo;
+
+/**
+ * Normalizes the "axes" int-list attr against @p rank (negative axes
+ * count from the end; an empty list means all axes), failing the
+ * inference on out-of-range entries. Mirrors kernels::Reduce.
+ */
+std::set<int>
+NormalizedAxes(InferenceContext& ctx, int rank)
+{
+    std::set<int> axes;
+    for (std::int64_t raw : ctx.RequireIntListAttr("axes")) {
+        const std::int64_t a = raw < 0 ? raw + rank : raw;
+        if (a < 0 || a >= rank) {
+            ctx.Fail("reduction axis " + std::to_string(raw) +
+                     " out of range for rank " + std::to_string(rank));
+        }
+        axes.insert(static_cast<int>(a));
+    }
+    if (axes.empty()) {
+        for (int i = 0; i < rank; ++i) {
+            axes.insert(i);
+        }
+    }
+    return axes;
+}
+
+/** The post-reduction shape of @p in under (axes, keep_dims). */
+Shape
+ReducedShape(const Shape& in, const std::set<int>& axes, bool keep_dims)
+{
+    std::vector<std::int64_t> dims;
+    for (int i = 0; i < in.rank(); ++i) {
+        if (axes.count(i) > 0) {
+            if (keep_dims) {
+                dims.push_back(1);
+            }
+        } else {
+            dims.push_back(in.dim(i));
+        }
+    }
+    return Shape(std::move(dims));
+}
+
 void
 RegisterReduce(const std::string& name, kernels::ReduceOp op)
 {
@@ -48,6 +94,24 @@ RegisterReduce(const std::string& name, kernels::ReduceOp op)
                                   ctx.pool()));
         },
         SerialCost(1.0), false});
+    graph::verify::ShapeFnRegistry::Global().Register(
+        name, [](InferenceContext& ctx) {
+            if (ctx.num_inputs() != 1) {
+                ctx.Fail("expected 1 input, got " +
+                         std::to_string(ctx.num_inputs()));
+            }
+            ctx.ExpectDType(0, DType::kFloat32);
+            ctx.RequireIntListAttr("axes");
+            const bool keep = ctx.node().attr_bool("keep_dims", false);
+            TypeInfo out = TypeInfo::OfDType(DType::kFloat32);
+            if (ctx.KnownShape(0)) {
+                const Shape& in = ctx.input(0).shape;
+                out.has_shape = true;
+                out.shape =
+                    ReducedShape(in, NormalizedAxes(ctx, in.rank()), keep);
+            }
+            ctx.set_output(0, out);
+        });
 }
 
 }  // namespace
@@ -202,6 +266,118 @@ RegisterReductionOps()
             return {b.AddOp("tile_grad", "TileGrad", {g[0], node.inputs[0]},
                             {{"multiples", node.attr("multiples")}})};
         });
+
+    // ---- shape/dtype inference -------------------------------------------
+
+    auto& shapes = graph::verify::ShapeFnRegistry::Global();
+
+    shapes.Register("ReduceSumGrad", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected 2 inputs (grad, ref), got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.ExpectDType(1, DType::kFloat32);
+        ctx.RequireIntListAttr("axes");
+        if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+            const Shape& ref = ctx.input(1).shape;
+            const Shape expect =
+                ReducedShape(ref, NormalizedAxes(ctx, ref.rank()),
+                             ctx.node().attr_bool("keep_dims", false));
+            if (ctx.input(0).shape.num_elements() != expect.num_elements()) {
+                ctx.Fail("grad shape: expected " + expect.ToString() +
+                         " (reduction of " + ref.ToString() + "), got " +
+                         ctx.input(0).shape.ToString());
+            }
+        }
+        ctx.set_output(0, ctx.input(1));
+    });
+
+    auto softmax_shape = [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        if (ctx.KnownShape(0) && ctx.input(0).shape.rank() < 1) {
+            ctx.Fail("input must have rank >= 1 (softmax over last dim)");
+        }
+        ctx.set_output(0, ctx.input(0));
+    };
+    shapes.Register("Softmax", softmax_shape);
+    shapes.Register("LogSoftmax", softmax_shape);
+
+    shapes.Register("ArgMax", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        TypeInfo out = TypeInfo::OfDType(DType::kInt32);
+        if (ctx.KnownShape(0)) {
+            const Shape& in = ctx.input(0).shape;
+            if (in.rank() < 1) {
+                ctx.Fail("input must have rank >= 1 (argmax over last dim)");
+            }
+            std::vector<std::int64_t> dims(in.dims().begin(),
+                                           in.dims().end() - 1);
+            out.has_shape = true;
+            out.shape = Shape(std::move(dims));
+        }
+        ctx.set_output(0, out);
+    });
+
+    // Tile/TileGrad share the multiples schema: one non-negative factor
+    // per input dimension.
+    auto tiled_shape = [](InferenceContext& ctx, const Shape& in) {
+        const auto& multiples = ctx.RequireIntListAttr("multiples");
+        if (static_cast<int>(multiples.size()) != in.rank()) {
+            ctx.Fail("multiples: expected " + std::to_string(in.rank()) +
+                     " entries (input rank), got " +
+                     std::to_string(multiples.size()));
+        }
+        std::vector<std::int64_t> dims = in.dims();
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+            if (multiples[i] < 1) {
+                ctx.Fail("multiples[" + std::to_string(i) +
+                         "] must be >= 1, got " +
+                         std::to_string(multiples[i]));
+            }
+            dims[i] *= multiples[i];
+        }
+        return Shape(std::move(dims));
+    };
+
+    shapes.Register("Tile", [tiled_shape](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.RequireIntListAttr("multiples");
+        TypeInfo out = ctx.input(0);
+        if (ctx.KnownShape(0)) {
+            out.shape = tiled_shape(ctx, ctx.input(0).shape);
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("TileGrad", [tiled_shape](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 2) {
+            ctx.Fail("expected 2 inputs (grad, ref), got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.ExpectDType(0, DType::kFloat32);
+        ctx.RequireIntListAttr("multiples");
+        if (ctx.KnownShape(0) && ctx.KnownShape(1)) {
+            const Shape expect = tiled_shape(ctx, ctx.input(1).shape);
+            if (ctx.input(0).shape != expect) {
+                ctx.Fail("grad shape: expected " + expect.ToString() +
+                         " (ref tiled by multiples), got " +
+                         ctx.input(0).shape.ToString());
+            }
+        }
+        ctx.set_output(0, ctx.input(1));
+    });
 }
 
 }  // namespace fathom::ops

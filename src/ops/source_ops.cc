@@ -7,6 +7,7 @@
 
 #include "autodiff/gradients.h"
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "ops/common.h"
 #include "ops/register.h"
 
@@ -115,6 +116,69 @@ RegisterSourceOps()
     ops.Register(OpDef{
         "NoOp", OpClass::kControl, [](OpContext&) {}, MovedBytesCost(),
         false});
+
+    // ---- shape/dtype inference -------------------------------------------
+
+    using graph::verify::InferenceContext;
+    using graph::verify::TypeInfo;
+    auto& shapes = graph::verify::ShapeFnRegistry::Global();
+
+    // Const/Variable read their value from the store at the node's
+    // "var_name" key; the stored tensor IS the static type. Without a
+    // store (plain whole-graph lint) the type stays unknown.
+    auto store_read = [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 0) {
+            ctx.Fail("expected 0 inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        const std::string& key = ctx.RequireStringAttr("var_name");
+        if (ctx.variables() != nullptr) {
+            if (!ctx.variables()->Contains(key)) {
+                ctx.Fail("variable '" + key + "' is not in the store");
+            }
+            const Tensor& value = ctx.variables()->Get(key);
+            ctx.set_output(0, TypeInfo::Of(value.dtype(), value.shape()));
+        }
+    };
+    shapes.Register("Const", store_read);
+    shapes.Register("Variable", store_read);
+
+    // A Placeholder's type comes from the feed (or serving TensorSpec);
+    // the verifier seeds it, so the fn only validates arity.
+    shapes.Register("Placeholder", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 0) {
+            ctx.Fail("expected 0 inputs, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+    });
+
+    auto pass_through = [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        ctx.set_output(0, ctx.input(0));
+    };
+    shapes.Register("Identity", pass_through);
+    shapes.Register("StopGradient", pass_through);
+    shapes.Register("ZerosLike", pass_through);
+
+    shapes.Register("Shape", [](InferenceContext& ctx) {
+        if (ctx.num_inputs() != 1) {
+            ctx.Fail("expected 1 input, got " +
+                     std::to_string(ctx.num_inputs()));
+        }
+        TypeInfo out = TypeInfo::OfDType(DType::kInt32);
+        if (ctx.KnownShape(0)) {
+            out.has_shape = true;
+            out.shape = Shape{ctx.input(0).shape.rank()};
+        }
+        ctx.set_output(0, out);
+    });
+
+    shapes.Register("NoOp", [](InferenceContext& ctx) {
+        ctx.MarkProducesNoOutput();
+    });
 }
 
 }  // namespace fathom::ops

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "graph/verify/verifier.h"
 #include "telemetry/metrics.h"
 #include "tensor/buffer_pool.h"
 
@@ -93,7 +94,7 @@ Session::SetInterOpThreads(int threads)
 }
 
 const Session::Plan&
-Session::GetPlan(const std::vector<graph::Output>& fetches,
+Session::GetPlan(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
                  const std::vector<graph::NodeId>& targets)
 {
     std::ostringstream key;
@@ -133,9 +134,13 @@ Session::GetPlan(const std::vector<graph::Output>& fetches,
         // the graph; they are unreachable from user-built roots, so
         // unoptimized plans and re-rewrites are unaffected (replanning
         // converges by reusing them, keyed by name).
+        // When session-level verification is on, the stronger
+        // feed-seeded, liveness-checking run below subsumes the
+        // rewriter's own post-condition; don't verify the plan twice.
+        graph::rewrite::RewriteOptions ropts = rewrite_options_;
+        ropts.verify = ropts.verify && !verify_graphs_;
         auto rewritten = graph::rewrite::Rewrite(graph_, fetches, targets,
-                                                 variables_,
-                                                 rewrite_options_);
+                                                 variables_, ropts);
         order = std::move(rewritten.order);
         plan.replacements = std::move(rewritten.replacements);
         plan.folded = std::move(rewritten.folded);
@@ -247,6 +252,29 @@ Session::GetPlan(const std::vector<graph::Output>& fetches,
         for (std::int32_t p : producers) {
             ++plan.consumer_count[static_cast<std::size_t>(p)];
         }
+    }
+
+    // Static verification of the freshly built plan: structure, types
+    // (seeded from this step's feed tensors), and the aliasing/
+    // liveness/determinism lints. A violation throws and caches
+    // nothing, so a corrected graph replans from scratch.
+    if (verify_graphs_) {
+        graph::verify::VerifyOptions vopts;
+        vopts.variables = &variables_;
+        for (const auto& [id, value] : feeds) {
+            vopts.feed_types[id] =
+                graph::verify::TypeInfo::Of(value.dtype(), value.shape());
+        }
+        graph::verify::PlanFacts facts;
+        facts.order = &order;
+        facts.replacements = &plan.replacements;
+        facts.folded = &plan.folded;
+        facts.inplace = plan.inplace.empty() ? nullptr : &plan.inplace;
+        facts.consumer_count = &plan.consumer_count;
+        facts.input_producers = &plan.input_producers;
+        facts.releasable = &plan.releasable;
+        graph::verify::VerifyOrThrow(graph_, fetches, targets, vopts,
+                                     &facts);
     }
 
     auto [inserted, ok] = plan_cache_.emplace(key.str(), std::move(plan));
@@ -501,7 +529,7 @@ std::vector<Tensor>
 Session::Run(const FeedMap& feeds, const std::vector<graph::Output>& fetches,
              const std::vector<graph::NodeId>& targets)
 {
-    const auto& plan = GetPlan(fetches, targets);
+    const auto& plan = GetPlan(feeds, fetches, targets);
 
     std::vector<std::vector<Tensor>> values(
         static_cast<std::size_t>(graph_.num_nodes()));

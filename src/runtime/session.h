@@ -122,6 +122,18 @@ class Session {
     }
 
     /**
+     * Enables the static graph verifier (on by default). When on, every
+     * plan build (cache miss) runs structural validation, whole-graph
+     * shape/dtype inference seeded from the step's feed tensors, and
+     * the aliasing/liveness/determinism lints against the built plan;
+     * any finding throws std::invalid_argument with the full report and
+     * nothing is cached. Feed types are checked once per plan, at build
+     * time. See graph/verify/verifier.h.
+     */
+    void SetVerification(bool enabled) { verify_graphs_ = enabled; }
+    bool verification() const { return verify_graphs_; }
+
+    /**
      * Executes the subgraph producing @p fetches and @p targets.
      *
      * @param feeds   values for placeholder nodes used by the subgraph.
@@ -184,8 +196,11 @@ class Session {
         std::vector<char> releasable;
     };
 
-    /** Cached pruned topological plan for a fetch/target set. */
-    const Plan& GetPlan(const std::vector<graph::Output>& fetches,
+    /** Cached pruned topological plan for a fetch/target set. On a
+        cache miss the plan is statically verified (when enabled)
+        against @p feeds before being cached. */
+    const Plan& GetPlan(const FeedMap& feeds,
+                        const std::vector<graph::Output>& fetches,
                         const std::vector<graph::NodeId>& targets);
 
     /**
@@ -227,6 +242,7 @@ class Session {
     std::chrono::steady_clock::time_point step_epoch_;
     bool memory_planning_ = true;
     bool optimize_graphs_ = false;
+    bool verify_graphs_ = true;
     graph::rewrite::RewriteOptions rewrite_options_;
     std::map<std::string, Plan> plan_cache_;
 };

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "graph/verify/verifier.h"
+
 namespace fathom::serving {
 
 namespace {
@@ -155,6 +157,9 @@ FrozenPlan::Freeze(const runtime::Session& session,
     if (options.optimize) {
         graph::rewrite::RewriteOptions ropts = options.rewrites;
         ropts.variables_as_constants = true;
+        // The freeze-time verification below is stronger (TensorSpec
+        // seeds, frozen-mode lint); skip the rewriter's own.
+        ropts.verify = ropts.verify && !options.verify;
         auto rewritten = graph::rewrite::Rewrite(
             plan->graph_, plan->fetches_, /*targets=*/{}, snapshot, ropts);
         frozen_order = std::move(rewritten.order);
@@ -205,6 +210,34 @@ FrozenPlan::Freeze(const runtime::Session& session,
 
     for (graph::Output& f : plan->fetches_) {
         f.node = resolve(f.node);
+    }
+
+    // Static verification of the frozen executable: every request will
+    // run this exact plan, so prove it once here. Placeholder types are
+    // seeded from the declared TensorSpecs with the serving batch
+    // prepended (fixed_batch when the graph bakes one in, else 1 — any
+    // larger batch only scales the leading dim, which no shape fn
+    // constrains against the graph's weights).
+    if (options.verify) {
+        graph::verify::VerifyOptions vopts;
+        vopts.variables = &snapshot;
+        vopts.frozen = true;
+        vopts.check_liveness = false;  // facts index steps, not order.
+        const std::int64_t batch =
+            signature.fixed_batch > 0 ? signature.fixed_batch : 1;
+        for (const TensorSpec& spec : signature.inputs) {
+            vopts.feed_types[plan->input_nodes_.at(spec.name)] =
+                graph::verify::TypeInfo::Of(
+                    spec.dtype, BatchedShape(batch, spec.example_dims));
+        }
+        graph::verify::PlanFacts facts;
+        facts.order = &frozen_order;
+        facts.replacements = &plan->replacements_;
+        facts.folded = &plan->folded_;
+        facts.inplace =
+            inplace_by_order.empty() ? nullptr : &inplace_by_order;
+        graph::verify::VerifyOrThrow(plan->graph_, plan->fetches_,
+                                     /*targets=*/{}, vopts, &facts);
     }
 
     // Dependency + liveness structure over executable steps only

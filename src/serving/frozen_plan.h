@@ -85,6 +85,16 @@ struct FrozenPlanOptions {
 
     /** Per-pattern knobs (effective when optimize is on). */
     graph::rewrite::RewriteOptions rewrites;
+
+    /**
+     * Statically verify the frozen plan (on by default): structure,
+     * whole-graph shape/dtype inference seeded from the signature's
+     * TensorSpecs (batch = fixed_batch, or 1 for batch-flexible
+     * graphs), the in-place aliasing proof, and the frozen-mode
+     * determinism lint. A violation throws std::invalid_argument with
+     * the full diagnostic report.
+     */
+    bool verify = true;
 };
 
 /** Feeds for one single-example request: name -> [1, ...] tensor. */

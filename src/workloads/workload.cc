@@ -18,6 +18,7 @@ Workload::MakeSession(const WorkloadConfig& config)
     session->SetMemoryPlanning(config.memory_planner);
     session->SetGraphOptimization(config.graph_rewrites);
     session->SetRewriteOptions(config.rewrites);
+    session->SetVerification(config.graph_verification);
     session->tracer().set_enabled(config.tracing);
     telemetry::MetricsRegistry::set_enabled(config.telemetry);
     return session;

@@ -77,6 +77,13 @@ struct WorkloadConfig {
     graph::rewrite::RewriteOptions rewrites;
 
     /**
+     * Static graph verification at every plan build (structure,
+     * shape/dtype inference, aliasing/liveness/determinism lints).
+     * Default on; see Session::SetVerification.
+     */
+    bool graph_verification = true;
+
+    /**
      * Input-pipeline prefetch depth: how many pre-materialized feed
      * batches may wait in the bounded queue ahead of the consuming
      * step. 0 generates batches inline with each step (the historical

@@ -261,6 +261,9 @@ TEST_F(InterOpExecutorTest, MissingFeedThrowsAndSessionStaysUsable)
 TEST_F(InterOpExecutorTest, KernelFailurePropagatesAndEndsStepCleanly)
 {
     Session session;
+    // Pin the mid-step failure path: the static verifier would reject
+    // the mismatched MatMul at plan build, before any step ran.
+    session.SetVerification(false);
     session.SetInterOpThreads(4);
     auto b = session.MakeBuilder();
     const Output x = b.Placeholder("x");

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "workloads/workload.h"
 
 namespace fathom {
@@ -32,6 +33,36 @@ TEST(RegistryAuditTest, EveryOpHasKernelAndCostFn)
             << "' has no CostFn: roofline/device-model analyses would "
                "fall back to a bytes-only estimate for it";
         EXPECT_EQ(def.name, name);
+    }
+}
+
+TEST(RegistryAuditTest, EveryOpHasShapeInferenceFn)
+{
+    // The static graph verifier (graph/verify/) propagates shapes and
+    // dtypes through every plan it checks; an op without a registered
+    // shape fn degrades its whole downstream cone to "unknown type" and
+    // is itself flagged as a [missing-shape-fn] diagnostic on every
+    // plan build. Adding an op without one fails here by name.
+    workloads::RegisterAllWorkloads();
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    const auto& shapes = graph::verify::ShapeFnRegistry::Global();
+    for (const auto& name : registry.Names()) {
+        EXPECT_TRUE(shapes.Contains(name))
+            << "op '" << name
+            << "' has no shape/dtype inference fn: register one next to "
+               "its kernel (see graph/verify/shape_inference.h)";
+    }
+}
+
+TEST(RegistryAuditTest, ShapeFnRegistryHasNoOrphans)
+{
+    // The reverse direction: a shape fn for an op that is not in the
+    // kernel registry is a typo'd name that silently checks nothing.
+    workloads::RegisterAllWorkloads();
+    const graph::OpRegistry& registry = graph::OpRegistry::Global();
+    for (const auto& name : graph::verify::ShapeFnRegistry::Global().Names()) {
+        EXPECT_TRUE(registry.Contains(name))
+            << "shape fn registered for unknown op '" << name << "'";
     }
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/op_registry.h"
+#include "graph/verify/shape_inference.h"
 #include "ops/register.h"
 #include "runtime/session.h"
 #include "telemetry/metrics.h"
@@ -114,6 +115,12 @@ RegisterRendezvousOp()
                 ctx.set_output(0, ctx.input(0));
             },
             nullptr, false});
+        // Custom ops need a shape fn or the plan-build verifier flags
+        // them; the rendezvous op passes its input through unchanged.
+        graph::verify::ShapeFnRegistry::Global().Register(
+            "TestRendezvous", [](graph::verify::InferenceContext& ctx) {
+                ctx.set_output(0, ctx.input(0));
+            });
     });
 }
 
